@@ -1,0 +1,122 @@
+// Command ccsim replays a cache-event log (produced by tracegen) through a
+// chosen code-cache configuration — the second half of the paper's
+// evaluation methodology (§6).
+//
+// Usage:
+//
+//	ccsim -log word.cclog [-capfrac 0.5] [-layout 45-10-45] [-threshold 1]
+//	ccsim -log word.cclog -unified
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracelog"
+)
+
+func main() {
+	logPath := flag.String("log", "", "cache-event log path")
+	capFrac := flag.Float64("capfrac", 0.5, "cache capacity as a fraction of the unbounded peak (the paper uses 0.5)")
+	layout := flag.String("layout", "45-10-45", "nursery-probation-persistent percentages")
+	threshold := flag.Uint64("threshold", 1, "probation promotion threshold")
+	unified := flag.Bool("unified", false, "simulate only the unified baseline")
+	flag.Parse()
+
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "ccsim: -log is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h, events, err := tracelog.ReadAll(f)
+	if err != nil {
+		fatal(err)
+	}
+	sum := tracelog.Summarize(h, events)
+	capacity := uint64(float64(sum.MaxLiveBytes) * *capFrac)
+	fmt.Printf("%s: %s events, unbounded peak %s, simulated capacity %s\n",
+		h.Benchmark, stats.FmtCount(uint64(len(events))), stats.FmtBytes(sum.MaxLiveBytes), stats.FmtBytes(capacity))
+
+	u, err := sim.ReplayUnified(h.Benchmark, events, capacity, costmodel.DefaultModel)
+	if err != nil {
+		fatal(err)
+	}
+	report("unified/pseudo-circular", u)
+	if *unified {
+		return
+	}
+
+	fracs, err := parseLayout(*layout)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		TotalCapacity:    capacity,
+		NurseryFrac:      fracs[0],
+		ProbationFrac:    fracs[1],
+		PersistentFrac:   fracs[2],
+		PromoteThreshold: *threshold,
+		PromoteOnAccess:  *threshold <= 1,
+	}
+	g, err := sim.ReplayGenerational(h.Benchmark, events, cfg, costmodel.DefaultModel)
+	if err != nil {
+		fatal(err)
+	}
+	report(g.Config, g)
+
+	red := 0.0
+	if u.MissRate() > 0 {
+		red = 1 - g.MissRate()/u.MissRate()
+	}
+	fmt.Printf("\nmiss-rate reduction: %+.1f%%   misses eliminated: %d   overhead ratio: %.1f%%\n",
+		red*100, int64(u.Misses)-int64(g.Misses),
+		costmodel.OverheadRatio(g.Overhead, u.Overhead)*100)
+}
+
+func report(name string, r sim.Result) {
+	fmt.Printf("\n%s\n", name)
+	fmt.Printf("  accesses %s   hits %s   misses %s   miss rate %.3f%%\n",
+		stats.FmtCount(r.Accesses), stats.FmtCount(r.Hits), stats.FmtCount(r.Misses), 100*r.MissRate())
+	fmt.Printf("  regenerations %s   forced deletions %s\n",
+		stats.FmtCount(r.Regenerations), stats.FmtCount(r.ForcedDeletes))
+	fmt.Printf("  overhead: %.0f instructions (%s trace gens, %s evictions, %s promotions)\n",
+		r.Overhead.Total(), stats.FmtCount(r.Overhead.TraceGens),
+		stats.FmtCount(r.Overhead.Evictions), stats.FmtCount(r.Overhead.Promotions))
+}
+
+func parseLayout(s string) ([3]float64, error) {
+	var out [3]float64
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return out, fmt.Errorf("ccsim: layout %q must be N-P-S percentages", s)
+	}
+	sum := 0.0
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v <= 0 {
+			return out, fmt.Errorf("ccsim: bad layout component %q", p)
+		}
+		out[i] = v / 100
+		sum += v
+	}
+	if sum < 99.5 || sum > 100.5 {
+		return out, fmt.Errorf("ccsim: layout %q must sum to 100", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command tracegen synthesizes a benchmark program, runs it under the
+// dynamic-optimizer engine with an unbounded trace cache, and writes the
+// verbose cache-event log to a file — the first half of the paper's
+// evaluation methodology (§6). Replay the log with ccsim.
+//
+// Usage:
+//
+//	tracegen -bench word [-scale 0.125] [-o word.cclog]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/stats"
+	"repro/internal/tracelog"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see gencache for the list)")
+	scale := flag.Float64("scale", 0.125, "code-size scale factor")
+	out := flag.String("o", "", "output log path (default <bench>.cclog)")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench is required; benchmarks:")
+		for _, p := range workload.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", p.Name, p.Description)
+		}
+		os.Exit(2)
+	}
+	p, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = p.Name + ".cclog"
+	}
+
+	b, err := workload.Synthesize(p.Scaled(*scale))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := tracelog.NewWriter(f, tracelog.Header{
+		Benchmark:      p.Name,
+		DurationMicros: p.DurationMicros(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	eng, err := dbt.New(b.Image, dbt.Config{Manager: mgr, Log: w})
+	if err != nil {
+		fatal(err)
+	}
+	if err := eng.Run(b.NewDriver(), 0); err != nil {
+		fatal(err)
+	}
+	s := eng.Stats()
+	fmt.Printf("%s: %s blocks executed, %s traces (%s), %s accesses, %s unmapped\n",
+		p.Name,
+		stats.FmtCount(s.Blocks),
+		stats.FmtCount(s.TracesCreated), stats.FmtBytes(s.TraceBytes),
+		stats.FmtCount(s.Accesses), stats.FmtBytes(s.UnmappedBytes))
+	fmt.Printf("wrote %s (%s events)\n", path, stats.FmtCount(w.Events()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example runs the paper's methodology end to end on the smallest
+// interactive benchmark: one unbounded engine run captures the cache-event
+// log, and the log replays under a unified cache and the paper's best
+// generational layout at half the unbounded footprint.
+func Example() {
+	profile, _ := repro.BenchmarkByName("solitaire")
+	profile = profile.Scaled(0.05)
+	profile.Seed = 210 // deterministic
+
+	bench, err := repro.Synthesize(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	w, err := repro.NewLogWriter(&buf, profile.Name, profile.DurationMicros())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
+		Manager: repro.NewUnified(1<<40, repro.Hooks{}),
+		Log:     w,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Run(bench.NewDriver(), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	_, events, err := repro.ReadLog(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := repro.UnboundedPeak(events) / 2
+	cmp, err := repro.Compare(profile.Name, events, capacity, repro.BestLayout(capacity))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generational beats unified: %v\n", cmp.MissesEliminated() > 0)
+	fmt.Printf("overhead ratio below 100%%:  %v\n", cmp.OverheadRatio() < 1)
+	// Output:
+	// generational beats unified: true
+	// overhead ratio below 100%:  true
+}

@@ -1,0 +1,58 @@
+// Lifetimes: reproduce the U-shaped trace-lifetime distribution of
+// Figure 6 for one SPEC benchmark and one interactive application.
+//
+// A trace's lifetime (Equation 2) is the span between its first and last
+// execution, as a fraction of the whole run. The paper's observation — most
+// traces live either under 20% or over 80% of the run — is what justifies
+// generational code caches.
+//
+//	go run ./examples/lifetimes
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	for _, name := range []string{"gzip", "word"} {
+		profile, ok := repro.BenchmarkByName(name)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		profile = profile.Scaled(0.0625)
+
+		bench, err := repro.Synthesize(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lt := repro.NewLifetimes()
+		engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
+			Manager:   repro.NewUnified(1<<40, repro.Hooks{}),
+			Lifetimes: lt,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := engine.Run(bench.NewDriver(), 0); err != nil {
+			log.Fatal(err)
+		}
+		s := engine.Stats()
+
+		fmt.Printf("%s (%s): %d traces\n\n", profile.Name, profile.Suite, lt.Len())
+		h := lt.Histogram(float64(s.EndTime), 10)
+		for i := 0; i < 10; i++ {
+			frac := h.Fraction(i)
+			bar := strings.Repeat("#", int(frac*60+0.5))
+			fmt.Printf("  %3d-%3d%% lifetime  %5.1f%%  %s\n", i*10, (i+1)*10, frac*100, bar)
+		}
+		short, mid, long := lt.Fractions(float64(s.EndTime), 0.2, 0.8)
+		fmt.Printf("\n  short-lived (<20%%): %.1f%%   middle: %.1f%%   long-lived (>80%%): %.1f%%\n\n",
+			short*100, mid*100, long*100)
+	}
+	fmt.Println("the extremes dominate: short-lived traces can be evicted cheaply from a")
+	fmt.Println("nursery cache while long-lived traces deserve a persistent cache (paper §5.1)")
+}

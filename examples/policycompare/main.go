@@ -1,0 +1,122 @@
+// Policy comparison: local and global cache-management schemes head to head.
+//
+// One benchmark is run once under an unbounded cache to capture its event
+// log (the paper's methodology); the log then replays through five
+// managers of identical capacity:
+//
+//   - unified + pseudo-circular (the paper's baseline, §4.3)
+//
+//   - unified + LRU
+//
+//   - unified + flush-when-full
+//
+//   - unified + preemptive flushing (Dynamo's scheme)
+//
+//   - generational 45-10-45 @1 (the paper's proposal, §5)
+//
+//     go run ./examples/policycompare [benchmark]
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	name := "gcc"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	profile, ok := repro.BenchmarkByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	profile = profile.Scaled(0.125)
+
+	bench, err := repro.Synthesize(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Unbounded run -> event log.
+	var buf bytes.Buffer
+	w, err := repro.NewLogWriter(&buf, profile.Name, profile.DurationMicros())
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
+		Manager: repro.NewUnified(1<<40, repro.Hooks{}),
+		Log:     w,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Run(bench.NewDriver(), 0); err != nil {
+		log.Fatal(err)
+	}
+	_, events, err := repro.ReadLog(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Capacity: half the unbounded peak, as in §6.
+	peak := repro.UnboundedPeak(events)
+	capacity := peak / 2
+	fmt.Printf("%s: %d events, unbounded peak %.1f KB, simulated capacity %.1f KB\n\n",
+		profile.Name, len(events), float64(peak)/1024, float64(capacity)/1024)
+
+	type entry struct {
+		name string
+		mgr  func(repro.Hooks) repro.Manager
+	}
+	mk := func(p func() repro.LocalPolicy) func(repro.Hooks) repro.Manager {
+		return func(h repro.Hooks) repro.Manager {
+			return repro.NewUnifiedWithPolicy(capacity, p(), h)
+		}
+	}
+	entries := []entry{
+		{"unified pseudo-circular", mk(repro.PseudoCircularPolicy)},
+		{"unified LRU", mk(repro.LRUPolicy)},
+		{"unified flush-when-full", mk(repro.FlushWhenFullPolicy)},
+		{"unified preemptive-flush", mk(repro.PreemptiveFlushPolicy)},
+		{"generational 45-10-45@1", func(h repro.Hooks) repro.Manager {
+			g, err := repro.NewGenerational(repro.BestLayout(capacity), h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return g
+		}},
+	}
+
+	fmt.Printf("%-26s %10s %10s %10s %12s\n", "manager", "accesses", "misses", "miss rate", "overhead")
+	var baseline float64
+	for i, e := range entries {
+		res := replay(e.mgr, events, profile.Name)
+		total := res.Overhead.Total()
+		if i == 0 {
+			baseline = total
+		}
+		fmt.Printf("%-26s %10d %10d %9.3f%% %11.1f%%\n",
+			e.name, res.Accesses, res.Misses, 100*res.MissRate(), 100*total/baseline)
+	}
+	fmt.Println("\noverhead is relative to the pseudo-circular baseline (lower is better).")
+	fmt.Println("note: LRU's miss rate is strong but the Table 2 model does not charge its")
+	fmt.Println("per-access bookkeeping or fragmentation walks — the very costs that made")
+	fmt.Println("the paper's prior work reject LRU for real code caches (§4.2).")
+}
+
+func replay(mk func(repro.Hooks) repro.Manager, events []repro.Event, name string) repro.ReplayResult {
+	// Each replay needs a fresh manager wired to a fresh cost accumulator;
+	// the facade's Replay helpers handle the pairing for the two standard
+	// shapes, and this generic path reuses ReplayUnified's plumbing through
+	// the sim package via the manager interface.
+	res, err := repro.ReplayWith(name, events, mk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,66 @@
+// Quickstart: the end-to-end pipeline in one page.
+//
+// Synthesize a benchmark, run it under the dynamic optimizer with the
+// paper's generational code cache, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Pick a benchmark: solitaire, the smallest interactive application of
+	// Table 1, scaled down 8x so this runs in well under a second.
+	profile, ok := repro.BenchmarkByName("solitaire")
+	if !ok {
+		log.Fatal("benchmark missing")
+	}
+	profile = profile.Scaled(0.125)
+
+	bench, err := repro.Synthesize(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %s: %d functions, %s of code across %d modules\n",
+		profile.Name, bench.NumFunctions(), kb(bench.Image.Footprint()), len(bench.Image.Modules))
+
+	// A generational trace cache: 45% nursery, 10% probation, 45%
+	// persistent, single-hit promotion — the paper's best configuration.
+	// Capacity is deliberately tight (128 KB) so the caches have to work.
+	var promotions, evictions int
+	mgr, err := repro.NewGenerational(repro.BestLayout(128<<10), repro.Hooks{
+		OnPromote: func(f repro.Fragment, from, to repro.Level) { promotions++ },
+		OnEvict:   func(f repro.Fragment, from repro.Level) { evictions++ },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{Manager: mgr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.Run(bench.NewDriver(), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	s := engine.Stats()
+	fmt.Printf("\nexecuted %d guest blocks (%d instructions)\n", s.Blocks, s.GuestInstrs)
+	fmt.Printf("basic-block cache: %d blocks, %s\n", s.BBCopied, kb(s.BBBytes))
+	fmt.Printf("traces created:    %d (%s)\n", s.TracesCreated, kb(s.TraceBytes))
+	fmt.Printf("trace accesses:    %d (%.2f%% misses)\n", s.Accesses, 100*s.MissRate())
+	fmt.Printf("unmapped traces:   %d (%s) after DLL unloads\n", s.UnmappedTraces, kb(s.UnmappedBytes))
+	fmt.Printf("promotions:        %d between generational caches\n", promotions)
+	fmt.Printf("evictions:         %d traces aged out entirely\n", evictions)
+
+	ms := mgr.Stats()
+	fmt.Printf("\ngenerational manager: %d inserts, %d to probation, %d to persistent, %d probation deaths\n",
+		ms.Inserts, ms.PromotedToProbation, ms.PromotedToPersist, ms.ProbationDeaths)
+}
+
+func kb(n uint64) string { return fmt.Sprintf("%.1f KB", float64(n)/1024) }

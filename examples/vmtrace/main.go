@@ -1,0 +1,144 @@
+// VMTrace: watch the dynamic optimizer work on a real interpreted program.
+//
+// This example hand-assembles a small guest program in the synthetic ISA —
+// a nested loop that calls a helper in a DLL, unloads the DLL, and keeps
+// looping — then executes it instruction by instruction on the reference
+// interpreter while the engine translates it: copying basic blocks,
+// counting trace heads, building NET superblocks, and force-deleting the
+// DLL's traces when it is unmapped.
+//
+//	go run ./examples/vmtrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+func buildGuest() (*repro.Image, error) {
+	b := program.NewBuilder()
+	exe := b.Module("demo.exe", false)
+	dll := b.Module("helper.dll", true)
+
+	// helper(r1) = r1 * 2 + 1
+	hb, helper := dll.Function("helper")
+	hb.Block()
+	hb.I(isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 1})
+	hb.I(isa.Inst{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 1})
+	hb.Ret()
+
+	// main: outer loop 120x { inner work; call helper }, unload DLL at
+	// iteration 60, keep looping without the helper.
+	fb, mainFn := exe.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 2, Imm: 0}) // outer counter
+	outer := fb.NewBlock()
+	fb.Jmp(outer)
+
+	fb.StartBlock(outer)
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 2, Rs1: 2, Imm: 1})
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 3, Imm: 0}) // inner counter
+	inner := fb.NewBlock()
+	fb.Jmp(inner)
+	fb.StartBlock(inner)
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 3, Rs1: 3, Imm: 1})
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 4, Rs1: 4, Imm: 7}) // busywork
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 3, Imm: 8})
+	fb.Jcc(isa.CondLT, inner)
+
+	// Call the helper only while the DLL is mapped (first 60 iterations).
+	callBlk := fb.Block()
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 2, Imm: 60})
+	noCall := fb.NewBlock()
+	fb.Jcc(isa.CondGE, noCall)
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMov, Rd: 1, Rs1: 2})
+	fb.Call(helper)
+	join := fb.NewBlock()
+	fb.Block() // return point of the call
+	fb.Jmp(join)
+
+	fb.StartBlock(noCall)
+	// At exactly iteration 60, unload the DLL: its traces must die.
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 2, Imm: 60})
+	skipUnload := fb.NewBlock()
+	fb.Jcc(isa.CondNE, skipUnload)
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 1}) // module id of helper.dll
+	fb.Syscall(isa.SysUnloadModule)
+	fb.Block()
+	fb.Jmp(join)
+	fb.StartBlock(skipUnload)
+	fb.Jmp(join)
+
+	fb.StartBlock(join)
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 2, Imm: 120})
+	fb.Jcc(isa.CondLT, outer)
+	fb.Block()
+	fb.Syscall(isa.SysExit)
+	fb.Block()
+	fb.Halt()
+	_ = callBlk
+
+	b.SetEntry(mainFn)
+	return b.Build()
+}
+
+func main() {
+	img, err := buildGuest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guest image: %d blocks, %d bytes across %d modules\n",
+		img.NumBlocks(), img.Footprint(), len(img.Modules))
+
+	mgr := repro.NewUnified(64<<10, repro.Hooks{})
+	engine, err := repro.NewEngine(img, repro.EngineConfig{
+		Manager:      mgr,
+		HotThreshold: 10, // hot quickly, for demonstration
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine := repro.NewInterpreter(img)
+	if err := engine.Run(repro.VMGuest(machine), 0); err != nil {
+		log.Fatal(err)
+	}
+
+	s := engine.Stats()
+	fmt.Printf("\ninterpreted %d instructions in %d basic blocks\n", s.GuestInstrs, s.Blocks)
+	fmt.Printf("traces created: %d (%d bytes); dispatch entries: %d; in-trace blocks: %d\n",
+		s.TracesCreated, s.TraceBytes, s.Accesses, s.InTraceSteps)
+	fmt.Printf("DLL unload force-deleted %d trace(s), %d bytes\n", s.UnmappedTraces, s.UnmappedBytes)
+
+	// Show what one superblock looks like, and that it can be encoded and
+	// relocated between cache addresses (§5.4).
+	inner, _ := img.FindFunction("main")
+	var shown bool
+	for _, blk := range inner.Blocks {
+		if t, ok := engine.TraceFor(blk.Addr); ok && t.Len() > 1 {
+			fmt.Printf("\ntrace %d at head %#x: %d blocks, %d exits, %d bytes total\n",
+				t.ID, t.Head, t.Len(), t.Exits, t.Size())
+			body, offs, err := trace.Encode(t, 0x7000_0000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := trace.Relocate(body, offs, 0x7000_0000, 0x7f00_0000, len(body)); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("encoded %d body bytes and relocated them 0x7000_0000 -> 0x7f00_0000\n", len(body))
+			shown = true
+			break
+		}
+	}
+	if !shown {
+		fmt.Println("\n(no multi-block trace materialized)")
+	}
+	fmt.Printf("\nguest exit code: %d (machine halted: %v)\n", machine.ExitCode, machine.Halted())
+}

@@ -1,0 +1,135 @@
+// Package bbcache implements the basic-block cache and trace-head table of
+// the dynamic optimizer's front end (§4.1). Every basic block the guest
+// executes is copied into the basic-block cache before it runs. Blocks that
+// are (a) targets of backward branches or (b) exits from existing traces are
+// marked as trace heads and counted; when a head's counter crosses the trace
+// creation threshold, the engine enters trace generation mode.
+package bbcache
+
+import (
+	"repro/internal/program"
+)
+
+// BlockOverheadBytes is the per-block expansion the copier adds: an entry
+// prologue plus two exit stubs, mirroring DynamoRIO-era overheads where each
+// cached block carries linkable exit stubs back to the dispatcher. It is the
+// main contributor to the ~500% code expansion of Figure 2.
+const BlockOverheadBytes = 64
+
+// Entry is one cached basic block.
+type Entry struct {
+	Addr   uint64
+	Module program.ModuleID
+	Size   uint64 // original bytes + BlockOverheadBytes
+}
+
+// Cache is the basic-block cache. DynamoRIO leaves it effectively unbounded
+// (the paper's generational scheme manages only the trace cache), so Cache
+// only grows, except for program-forced module deletions.
+type Cache struct {
+	blocks map[uint64]*Entry
+	bytes  uint64
+	copies uint64
+}
+
+// New returns an empty basic-block cache.
+func New() *Cache {
+	return &Cache{blocks: make(map[uint64]*Entry)}
+}
+
+// Has reports whether the block at addr has been copied in.
+func (c *Cache) Has(addr uint64) bool {
+	_, ok := c.blocks[addr]
+	return ok
+}
+
+// CopyIn copies a basic block into the cache (idempotent).
+func (c *Cache) CopyIn(b *program.Block) *Entry {
+	if e, ok := c.blocks[b.Addr]; ok {
+		return e
+	}
+	e := &Entry{
+		Addr:   b.Addr,
+		Module: b.Module,
+		Size:   uint64(b.Size()) + BlockOverheadBytes,
+	}
+	c.blocks[b.Addr] = e
+	c.bytes += e.Size
+	c.copies++
+	return e
+}
+
+// Bytes returns the cache's current size in bytes.
+func (c *Cache) Bytes() uint64 { return c.bytes }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// Copies returns the total number of block copies performed.
+func (c *Cache) Copies() uint64 { return c.copies }
+
+// DeleteModule removes every block belonging to module m (program-forced
+// eviction) and returns the number removed.
+func (c *Cache) DeleteModule(m program.ModuleID) int {
+	n := 0
+	for addr, e := range c.blocks {
+		if e.Module == m {
+			c.bytes -= e.Size
+			delete(c.blocks, addr)
+			n++
+		}
+	}
+	return n
+}
+
+// Head tracks one trace head.
+type Head struct {
+	Addr   uint64
+	Module program.ModuleID
+	Count  uint64 // executions observed through the dispatcher
+	// TraceID is the ID of the trace generated from this head, or 0.
+	TraceID uint64
+}
+
+// HeadTable tracks trace heads and their execution counters.
+type HeadTable struct {
+	heads map[uint64]*Head
+}
+
+// NewHeadTable returns an empty head table.
+func NewHeadTable() *HeadTable {
+	return &HeadTable{heads: make(map[uint64]*Head)}
+}
+
+// Mark registers addr as a trace head (idempotent) and returns its entry.
+func (t *HeadTable) Mark(addr uint64, m program.ModuleID) *Head {
+	if h, ok := t.heads[addr]; ok {
+		return h
+	}
+	h := &Head{Addr: addr, Module: m}
+	t.heads[addr] = h
+	return h
+}
+
+// Lookup returns the head entry for addr, if marked.
+func (t *HeadTable) Lookup(addr uint64) (*Head, bool) {
+	h, ok := t.heads[addr]
+	return h, ok
+}
+
+// Len returns the number of marked heads.
+func (t *HeadTable) Len() int { return len(t.heads) }
+
+// DeleteModule removes every head from module m and returns the number
+// removed; their counters and trace bindings are lost, exactly as when a
+// DLL is unloaded.
+func (t *HeadTable) DeleteModule(m program.ModuleID) int {
+	n := 0
+	for addr, h := range t.heads {
+		if h.Module == m {
+			delete(t.heads, addr)
+			n++
+		}
+	}
+	return n
+}

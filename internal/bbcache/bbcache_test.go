@@ -1,0 +1,126 @@
+package bbcache
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func testImage(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	m1 := b.Module("exe", false)
+	m2 := b.Module("dll", true)
+	fb1, f1 := m1.Function("f1")
+	fb1.Block()
+	fb1.I(isa.Inst{Op: isa.OpNop})
+	fb1.Halt()
+	fb2, _ := m2.Function("f2")
+	fb2.Block()
+	fb2.I(isa.Inst{Op: isa.OpNop})
+	fb2.I(isa.Inst{Op: isa.OpNop})
+	fb2.Halt()
+	b.SetEntry(f1)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestCopyIn(t *testing.T) {
+	img := testImage(t)
+	c := New()
+	b1 := img.Modules[0].Functions[0].Blocks[0]
+	b2 := img.Modules[1].Functions[0].Blocks[0]
+
+	if c.Has(b1.Addr) {
+		t.Error("empty cache claims a block")
+	}
+	e := c.CopyIn(b1)
+	if e.Size != uint64(b1.Size())+BlockOverheadBytes {
+		t.Errorf("size = %d, want %d", e.Size, b1.Size()+BlockOverheadBytes)
+	}
+	if !c.Has(b1.Addr) || c.Len() != 1 {
+		t.Error("block missing after copy")
+	}
+	// Idempotence.
+	e2 := c.CopyIn(b1)
+	if e2 != e || c.Len() != 1 || c.Copies() != 1 {
+		t.Error("double copy changed state")
+	}
+	c.CopyIn(b2)
+	if c.Bytes() != e.Size+uint64(b2.Size())+BlockOverheadBytes {
+		t.Errorf("bytes = %d", c.Bytes())
+	}
+	if c.Copies() != 2 {
+		t.Errorf("copies = %d", c.Copies())
+	}
+}
+
+func TestDeleteModule(t *testing.T) {
+	img := testImage(t)
+	c := New()
+	c.CopyIn(img.Modules[0].Functions[0].Blocks[0])
+	c.CopyIn(img.Modules[1].Functions[0].Blocks[0])
+	if n := c.DeleteModule(1); n != 1 {
+		t.Fatalf("deleted %d, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+	if c.Has(img.Modules[1].Functions[0].Blocks[0].Addr) {
+		t.Error("deleted block still present")
+	}
+	if n := c.DeleteModule(1); n != 0 {
+		t.Errorf("second delete removed %d", n)
+	}
+	want := uint64(img.Modules[0].Functions[0].Blocks[0].Size()) + BlockOverheadBytes
+	if c.Bytes() != want {
+		t.Errorf("bytes = %d, want %d", c.Bytes(), want)
+	}
+}
+
+func TestHeadTable(t *testing.T) {
+	ht := NewHeadTable()
+	h := ht.Mark(0x100, 2)
+	if h.Addr != 0x100 || h.Module != 2 || h.Count != 0 {
+		t.Fatalf("head = %+v", h)
+	}
+	if ht.Mark(0x100, 2) != h {
+		t.Error("re-mark should return the same entry")
+	}
+	if ht.Len() != 1 {
+		t.Errorf("len = %d", ht.Len())
+	}
+	got, ok := ht.Lookup(0x100)
+	if !ok || got != h {
+		t.Error("lookup failed")
+	}
+	if _, ok := ht.Lookup(0x200); ok {
+		t.Error("lookup of unmarked address succeeded")
+	}
+	h.Count = 49
+	h.TraceID = 7
+	got, _ = ht.Lookup(0x100)
+	if got.Count != 49 || got.TraceID != 7 {
+		t.Error("mutations not visible through lookup")
+	}
+}
+
+func TestHeadTableDeleteModule(t *testing.T) {
+	ht := NewHeadTable()
+	ht.Mark(0x100, 1)
+	ht.Mark(0x200, 1)
+	ht.Mark(0x300, 2)
+	if n := ht.DeleteModule(1); n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if ht.Len() != 1 {
+		t.Errorf("len = %d", ht.Len())
+	}
+	if _, ok := ht.Lookup(0x300); !ok {
+		t.Error("surviving head lost")
+	}
+}

@@ -1,0 +1,516 @@
+// Package codecache implements the byte-granular storage that backs every
+// code cache in the reproduction. An Arena tracks variable-sized code
+// fragments (traces), the free space between them, and a pseudo-circular
+// eviction cursor, and supports the two complications the paper calls out in
+// §4.2: undeletable traces (the cursor resets to just past them, §4.3) and
+// program-forced evictions (unmapped modules punch holes that are absorbed
+// back into the circular sweep).
+package codecache
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Fragment describes one cached code trace.
+type Fragment struct {
+	ID          uint64 // trace identity, stable across caches
+	Size        uint64 // encoded size in bytes
+	Module      uint16 // module the trace was generated from
+	HeadAddr    uint64 // original address of the trace head
+	Undeletable bool   // pinned (e.g. suspended in an exception handler)
+
+	// AccessCount counts Access calls since the fragment entered this
+	// arena; it resets on every relocation, which is what the probation
+	// cache's promotion test wants.
+	AccessCount uint64
+	// InsertSeq is the arena's logical time at insertion.
+	InsertSeq uint64
+	// LastAccess is the arena's logical time at the most recent access.
+	LastAccess uint64
+}
+
+// Errors returned by Insert and Place.
+var (
+	ErrTooBig  = errors.New("codecache: fragment larger than arena capacity")
+	ErrNoSpace = errors.New("codecache: no evictable space for fragment")
+	ErrDup     = errors.New("codecache: fragment ID already present")
+)
+
+// node is one segment of the arena's address range. Nodes tile [0, capacity)
+// exactly: every byte belongs to exactly one node, either a fragment or free
+// space.
+type node struct {
+	prev, next *node
+	off, size  uint64
+	frag       *Fragment // nil for free space
+}
+
+// Stats aggregates arena activity since construction.
+type Stats struct {
+	Inserts       uint64 // fragments placed
+	InsertedBytes uint64
+	Evictions     uint64 // capacity-driven removals (via Insert's onEvict)
+	EvictedBytes  uint64
+	Deletes       uint64 // explicit removals (forced or policy-driven)
+	DeletedBytes  uint64
+	PeakUsed      uint64
+}
+
+// Arena is a single code cache. It is not safe for concurrent use; the
+// dynamic optimizer serializes cache operations per thread, as DynamoRIO
+// does.
+type Arena struct {
+	capacity uint64
+	head     *node
+	cursor   *node // pseudo-circular insertion/eviction point
+	index    map[uint64]*node
+	used     uint64
+	clock    uint64
+	stats    Stats
+}
+
+// New creates an arena with the given capacity in bytes.
+func New(capacity uint64) *Arena {
+	if capacity == 0 {
+		panic("codecache: zero-capacity arena")
+	}
+	n := &node{off: 0, size: capacity}
+	return &Arena{
+		capacity: capacity,
+		head:     n,
+		cursor:   n,
+		index:    make(map[uint64]*node),
+	}
+}
+
+// UnboundedCapacity is the capacity used to emulate an unbounded cache.
+const UnboundedCapacity = 1 << 40
+
+// NewUnbounded creates an arena so large it never evicts in practice.
+func NewUnbounded() *Arena { return New(UnboundedCapacity) }
+
+// Capacity returns the arena's capacity in bytes.
+func (a *Arena) Capacity() uint64 { return a.capacity }
+
+// Used returns the bytes currently occupied by fragments.
+func (a *Arena) Used() uint64 { return a.used }
+
+// Free returns the bytes currently unoccupied.
+func (a *Arena) Free() uint64 { return a.capacity - a.used }
+
+// Len returns the number of fragments resident.
+func (a *Arena) Len() int { return len(a.index) }
+
+// Stats returns a copy of the arena's counters.
+func (a *Arena) Stats() Stats { return a.stats }
+
+// Clock returns the arena's logical time (advances on insert and access).
+func (a *Arena) Clock() uint64 { return a.clock }
+
+// Lookup returns the resident fragment with the given ID.
+func (a *Arena) Lookup(id uint64) (*Fragment, bool) {
+	n, ok := a.index[id]
+	if !ok {
+		return nil, false
+	}
+	return n.frag, true
+}
+
+// Contains reports whether the fragment with the given ID is resident.
+func (a *Arena) Contains(id uint64) bool {
+	_, ok := a.index[id]
+	return ok
+}
+
+// Offset returns the arena offset of the fragment with the given ID.
+func (a *Arena) Offset(id uint64) (uint64, bool) {
+	n, ok := a.index[id]
+	if !ok {
+		return 0, false
+	}
+	return n.off, true
+}
+
+// Access records an execution of the fragment with the given ID, bumping
+// its access count and recency. It reports whether the fragment is resident.
+func (a *Arena) Access(id uint64) bool {
+	n, ok := a.index[id]
+	if !ok {
+		return false
+	}
+	a.clock++
+	n.frag.AccessCount++
+	n.frag.LastAccess = a.clock
+	return true
+}
+
+// SetUndeletable pins or unpins a resident fragment.
+func (a *Arena) SetUndeletable(id uint64, pinned bool) bool {
+	n, ok := a.index[id]
+	if !ok {
+		return false
+	}
+	n.frag.Undeletable = pinned
+	return true
+}
+
+// wrap returns n, or the head of the list when n is nil.
+func (a *Arena) wrap(n *node) *node {
+	if n == nil {
+		return a.head
+	}
+	return n
+}
+
+// freeNode converts a fragment node to free space and merges it with free
+// neighbours. It returns the merged free node. The caller must have removed
+// the fragment from the index already.
+func (a *Arena) freeNode(n *node) *node {
+	n.frag = nil
+	// Merge with next.
+	if nx := n.next; nx != nil && nx.frag == nil {
+		n.size += nx.size
+		n.next = nx.next
+		if nx.next != nil {
+			nx.next.prev = n
+		}
+		if a.cursor == nx {
+			a.cursor = n
+		}
+	}
+	// Merge with prev.
+	if pv := n.prev; pv != nil && pv.frag == nil {
+		pv.size += n.size
+		pv.next = n.next
+		if n.next != nil {
+			n.next.prev = pv
+		}
+		if a.cursor == n {
+			a.cursor = pv
+		}
+		n = pv
+	}
+	return n
+}
+
+// remove unlinks the fragment with node n from the arena, accounting it as
+// either an eviction (capacity-driven) or a delete. It returns the removed
+// fragment and the merged free node now covering its bytes.
+func (a *Arena) remove(n *node, evicted bool) (Fragment, *node) {
+	f := *n.frag
+	delete(a.index, f.ID)
+	a.used -= n.size
+	if evicted {
+		a.stats.Evictions++
+		a.stats.EvictedBytes += n.size
+	} else {
+		a.stats.Deletes++
+		a.stats.DeletedBytes += n.size
+	}
+	return f, a.freeNode(n)
+}
+
+// Delete removes the fragment with the given ID regardless of the eviction
+// cursor. Program-forced evictions (module unmaps) use force=true, which
+// removes even undeletable fragments; policy-driven deletions use
+// force=false and fail on pinned fragments.
+func (a *Arena) Delete(id uint64, force bool) (Fragment, error) {
+	n, ok := a.index[id]
+	if !ok {
+		return Fragment{}, fmt.Errorf("codecache: delete: fragment %d not resident", id)
+	}
+	if n.frag.Undeletable && !force {
+		return Fragment{}, fmt.Errorf("codecache: delete: fragment %d is undeletable", id)
+	}
+	f, _ := a.remove(n, false)
+	return f, nil
+}
+
+// DeleteModule removes every fragment belonging to module m (a
+// program-forced eviction). It returns the removed fragments.
+func (a *Arena) DeleteModule(m uint16) []Fragment {
+	var out []Fragment
+	// Collect first: removing mutates the list.
+	var victims []*node
+	for _, n := range a.index {
+		if n.frag.Module == m {
+			victims = append(victims, n)
+		}
+	}
+	for _, n := range victims {
+		f, _ := a.remove(n, false)
+		out = append(out, f)
+	}
+	return out
+}
+
+// Insert places f into the arena using the pseudo-circular policy of §4.3:
+// starting at the eviction cursor, it claims free space and evicts resident
+// fragments in address order until a contiguous run fits f; when it meets an
+// undeletable fragment it resets the run to begin directly after it. Each
+// capacity-driven victim is passed to onEvict (which may be nil) after
+// removal; the generational manager uses that hook to relocate victims
+// instead of discarding them.
+func (a *Arena) Insert(f Fragment, onEvict func(Fragment)) error {
+	if f.Size == 0 {
+		return fmt.Errorf("codecache: insert: zero-sized fragment %d", f.ID)
+	}
+	if f.Size > a.capacity {
+		return ErrTooBig
+	}
+	if _, dup := a.index[f.ID]; dup {
+		return ErrDup
+	}
+
+	// Because adjacent free nodes always merge, a contiguous free run is
+	// always exactly one node. The sweep therefore works node by node: grow
+	// the free node at the cursor by evicting the fragments after it until
+	// it fits, resetting past undeletable fragments and wrapping at the end
+	// of the address space.
+	pos := a.wrap(a.cursor)
+	restarts := 0
+	for {
+		if pos == nil {
+			// End of the address space: fragments cannot straddle the wrap
+			// point, so restart the sweep from the bottom.
+			restarts++
+			if restarts > 3 {
+				return ErrNoSpace
+			}
+			pos = a.head
+			continue
+		}
+		if pos.frag == nil {
+			if pos.size >= f.Size {
+				a.place(pos, f)
+				return nil
+			}
+			next := pos.next
+			if next == nil {
+				pos = nil // wrap
+				continue
+			}
+			// next is necessarily a fragment (free nodes merge).
+			if next.frag.Undeletable {
+				// Pseudo-circular reset: begin directly after it.
+				pos = next.next
+				continue
+			}
+			victim, merged := a.remove(next, true)
+			if onEvict != nil {
+				onEvict(victim)
+			}
+			pos = merged
+			continue
+		}
+		if pos.frag.Undeletable {
+			pos = pos.next
+			continue
+		}
+		victim, merged := a.remove(pos, true)
+		if onEvict != nil {
+			onEvict(victim)
+		}
+		pos = merged
+	}
+}
+
+// place carves f out of the free node n (which must be free and at least
+// f.Size bytes) and advances the cursor past the new fragment.
+func (a *Arena) place(n *node, f Fragment) {
+	if n.frag != nil || n.size < f.Size {
+		panic(fmt.Sprintf("codecache: place on unsuitable node (free=%v size=%d need=%d)", n.frag == nil, n.size, f.Size))
+	}
+	a.clock++
+	frag := f
+	frag.InsertSeq = a.clock
+	frag.LastAccess = a.clock
+	frag.AccessCount = 0
+
+	if n.size == frag.Size {
+		n.frag = &frag
+		a.cursor = a.wrap(n.next)
+	} else {
+		rest := &node{
+			prev: n,
+			next: n.next,
+			off:  n.off + frag.Size,
+			size: n.size - frag.Size,
+		}
+		if n.next != nil {
+			n.next.prev = rest
+		}
+		n.next = rest
+		n.size = frag.Size
+		n.frag = &frag
+		a.cursor = rest
+	}
+	a.index[frag.ID] = n
+	a.used += frag.Size
+	a.stats.Inserts++
+	a.stats.InsertedBytes += frag.Size
+	if a.used > a.stats.PeakUsed {
+		a.stats.PeakUsed = a.used
+	}
+}
+
+// PlaceFirstFit inserts f into the first free run large enough, without
+// evicting anything. It returns ErrNoSpace when no run fits. Local policies
+// that select victims themselves (LRU, flush) use this after clearing space.
+func (a *Arena) PlaceFirstFit(f Fragment) error {
+	if f.Size == 0 {
+		return fmt.Errorf("codecache: place: zero-sized fragment %d", f.ID)
+	}
+	if f.Size > a.capacity {
+		return ErrTooBig
+	}
+	if _, dup := a.index[f.ID]; dup {
+		return ErrDup
+	}
+	for n := a.head; n != nil; n = n.next {
+		if n.frag == nil {
+			// Extend across adjacent free nodes (there should be none after
+			// merging, but be safe).
+			if n.size >= f.Size {
+				a.place(n, f)
+				return nil
+			}
+		}
+	}
+	return ErrNoSpace
+}
+
+// Fragments returns the resident fragments in address order.
+func (a *Arena) Fragments() []*Fragment {
+	var out []*Fragment
+	for n := a.head; n != nil; n = n.next {
+		if n.frag != nil {
+			out = append(out, n.frag)
+		}
+	}
+	return out
+}
+
+// FreeRuns returns the sizes of the free runs in address order.
+func (a *Arena) FreeRuns() []uint64 {
+	var out []uint64
+	for n := a.head; n != nil; n = n.next {
+		if n.frag == nil && n.size > 0 {
+			out = append(out, n.size)
+		}
+	}
+	return out
+}
+
+// LargestFreeRun returns the size of the largest contiguous free run.
+func (a *Arena) LargestFreeRun() uint64 {
+	var best uint64
+	for _, r := range a.FreeRuns() {
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// CheckInvariants validates the arena's internal structure: nodes tile the
+// address space exactly, used bytes match fragment sizes, the index maps
+// every fragment and nothing else, and no two free nodes are adjacent. Tests
+// and the property-based suite call this after every operation.
+func (a *Arena) CheckInvariants() error {
+	var off, used uint64
+	seen := make(map[uint64]bool)
+	prevFree := false
+	var prev *node
+	for n := a.head; n != nil; n = n.next {
+		if n.off != off {
+			return fmt.Errorf("codecache: node at %d, expected offset %d", n.off, off)
+		}
+		if n.size == 0 {
+			return fmt.Errorf("codecache: zero-sized node at %d", n.off)
+		}
+		if n.prev != prev {
+			return fmt.Errorf("codecache: bad prev link at %d", n.off)
+		}
+		if n.frag == nil {
+			if prevFree {
+				return fmt.Errorf("codecache: adjacent free nodes at %d", n.off)
+			}
+			prevFree = true
+		} else {
+			prevFree = false
+			used += n.size
+			if n.frag.Size != n.size {
+				return fmt.Errorf("codecache: fragment %d size %d != node size %d", n.frag.ID, n.frag.Size, n.size)
+			}
+			if seen[n.frag.ID] {
+				return fmt.Errorf("codecache: fragment %d appears twice", n.frag.ID)
+			}
+			seen[n.frag.ID] = true
+			if idx, ok := a.index[n.frag.ID]; !ok || idx != n {
+				return fmt.Errorf("codecache: fragment %d not indexed correctly", n.frag.ID)
+			}
+		}
+		off += n.size
+		prev = n
+	}
+	if off != a.capacity {
+		return fmt.Errorf("codecache: nodes cover %d bytes, capacity %d", off, a.capacity)
+	}
+	if used != a.used {
+		return fmt.Errorf("codecache: used %d, accounted %d", a.used, used)
+	}
+	if len(seen) != len(a.index) {
+		return fmt.Errorf("codecache: index has %d entries, list has %d fragments", len(a.index), len(seen))
+	}
+	if a.cursor == nil {
+		return fmt.Errorf("codecache: nil cursor")
+	}
+	// Cursor must be a live node.
+	found := false
+	for n := a.head; n != nil; n = n.next {
+		if n == a.cursor {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("codecache: cursor points at dead node")
+	}
+	return nil
+}
+
+// Flush removes every deletable fragment, invoking onDelete for each (may be
+// nil), and returns the number removed. Undeletable fragments stay.
+func (a *Arena) Flush(onDelete func(Fragment)) int {
+	var victims []*node
+	for _, n := range a.index {
+		if !n.frag.Undeletable {
+			victims = append(victims, n)
+		}
+	}
+	for _, n := range victims {
+		f, _ := a.remove(n, false)
+		if onDelete != nil {
+			onDelete(f)
+		}
+	}
+	return len(victims)
+}
+
+// FragmentationRatio measures how scattered the free space is: 0 when all
+// free bytes form one run (or the arena is full), approaching 1 as holes
+// multiply. Local-policy comparisons report it.
+func (a *Arena) FragmentationRatio() float64 {
+	free := a.Free()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(a.LargestFreeRun())/float64(free)
+}
+
+// Occupancy returns used/capacity.
+func (a *Arena) Occupancy() float64 {
+	return float64(a.used) / float64(a.capacity)
+}

@@ -1,0 +1,525 @@
+// Package core implements the paper's central contribution: global code
+// cache management. A Manager owns one or more code caches and decides where
+// traces live, when they move, and when they die.
+//
+// Two managers are provided. Unified is the baseline: a single trace cache
+// driven by a local replacement policy (the paper's baseline is a single
+// pseudo-circular cache sized at half the workload's unbounded footprint).
+// Generational is the proposal of §5: a nursery cache receives all new
+// traces; traces evicted from the nursery move to a probation cache; traces
+// that prove themselves in probation are promoted to a persistent cache,
+// while the rest die (Figure 8). The probation cache plays the role of a
+// victim cache whose hits identify long-lived traces (§5.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/policy"
+)
+
+// Level identifies one cache within a manager.
+type Level int
+
+// Cache levels. Unified managers use LevelUnified only; generational
+// managers use the other three.
+const (
+	LevelUnified Level = iota
+	LevelNursery
+	LevelProbation
+	LevelPersistent
+)
+
+var levelNames = [...]string{"unified", "nursery", "probation", "persistent"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Hooks receive trace movement events. The simulator's cost accounting
+// hangs off these. Either hook may be nil.
+type Hooks struct {
+	// OnEvict fires when a trace leaves the managed caches entirely
+	// (capacity eviction, failed probation, or persistent-cache eviction).
+	// Program-forced deletions (DeleteModule) do NOT fire it; the caller
+	// already knows about those.
+	OnEvict func(f codecache.Fragment, from Level)
+	// OnPromote fires when a trace relocates from one cache to another.
+	OnPromote func(f codecache.Fragment, from, to Level)
+}
+
+// Stats aggregates manager activity.
+type Stats struct {
+	Inserts             uint64 // new traces accepted
+	Accesses            uint64 // Access calls
+	Hits                uint64 // Access calls that found the trace resident
+	Evicted             uint64 // traces that left the system from capacity pressure
+	EvictedBytes        uint64
+	PromotedToProbation uint64
+	PromotedToPersist   uint64
+	ProbationDeaths     uint64 // probation victims that failed the threshold
+	ForcedDeletes       uint64 // program-forced (module unmap) deletions
+	ForcedDeleteBytes   uint64
+	DropTooBig          uint64 // traces that could not fit anywhere
+}
+
+// Manager is a global code-cache management scheme.
+type Manager interface {
+	// Name identifies the configuration in experiment output.
+	Name() string
+	// Insert accepts a newly generated trace.
+	Insert(f codecache.Fragment) error
+	// Access records that execution entered the trace with the given ID and
+	// reports whether it was resident (a code-cache hit).
+	Access(id uint64) bool
+	// Contains reports residency without touching access counters.
+	Contains(id uint64) bool
+	// DeleteModule force-deletes every trace from module m (program-forced
+	// eviction, e.g. a DLL unmap) and returns the victims.
+	DeleteModule(m uint16) []codecache.Fragment
+	// SetUndeletable pins or unpins a resident trace.
+	SetUndeletable(id uint64, pinned bool) bool
+	// Capacity returns the total bytes across all managed caches.
+	Capacity() uint64
+	// Used returns the occupied bytes across all managed caches.
+	Used() uint64
+	// Stats returns aggregate counters.
+	Stats() Stats
+	// Levels returns each cache's level and arena stats, for reporting.
+	Levels() map[Level]codecache.Stats
+}
+
+// ---------------------------------------------------------------------------
+// Unified
+
+// Unified is a single trace cache with a pluggable local policy.
+type Unified struct {
+	arena *codecache.Arena
+	local policy.Local
+	hooks Hooks
+	stats Stats
+}
+
+// NewUnified creates a unified cache of the given capacity with the given
+// local policy (nil defaults to pseudo-circular).
+func NewUnified(capacity uint64, local policy.Local, hooks Hooks) *Unified {
+	if local == nil {
+		local = policy.PseudoCircular{}
+	}
+	return &Unified{arena: codecache.New(capacity), local: local, hooks: hooks}
+}
+
+// Name implements Manager.
+func (u *Unified) Name() string { return "unified/" + u.local.Name() }
+
+// Insert implements Manager.
+func (u *Unified) Insert(f codecache.Fragment) error {
+	err := u.local.Insert(u.arena, f, func(v codecache.Fragment) {
+		u.stats.Evicted++
+		u.stats.EvictedBytes += v.Size
+		if u.hooks.OnEvict != nil {
+			u.hooks.OnEvict(v, LevelUnified)
+		}
+	})
+	if err != nil {
+		if errors.Is(err, codecache.ErrTooBig) || errors.Is(err, codecache.ErrNoSpace) {
+			u.stats.DropTooBig++
+			return err
+		}
+		return err
+	}
+	u.stats.Inserts++
+	return nil
+}
+
+// Access implements Manager.
+func (u *Unified) Access(id uint64) bool {
+	u.stats.Accesses++
+	if !u.arena.Access(id) {
+		return false
+	}
+	u.stats.Hits++
+	u.local.OnAccess(u.arena, id)
+	return true
+}
+
+// Contains implements Manager.
+func (u *Unified) Contains(id uint64) bool { return u.arena.Contains(id) }
+
+// DeleteModule implements Manager.
+func (u *Unified) DeleteModule(m uint16) []codecache.Fragment {
+	out := u.arena.DeleteModule(m)
+	u.stats.ForcedDeletes += uint64(len(out))
+	for _, f := range out {
+		u.stats.ForcedDeleteBytes += f.Size
+	}
+	return out
+}
+
+// SetUndeletable implements Manager.
+func (u *Unified) SetUndeletable(id uint64, pinned bool) bool {
+	return u.arena.SetUndeletable(id, pinned)
+}
+
+// Capacity implements Manager.
+func (u *Unified) Capacity() uint64 { return u.arena.Capacity() }
+
+// Used implements Manager.
+func (u *Unified) Used() uint64 { return u.arena.Used() }
+
+// Stats implements Manager.
+func (u *Unified) Stats() Stats { return u.stats }
+
+// Levels implements Manager.
+func (u *Unified) Levels() map[Level]codecache.Stats {
+	return map[Level]codecache.Stats{LevelUnified: u.arena.Stats()}
+}
+
+// Arena exposes the underlying arena for tests and fragmentation reporting.
+func (u *Unified) Arena() *codecache.Arena { return u.arena }
+
+// ---------------------------------------------------------------------------
+// Generational
+
+// Config describes a generational layout. Fractions are of TotalCapacity
+// and should sum to 1; Validate checks this.
+type Config struct {
+	TotalCapacity  uint64
+	NurseryFrac    float64
+	ProbationFrac  float64
+	PersistentFrac float64
+
+	// PromoteThreshold is the number of probation-cache accesses a trace
+	// needs to earn promotion to the persistent cache. Figure 9's "@1" and
+	// "@10" labels are this knob.
+	PromoteThreshold uint64
+
+	// PromoteOnAccess promotes a probation trace the moment it reaches the
+	// threshold rather than waiting for its eviction (§5.3's "each hit in
+	// the probation cache triggers an upgrade" when the threshold is 1).
+	PromoteOnAccess bool
+
+	// Local constructs the local policy for each cache; nil defaults to
+	// pseudo-circular for all three, which is the paper's design.
+	Local func(Level) policy.Local
+}
+
+// Layout433Threshold10 is Figure 9's 33%-33%-33% layout with threshold 10.
+func Layout433Threshold10(total uint64) Config {
+	return Config{TotalCapacity: total, NurseryFrac: 1.0 / 3, ProbationFrac: 1.0 / 3, PersistentFrac: 1.0 / 3, PromoteThreshold: 10, PromoteOnAccess: false}
+}
+
+// Layout451045Threshold1 is Figure 9's best-overall 45%-10%-45% layout with
+// single-hit promotion.
+func Layout451045Threshold1(total uint64) Config {
+	return Config{TotalCapacity: total, NurseryFrac: 0.45, ProbationFrac: 0.10, PersistentFrac: 0.45, PromoteThreshold: 1, PromoteOnAccess: true}
+}
+
+// Layout104545Threshold10 is Figure 9's 10%-45%-45% layout with threshold 10.
+func Layout104545Threshold10(total uint64) Config {
+	return Config{TotalCapacity: total, NurseryFrac: 0.10, ProbationFrac: 0.45, PersistentFrac: 0.45, PromoteThreshold: 10, PromoteOnAccess: false}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TotalCapacity == 0 {
+		return fmt.Errorf("core: zero total capacity")
+	}
+	sum := c.NurseryFrac + c.ProbationFrac + c.PersistentFrac
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("core: cache fractions sum to %.3f, want 1", sum)
+	}
+	if c.NurseryFrac <= 0 || c.ProbationFrac <= 0 || c.PersistentFrac <= 0 {
+		return fmt.Errorf("core: every cache fraction must be positive")
+	}
+	return nil
+}
+
+// Generational is the three-cache design of §5 driven by the Figure 8
+// algorithm.
+type Generational struct {
+	cfg        Config
+	nursery    *codecache.Arena
+	probation  *codecache.Arena
+	persistent *codecache.Arena
+	local      map[Level]policy.Local
+	hooks      Hooks
+	stats      Stats
+}
+
+// NewGenerational creates a generational manager from the configuration.
+func NewGenerational(cfg Config, hooks Hooks) (*Generational, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nb := uint64(float64(cfg.TotalCapacity) * cfg.NurseryFrac)
+	pb := uint64(float64(cfg.TotalCapacity) * cfg.ProbationFrac)
+	sb := cfg.TotalCapacity - nb - pb
+	mk := func(l Level) policy.Local {
+		if cfg.Local == nil {
+			return policy.PseudoCircular{}
+		}
+		if p := cfg.Local(l); p != nil {
+			return p
+		}
+		return policy.PseudoCircular{}
+	}
+	return &Generational{
+		cfg:        cfg,
+		nursery:    codecache.New(nb),
+		probation:  codecache.New(pb),
+		persistent: codecache.New(sb),
+		local: map[Level]policy.Local{
+			LevelNursery:    mk(LevelNursery),
+			LevelProbation:  mk(LevelProbation),
+			LevelPersistent: mk(LevelPersistent),
+		},
+		hooks: hooks,
+	}, nil
+}
+
+// Name implements Manager.
+func (g *Generational) Name() string {
+	return fmt.Sprintf("generational/%.0f-%.0f-%.0f@%d",
+		g.cfg.NurseryFrac*100, g.cfg.ProbationFrac*100, g.cfg.PersistentFrac*100, g.cfg.PromoteThreshold)
+}
+
+// Config returns the manager's configuration.
+func (g *Generational) Config() Config { return g.cfg }
+
+// arenaOf returns the arena for a level.
+func (g *Generational) arenaOf(l Level) *codecache.Arena {
+	switch l {
+	case LevelNursery:
+		return g.nursery
+	case LevelProbation:
+		return g.probation
+	case LevelPersistent:
+		return g.persistent
+	}
+	return nil
+}
+
+// die removes a trace from the system: fire the eviction hook and count it.
+func (g *Generational) die(f codecache.Fragment, from Level) {
+	g.stats.Evicted++
+	g.stats.EvictedBytes += f.Size
+	if from == LevelProbation {
+		g.stats.ProbationDeaths++
+	}
+	if g.hooks.OnEvict != nil {
+		g.hooks.OnEvict(f, from)
+	}
+}
+
+// Insert implements Manager: the insertNewTrace routine of Figure 8. New
+// traces always enter the nursery; nursery victims are promoted to
+// probation; probation victims are promoted to the persistent cache if they
+// met the access threshold and die otherwise; persistent victims die.
+func (g *Generational) Insert(f codecache.Fragment) error {
+	err := g.local[LevelNursery].Insert(g.nursery, f, g.promoteToProbation)
+	if err != nil {
+		g.stats.DropTooBig++
+		return err
+	}
+	g.stats.Inserts++
+	return nil
+}
+
+// promoteToProbation relocates a nursery victim into the probation cache.
+func (g *Generational) promoteToProbation(v codecache.Fragment) {
+	if v.Undeletable {
+		// Pinned traces are never chosen as victims by the pseudo-circular
+		// sweep; defensive guard for alternate local policies.
+		g.die(v, LevelNursery)
+		return
+	}
+	err := g.local[LevelProbation].Insert(g.probation, v, g.probationVictim)
+	if err != nil {
+		// The trace cannot live in probation (too big or fully pinned):
+		// it leaves the system.
+		g.die(v, LevelNursery)
+		return
+	}
+	g.stats.PromotedToProbation++
+	if g.hooks.OnPromote != nil {
+		g.hooks.OnPromote(v, LevelNursery, LevelProbation)
+	}
+}
+
+// probationVictim decides a probation victim's fate: promotion to the
+// persistent cache when it reached the access threshold, death otherwise.
+func (g *Generational) probationVictim(v codecache.Fragment) {
+	if v.AccessCount >= g.cfg.PromoteThreshold {
+		g.promoteToPersistent(v)
+		return
+	}
+	g.die(v, LevelProbation)
+}
+
+// promoteToPersistent relocates a trace into the persistent cache, evicting
+// persistent residents circularly as needed.
+func (g *Generational) promoteToPersistent(v codecache.Fragment) {
+	err := g.local[LevelPersistent].Insert(g.persistent, v, func(x codecache.Fragment) {
+		g.die(x, LevelPersistent)
+	})
+	if err != nil {
+		g.die(v, LevelProbation)
+		return
+	}
+	g.stats.PromotedToPersist++
+	if g.hooks.OnPromote != nil {
+		g.hooks.OnPromote(v, LevelProbation, LevelPersistent)
+	}
+}
+
+// Access implements Manager. A hit in the probation cache bumps the trace's
+// access count and, with PromoteOnAccess, upgrades it to the persistent
+// cache as soon as it reaches the threshold.
+func (g *Generational) Access(id uint64) bool {
+	g.stats.Accesses++
+	if g.nursery.Access(id) {
+		g.stats.Hits++
+		g.local[LevelNursery].OnAccess(g.nursery, id)
+		return true
+	}
+	if g.probation.Access(id) {
+		g.stats.Hits++
+		g.local[LevelProbation].OnAccess(g.probation, id)
+		if g.cfg.PromoteOnAccess {
+			if f, ok := g.probation.Lookup(id); ok && f.AccessCount >= g.cfg.PromoteThreshold && !f.Undeletable {
+				if v, err := g.probation.Delete(id, false); err == nil {
+					g.promoteToPersistent(v)
+				}
+			}
+		}
+		return true
+	}
+	if g.persistent.Access(id) {
+		g.stats.Hits++
+		g.local[LevelPersistent].OnAccess(g.persistent, id)
+		return true
+	}
+	return false
+}
+
+// Contains implements Manager.
+func (g *Generational) Contains(id uint64) bool {
+	return g.nursery.Contains(id) || g.probation.Contains(id) || g.persistent.Contains(id)
+}
+
+// Where returns the level currently holding the trace.
+func (g *Generational) Where(id uint64) (Level, bool) {
+	switch {
+	case g.nursery.Contains(id):
+		return LevelNursery, true
+	case g.probation.Contains(id):
+		return LevelProbation, true
+	case g.persistent.Contains(id):
+		return LevelPersistent, true
+	}
+	return 0, false
+}
+
+// DeleteModule implements Manager.
+func (g *Generational) DeleteModule(m uint16) []codecache.Fragment {
+	var out []codecache.Fragment
+	out = append(out, g.nursery.DeleteModule(m)...)
+	out = append(out, g.probation.DeleteModule(m)...)
+	out = append(out, g.persistent.DeleteModule(m)...)
+	g.stats.ForcedDeletes += uint64(len(out))
+	for _, f := range out {
+		g.stats.ForcedDeleteBytes += f.Size
+	}
+	return out
+}
+
+// SetUndeletable implements Manager.
+func (g *Generational) SetUndeletable(id uint64, pinned bool) bool {
+	return g.nursery.SetUndeletable(id, pinned) ||
+		g.probation.SetUndeletable(id, pinned) ||
+		g.persistent.SetUndeletable(id, pinned)
+}
+
+// Capacity implements Manager.
+func (g *Generational) Capacity() uint64 {
+	return g.nursery.Capacity() + g.probation.Capacity() + g.persistent.Capacity()
+}
+
+// Used implements Manager.
+func (g *Generational) Used() uint64 {
+	return g.nursery.Used() + g.probation.Used() + g.persistent.Used()
+}
+
+// Stats implements Manager.
+func (g *Generational) Stats() Stats { return g.stats }
+
+// Levels implements Manager.
+func (g *Generational) Levels() map[Level]codecache.Stats {
+	return map[Level]codecache.Stats{
+		LevelNursery:    g.nursery.Stats(),
+		LevelProbation:  g.probation.Stats(),
+		LevelPersistent: g.persistent.Stats(),
+	}
+}
+
+// PersistentFragments returns copies of the traces currently resident in
+// the persistent cache, in address order. Cross-run cache persistence
+// snapshots these.
+func (g *Generational) PersistentFragments() []codecache.Fragment {
+	frags := g.persistent.Fragments()
+	out := make([]codecache.Fragment, 0, len(frags))
+	for _, f := range frags {
+		out = append(out, *f)
+	}
+	return out
+}
+
+// InsertPersistent places a trace directly into the persistent cache,
+// bypassing the nursery and probation. It exists for warm-starting a fresh
+// manager from a persisted snapshot; normal insertion must go through
+// Insert (Figure 8).
+func (g *Generational) InsertPersistent(f codecache.Fragment) error {
+	err := g.local[LevelPersistent].Insert(g.persistent, f, func(x codecache.Fragment) {
+		g.die(x, LevelPersistent)
+	})
+	if err != nil {
+		return err
+	}
+	g.stats.Inserts++
+	return nil
+}
+
+// CheckInvariants validates that no trace is resident in two caches and all
+// arenas are structurally sound. Tests call this.
+func (g *Generational) CheckInvariants() error {
+	for _, a := range []*codecache.Arena{g.nursery, g.probation, g.persistent} {
+		if err := a.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	seen := make(map[uint64]Level)
+	for _, pair := range []struct {
+		l Level
+		a *codecache.Arena
+	}{{LevelNursery, g.nursery}, {LevelProbation, g.probation}, {LevelPersistent, g.persistent}} {
+		for _, f := range pair.a.Fragments() {
+			if prev, dup := seen[f.ID]; dup {
+				return fmt.Errorf("core: trace %d resident in both %s and %s", f.ID, prev, pair.l)
+			}
+			seen[f.ID] = pair.l
+		}
+	}
+	return nil
+}
+
+// Compile-time interface checks.
+var (
+	_ Manager = (*Unified)(nil)
+	_ Manager = (*Generational)(nil)
+)

@@ -1,0 +1,617 @@
+// Package dbt is the dynamic-optimizer engine: the piece that stands in for
+// DynamoRIO in this reproduction. It observes a guest's execution block by
+// block, copies cold code into the basic-block cache, counts trace heads,
+// records hot paths with NET trace selection, materializes superblocks into
+// the trace cache under a pluggable global cache manager (unified or
+// generational), models trace linking, reacts to module unloads with
+// program-forced evictions, and emits the verbose cache-event log that the
+// replay simulator consumes.
+package dbt
+
+import (
+	"fmt"
+
+	"repro/internal/bbcache"
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/linker"
+	"repro/internal/opt"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracelog"
+)
+
+// Step is one unit of guest execution: a basic block, plus any module
+// mapping changes its execution caused.
+type Step struct {
+	Block    uint64
+	Time     uint64 // virtual microseconds since the start of the run
+	Thread   int    // guest thread executing the block (single-threaded guests use 0)
+	Loaded   []program.ModuleID
+	Unloaded []program.ModuleID
+	Done     bool
+}
+
+// Guest is a program under the engine's control. Implementations include
+// the reference interpreter (vm) and the synthetic workload driver
+// (workload).
+type Guest interface {
+	// Image returns the guest's program image.
+	Image() *program.Image
+	// Next executes one basic block and describes it. When execution has
+	// finished it returns a Step with Done set.
+	Next() (Step, error)
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Manager is the trace-cache manager (required).
+	Manager core.Manager
+	// HotThreshold is the trace creation threshold (default 50, DynamoRIO's
+	// value per §4.1).
+	HotThreshold uint64
+	// MaxTraceBlocks bounds trace length (default trace.DefaultMaxBlocks).
+	MaxTraceBlocks int
+	// Model is the overhead cost model (default costmodel.DefaultModel).
+	Model *costmodel.Model
+	// Log, when non-nil, receives the cache event stream.
+	Log *tracelog.Writer
+	// Lifetimes, when non-nil, records trace first/last access times.
+	Lifetimes *stats.Lifetimes
+	// ExceptionInterval, when non-zero, simulates the paper's §4.2
+	// undeletable-trace scenario: every ExceptionInterval-th trace access
+	// raises an exception inside the trace, pinning it until the handler
+	// completes ExceptionPinAccesses accesses later. Pinned traces cannot
+	// be evicted; the pseudo-circular sweep resets past them.
+	ExceptionInterval uint64
+	// ExceptionPinAccesses is how many subsequent trace accesses the pin
+	// lasts (default 32).
+	ExceptionPinAccesses uint64
+	// Optimize runs the straight-line trace optimizer (internal/opt) on
+	// every materialized superblock, shrinking trace bodies before they
+	// enter the cache.
+	Optimize bool
+}
+
+// RunStats aggregates one engine run.
+type RunStats struct {
+	Blocks       uint64 // guest basic blocks executed
+	GuestInstrs  uint64 // guest instructions executed
+	Dispatches   uint64 // blocks handled by the dispatcher (not inside traces)
+	InTraceSteps uint64 // blocks executed inside trace bodies
+
+	BBCopied uint64 // blocks copied into the basic-block cache
+	BBBytes  uint64 // final basic-block cache size
+
+	Exceptions uint64 // simulated exceptions (traces pinned undeletable)
+
+	OptimizedInsts uint64 // instructions removed/folded by the trace optimizer
+	OptimizedBytes uint64 // trace bytes saved by the optimizer
+
+	LinksCreated uint64 // direct trace-to-trace links patched in
+	LinksBroken  uint64 // links severed by evictions and unmaps
+
+	TracesCreated    uint64
+	TraceBytes       uint64 // bytes of traces created (first generations only)
+	Accesses         uint64 // dispatcher entries into generated traces
+	Hits             uint64
+	Misses           uint64
+	Regens           uint64 // trace re-generations after conflict misses
+	UnmappedTraces   uint64 // traces force-deleted by module unloads
+	UnmappedBytes    uint64
+	PeakCacheBytes   uint64 // peak of bb-cache + trace-cache occupancy
+	FinalCacheBytes  uint64 // bb-cache + trace-cache occupancy at end
+	RecordingAborted uint64 // recordings abandoned by module unloads
+	EndTime          uint64 // virtual time at the end of the run
+}
+
+// MissRate returns misses per trace access.
+func (s RunStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Engine drives a guest under dynamic optimization.
+type Engine struct {
+	cfg   Config
+	model costmodel.Model
+	acc   *costmodel.Accum
+
+	img    *program.Image
+	bb     *bbcache.Cache
+	heads  *bbcache.HeadTable
+	traces map[uint64]*trace.Trace // by trace ID
+	byHead map[uint64]*trace.Trace // generated trace for each head address
+	byMod  map[program.ModuleID][]uint64
+
+	// threads holds each guest thread's execution context; caches are
+	// shared (the engine is single-goroutine: guest threads interleave,
+	// they do not run in parallel here).
+	threads map[int]*threadCtx
+	cur     *threadCtx
+
+	nextTraceID uint64
+	now         uint64
+	stats       RunStats
+
+	// Exception simulation: the currently pinned trace and the access
+	// count at which it unpins.
+	pinnedTrace uint64
+	unpinAt     uint64
+
+	links *linker.Table
+}
+
+// threadCtx is one guest thread's translation state: where it is inside a
+// trace, what it is recording, and its linking candidate.
+type threadCtx struct {
+	inTrace   *trace.Trace
+	traceIdx  int
+	recording *trace.Recorder
+	recHead   uint64
+	prev      *program.Block
+	// exitedTrace is the trace whose body execution just left, eligible to
+	// be direct-linked to the next trace this thread enters.
+	exitedTrace uint64
+}
+
+// New creates an engine for the guest's image.
+func New(img *program.Image, cfg Config) (*Engine, error) {
+	if cfg.Manager == nil {
+		return nil, fmt.Errorf("dbt: config requires a Manager")
+	}
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = 50
+	}
+	if cfg.MaxTraceBlocks == 0 {
+		cfg.MaxTraceBlocks = trace.DefaultMaxBlocks
+	}
+	model := costmodel.DefaultModel
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	return &Engine{
+		cfg:         cfg,
+		model:       model,
+		acc:         costmodel.NewAccum(model),
+		img:         img,
+		bb:          bbcache.New(),
+		heads:       bbcache.NewHeadTable(),
+		traces:      make(map[uint64]*trace.Trace),
+		byHead:      make(map[uint64]*trace.Trace),
+		byMod:       make(map[program.ModuleID][]uint64),
+		threads:     make(map[int]*threadCtx),
+		links:       linker.New(),
+		nextTraceID: 1,
+	}, nil
+}
+
+// Overhead returns the engine's cost accumulator.
+func (e *Engine) Overhead() *costmodel.Accum { return e.acc }
+
+// Stats returns the current run statistics.
+func (e *Engine) Stats() RunStats {
+	s := e.stats
+	s.BBBytes = e.bb.Bytes()
+	s.FinalCacheBytes = e.bb.Bytes() + e.cfg.Manager.Used()
+	s.EndTime = e.now
+	return s
+}
+
+// TraceFor returns the generated trace for a head address, if any.
+func (e *Engine) TraceFor(head uint64) (*trace.Trace, bool) {
+	t, ok := e.byHead[head]
+	return t, ok
+}
+
+// Heads returns the head table (for tests and tools).
+func (e *Engine) Heads() *bbcache.HeadTable { return e.heads }
+
+// Links returns the trace link table (for tests and tools).
+func (e *Engine) Links() *linker.Table { return e.links }
+
+// TraceByID returns a materialized trace by its ID.
+func (e *Engine) TraceByID(id uint64) (*trace.Trace, bool) {
+	t, ok := e.traces[id]
+	return t, ok
+}
+
+// Preload registers already-built traces before the run starts — the
+// warm-start path for cross-run cache persistence. Traces go straight into
+// the persistent cache when the manager is generational, and through the
+// normal insertion path otherwise. Preloaded trace IDs must not collide;
+// the engine's own IDs continue above the highest preloaded ID.
+func (e *Engine) Preload(ts []*trace.Trace) error {
+	for _, t := range ts {
+		if _, dup := e.traces[t.ID]; dup {
+			return fmt.Errorf("dbt: preload: duplicate trace ID %d", t.ID)
+		}
+		if _, dup := e.byHead[t.Head]; dup {
+			return fmt.Errorf("dbt: preload: duplicate trace head %#x", t.Head)
+		}
+		var err error
+		if g, ok := e.cfg.Manager.(*core.Generational); ok {
+			err = g.InsertPersistent(e.fragmentOf(t))
+		} else {
+			err = e.cfg.Manager.Insert(e.fragmentOf(t))
+		}
+		if err != nil {
+			return fmt.Errorf("dbt: preload trace %d: %w", t.ID, err)
+		}
+		e.traces[t.ID] = t
+		e.byHead[t.Head] = t
+		e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
+		e.heads.Mark(t.Head, t.Module).TraceID = t.ID
+		if t.ID >= e.nextTraceID {
+			e.nextTraceID = t.ID + 1
+		}
+	}
+	e.trackPeak()
+	return nil
+}
+
+// Run drives the guest to completion (or until maxBlocks guest blocks have
+// executed; 0 means no limit).
+func (e *Engine) Run(g Guest, maxBlocks uint64) error {
+	for {
+		if maxBlocks != 0 && e.stats.Blocks >= maxBlocks {
+			return nil
+		}
+		step, err := g.Next()
+		if err != nil {
+			return err
+		}
+		if step.Done {
+			return e.finish()
+		}
+		if err := e.Observe(step); err != nil {
+			return err
+		}
+	}
+}
+
+// Observe processes one guest step.
+func (e *Engine) Observe(step Step) error {
+	if step.Time > e.now {
+		e.now = step.Time
+	}
+	for _, m := range step.Unloaded {
+		if err := e.unloadModule(m); err != nil {
+			return err
+		}
+	}
+	// Loads need no engine action: code is rediscovered on execution.
+
+	c, ok := e.threads[step.Thread]
+	if !ok {
+		c = &threadCtx{}
+		e.threads[step.Thread] = c
+	}
+	e.cur = c
+
+	blk, ok := e.img.Block(step.Block)
+	if !ok {
+		return fmt.Errorf("dbt: guest executed unknown block %#x", step.Block)
+	}
+	e.stats.Blocks++
+	e.stats.GuestInstrs += uint64(len(blk.Code))
+
+	// Is this thread executing inside a trace body?
+	if c.inTrace != nil {
+		if c.traceIdx < len(c.inTrace.BlockAddrs) && c.inTrace.BlockAddrs[c.traceIdx] == blk.Addr {
+			c.traceIdx++
+			e.stats.InTraceSteps++
+			c.prev = blk
+			return nil
+		}
+		if c.traceIdx >= len(c.inTrace.BlockAddrs) && blk.Addr == c.inTrace.Head {
+			// The trace's backward branch re-entered its own head: the
+			// trace is self-linked, so iteration stays inside the cache
+			// with no dispatcher involvement.
+			c.traceIdx = 1
+			e.stats.InTraceSteps++
+			c.prev = blk
+			return nil
+		}
+		// Trace exit: execution left the body. The target of a trace exit
+		// becomes a trace head (§4.1 rule b), and the exiting trace is a
+		// linking candidate if the very next dispatch enters another trace.
+		c.exitedTrace = c.inTrace.ID
+		c.inTrace = nil
+		e.heads.Mark(blk.Addr, blk.Module)
+	}
+
+	return e.dispatch(blk)
+}
+
+// dispatch handles a block executed outside any trace body.
+func (e *Engine) dispatch(blk *program.Block) error {
+	e.stats.Dispatches++
+	c := e.cur
+
+	// Rule (a): the target of a taken backward branch is a trace head.
+	if c.prev != nil {
+		last := c.prev.Last()
+		if last.IsDirect() && !last.IsCall() && last.Target == blk.Addr && blk.Addr <= c.prev.Addr {
+			e.heads.Mark(blk.Addr, blk.Module)
+		}
+	}
+
+	if c.recording != nil {
+		return e.record(blk)
+	}
+
+	if t, ok := e.byHead[blk.Addr]; ok {
+		return e.enterTrace(t, blk)
+	}
+
+	if h, ok := e.heads.Lookup(blk.Addr); ok {
+		h.Count++
+		if h.Count >= e.cfg.HotThreshold {
+			// Enter trace generation mode starting at this block.
+			c.recording = trace.NewRecorder(blk, e.cfg.MaxTraceBlocks)
+			c.recHead = blk.Addr
+			e.bbExecute(blk)
+			if c.recording.Done() { // single-block syscall trace
+				return e.materialize()
+			}
+			c.prev = blk
+			return nil
+		}
+	}
+
+	e.bbExecute(blk)
+	c.prev = blk
+	return nil
+}
+
+// enterTrace handles dispatch to a generated trace's head.
+func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
+	e.stats.Accesses++
+	if e.cfg.Lifetimes != nil {
+		e.cfg.Lifetimes.Touch(t.ID, float64(e.now))
+	}
+	if e.cfg.Log != nil {
+		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindAccess, Time: e.now, Trace: t.ID}); err != nil {
+			return err
+		}
+	}
+	if e.cfg.Manager.Access(t.ID) {
+		e.stats.Hits++
+	} else {
+		// Conflict miss: the trace was evicted, so any links it held were
+		// severed with it; regenerate the trace and re-insert it.
+		e.stats.Misses++
+		e.stats.Regens++
+		e.stats.LinksBroken += uint64(e.links.Unlink(t.ID))
+		e.acc.ChargeTraceGen(t.Size())
+		_ = e.cfg.Manager.Insert(e.fragmentOf(t))
+	}
+	c := e.cur
+	if c.exitedTrace != 0 && e.links.Link(c.exitedTrace, t.ID) {
+		e.stats.LinksCreated++
+	}
+	c.exitedTrace = 0
+	if err := e.exceptionTick(t.ID); err != nil {
+		return err
+	}
+	c.inTrace = t
+	c.traceIdx = 1
+	c.prev = blk
+	e.trackPeak()
+	return nil
+}
+
+// exceptionTick drives the §4.2 undeletable-trace simulation: periodically
+// an exception is raised inside the trace being entered, pinning it until
+// the handler finishes some accesses later. Pins and unpins are logged so
+// replays reproduce them.
+func (e *Engine) exceptionTick(enteredTrace uint64) error {
+	if e.cfg.ExceptionInterval == 0 {
+		return nil
+	}
+	if e.pinnedTrace != 0 && e.stats.Accesses >= e.unpinAt {
+		e.cfg.Manager.SetUndeletable(e.pinnedTrace, false)
+		if e.cfg.Log != nil {
+			if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnpin, Time: e.now, Trace: e.pinnedTrace}); err != nil {
+				return err
+			}
+		}
+		e.pinnedTrace = 0
+	}
+	if e.pinnedTrace == 0 && e.stats.Accesses%e.cfg.ExceptionInterval == 0 {
+		if !e.cfg.Manager.SetUndeletable(enteredTrace, true) {
+			return nil // trace not resident (insert failed); no pin
+		}
+		pin := e.cfg.ExceptionPinAccesses
+		if pin == 0 {
+			pin = 32
+		}
+		e.pinnedTrace = enteredTrace
+		e.unpinAt = e.stats.Accesses + pin
+		e.stats.Exceptions++
+		if e.cfg.Log != nil {
+			return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindPin, Time: e.now, Trace: enteredTrace})
+		}
+	}
+	return nil
+}
+
+// record extends the current recording with the next executed block.
+func (e *Engine) record(blk *program.Block) error {
+	c := e.cur
+	stopped := c.recording.Observe(blk, func(addr uint64) bool {
+		_, ok := e.byHead[addr]
+		return ok
+	})
+	if !stopped {
+		e.bbExecute(blk)
+		c.prev = blk
+		return nil
+	}
+	// The block that stopped recording is outside the trace for backward
+	// branches, existing-trace heads, and module crossings; it still
+	// executes now, via the normal dispatch path, after materialization.
+	includesBlk := c.recording.Reason() == trace.StopSyscall || c.recording.Reason() == trace.StopMaxBlocks
+	if err := e.materialize(); err != nil {
+		return err
+	}
+	if includesBlk {
+		c.prev = blk
+		return nil
+	}
+	return e.dispatch(blk)
+}
+
+// materialize builds the recorded trace, inserts it into the trace cache,
+// and logs its creation.
+func (e *Engine) materialize() error {
+	c := e.cur
+	rec := c.recording
+	c.recording = nil
+	if rec.Reason() == trace.StopAborted {
+		e.stats.RecordingAborted++
+		return nil
+	}
+	if _, dup := e.byHead[rec.Blocks()[0].Addr]; dup {
+		// Another guest thread materialized a trace for this head while we
+		// were recording; keep the first one.
+		e.stats.RecordingAborted++
+		return nil
+	}
+	t, err := trace.Build(e.nextTraceID, rec.Blocks())
+	if err != nil {
+		return fmt.Errorf("dbt: materializing trace at %#x: %w", c.recHead, err)
+	}
+	if e.cfg.Optimize {
+		optimized, r := opt.Optimize(t.Code)
+		t.Code = optimized
+		e.stats.OptimizedInsts += uint64(r.Removed + r.Folded)
+		e.stats.OptimizedBytes += uint64(r.Saved())
+	}
+	e.nextTraceID++
+	e.traces[t.ID] = t
+	e.byHead[t.Head] = t
+	e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
+	if h, ok := e.heads.Lookup(t.Head); ok {
+		h.TraceID = t.ID
+	}
+	// Exits from this trace become trace heads once execution reaches
+	// them; mark the statically known ones now.
+	for _, target := range t.ExitTargets {
+		if tb, ok := e.img.Block(target); ok {
+			e.heads.Mark(tb.Addr, tb.Module)
+		}
+	}
+
+	e.stats.TracesCreated++
+	e.stats.TraceBytes += uint64(t.Size())
+	e.acc.ChargeTraceGen(t.Size())
+	_ = e.cfg.Manager.Insert(e.fragmentOf(t))
+	e.trackPeak()
+
+	if e.cfg.Log != nil {
+		err := e.cfg.Log.Write(tracelog.Event{
+			Kind:   tracelog.KindCreate,
+			Time:   e.now,
+			Trace:  t.ID,
+			Size:   uint32(t.Size()),
+			Module: uint16(t.Module),
+			Head:   t.Head,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if e.cfg.Lifetimes != nil {
+		e.cfg.Lifetimes.Touch(t.ID, float64(e.now))
+	}
+	return nil
+}
+
+func (e *Engine) fragmentOf(t *trace.Trace) codecache.Fragment {
+	return codecache.Fragment{
+		ID:       t.ID,
+		Size:     uint64(t.Size()),
+		Module:   uint16(t.Module),
+		HeadAddr: t.Head,
+	}
+}
+
+// bbExecute runs a block from the basic-block cache, copying it in first if
+// needed.
+func (e *Engine) bbExecute(blk *program.Block) {
+	e.cur.exitedTrace = 0 // untranslated code intervened; no direct link
+	if !e.bb.Has(blk.Addr) {
+		e.bb.CopyIn(blk)
+		e.stats.BBCopied++
+		e.trackPeak()
+	}
+}
+
+// unloadModule performs the program-forced evictions of §3.4: all traces
+// and basic blocks from the module are deleted immediately.
+func (e *Engine) unloadModule(m program.ModuleID) error {
+	// Abort any recording whose head lives in the module, and detach any
+	// thread executing inside one of its traces.
+	saved := e.cur
+	for _, c := range e.threads {
+		if c.recording != nil {
+			if hb, ok := e.img.Block(c.recHead); ok && hb.Module == m {
+				c.recording.Abort()
+				e.cur = c
+				_ = e.materialize()
+			}
+		}
+		if c.inTrace != nil && c.inTrace.Module == m {
+			c.inTrace = nil
+		}
+	}
+	e.cur = saved
+
+	victims := e.cfg.Manager.DeleteModule(uint16(m))
+	for _, v := range victims {
+		e.acc.ChargeEviction(int(v.Size))
+	}
+	// Evicted-but-known traces from the module must be forgotten too: if
+	// the module is ever remapped, its code is treated as brand new.
+	for _, id := range e.byMod[m] {
+		if t, ok := e.traces[id]; ok {
+			e.stats.UnmappedTraces++
+			e.stats.UnmappedBytes += uint64(t.Size())
+			e.stats.LinksBroken += uint64(e.links.Unlink(id))
+			delete(e.traces, id)
+			delete(e.byHead, t.Head)
+		}
+	}
+	delete(e.byMod, m)
+	e.bb.DeleteModule(m)
+	e.heads.DeleteModule(m)
+
+	if e.cfg.Log != nil {
+		return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnmap, Time: e.now, Module: uint16(m)})
+	}
+	return nil
+}
+
+func (e *Engine) trackPeak() {
+	total := e.bb.Bytes() + e.cfg.Manager.Used()
+	if total > e.stats.PeakCacheBytes {
+		e.stats.PeakCacheBytes = total
+	}
+}
+
+// finish flushes the event log.
+func (e *Engine) finish() error {
+	if e.cfg.Log != nil {
+		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindEnd, Time: e.now}); err != nil {
+			return err
+		}
+		return e.cfg.Log.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Collect performs the expensive part once per benchmark — an
+// unbounded-cache engine run that produces the cache event log, exactly the
+// paper's methodology (§6) — and the per-figure functions derive their rows
+// from the collected artifacts, replaying logs through cache configurations
+// where needed.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dbt"
+	"repro/internal/stats"
+	"repro/internal/tracelog"
+	"repro/internal/workload"
+)
+
+// Options configures a collection pass.
+type Options struct {
+	// Scale shrinks every benchmark's code-size target; results that scale
+	// with code size are rescaled by 1/Scale when reported. Default 0.125.
+	Scale float64
+	// Benchmarks restricts the set (nil = all 32).
+	Benchmarks []string
+	// SeedOffset shifts every profile's RNG seed, for checking that results
+	// are not artifacts of the particular calibrated seeds.
+	SeedOffset int64
+	// Model is the overhead model (zero value = Table 2 defaults).
+	Model *costmodel.Model
+	// Progress, when non-nil, receives one line per completed benchmark.
+	Progress func(string)
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 0.125
+	}
+	return o.Scale
+}
+
+func (o Options) model() costmodel.Model {
+	if o.Model != nil {
+		return *o.Model
+	}
+	return costmodel.DefaultModel
+}
+
+// ModelOrDefault returns the configured cost model, defaulting to Table 2.
+func (o Options) ModelOrDefault() costmodel.Model { return o.model() }
+
+// Run is one benchmark's unbounded-run artifacts.
+type Run struct {
+	Profile   workload.Profile // scaled profile actually executed
+	Unscaled  workload.Profile
+	Stats     dbt.RunStats
+	Events    []tracelog.Event
+	Summary   tracelog.Summary
+	Lifetimes *stats.Lifetimes
+	Footprint uint64
+}
+
+// MaxTraceBytes is the peak live trace-cache size of the unbounded run —
+// the paper's maxCache, from which every simulated capacity derives.
+func (r *Run) MaxTraceBytes() uint64 { return r.Summary.MaxLiveBytes }
+
+// Suite holds every benchmark's artifacts for one collection pass.
+type Suite struct {
+	Scale  float64
+	Model  costmodel.Model
+	Runs   []*Run
+	byName map[string]*Run
+}
+
+// Get returns a benchmark's run.
+func (s *Suite) Get(name string) (*Run, bool) {
+	r, ok := s.byName[name]
+	return r, ok
+}
+
+// SpecRuns returns the SPEC2000 runs in profile order.
+func (s *Suite) SpecRuns() []*Run { return s.bySuite(true) }
+
+// InteractiveRuns returns the interactive runs in profile order.
+func (s *Suite) InteractiveRuns() []*Run { return s.bySuite(false) }
+
+func (s *Suite) bySuite(spec bool) []*Run {
+	var out []*Run
+	for _, r := range s.Runs {
+		isSpec := r.Profile.Suite == workload.SuiteSpecInt || r.Profile.Suite == workload.SuiteSpecFP
+		if isSpec == spec {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Collect synthesizes and runs every requested benchmark under an unbounded
+// trace cache, capturing the event log, lifetimes, and engine statistics.
+func Collect(opts Options) (*Suite, error) {
+	scale := opts.scale()
+	suite := &Suite{Scale: scale, Model: opts.model(), byName: make(map[string]*Run)}
+
+	profiles := workload.All()
+	if opts.Benchmarks != nil {
+		var sel []workload.Profile
+		for _, name := range opts.Benchmarks {
+			p, ok := workload.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+			}
+			sel = append(sel, p)
+		}
+		profiles = sel
+	}
+
+	for _, p := range profiles {
+		p.Seed += opts.SeedOffset
+		run, err := collectOne(p, scale, suite.Model)
+		if err != nil {
+			return nil, err
+		}
+		suite.Runs = append(suite.Runs, run)
+		suite.byName[p.Name] = run
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-12s %9d events, %7s traces",
+				p.Name, len(run.Events), stats.FmtBytes(run.Stats.TraceBytes)))
+		}
+	}
+	return suite, nil
+}
+
+func collectOne(p workload.Profile, scale float64, model costmodel.Model) (*Run, error) {
+	scaled := p.Scaled(scale)
+	bench, err := workload.Synthesize(scaled)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := tracelog.NewWriter(&buf, tracelog.Header{
+		Benchmark:      p.Name,
+		DurationMicros: p.DurationMicros(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	lt := stats.NewLifetimes()
+	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	eng, err := dbt.New(bench.Image, dbt.Config{
+		Manager:   mgr,
+		Model:     &model,
+		Log:       w,
+		Lifetimes: lt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(bench.NewDriver(), 0); err != nil {
+		return nil, fmt.Errorf("experiments: running %s: %w", p.Name, err)
+	}
+	h, events, err := tracelog.ReadAll(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: decoding %s log: %w", p.Name, err)
+	}
+	return &Run{
+		Profile:   scaled,
+		Unscaled:  p,
+		Stats:     eng.Stats(),
+		Events:    events,
+		Summary:   tracelog.Summarize(h, events),
+		Lifetimes: lt,
+		Footprint: bench.Image.Footprint(),
+	}, nil
+}
+
+// rescale converts a size measured at the suite's scale back to full-size
+// units for comparison against the paper's absolute numbers.
+func (s *Suite) rescale(v float64) float64 { return v / s.Scale }

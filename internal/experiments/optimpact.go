@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Optimizer impact: the engine's trace optimizer (internal/opt) shrinks
+// superblock bodies before they enter the cache, so the same capacity holds
+// more traces. This experiment runs each benchmark through the full engine
+// three times — unbounded (to size the cache), then bounded with the
+// optimizer off and on — and reports the byte savings and the resulting
+// miss-rate change. It is an extension: the paper keeps trace contents
+// fixed and varies only management.
+
+// OptimizerImpactRow is one benchmark's optimizer comparison.
+type OptimizerImpactRow struct {
+	Name           string
+	TraceBytes     uint64 // created trace bytes, optimizer off
+	TraceBytesOpt  uint64 // created trace bytes, optimizer on
+	BytesSavedPct  float64
+	MissRate       float64 // bounded run, optimizer off
+	MissRateOpt    float64 // bounded run, optimizer on
+	OptimizedInsts uint64
+}
+
+// OptimizerImpact measures the optimizer on the named benchmarks at the
+// given scale.
+func OptimizerImpact(names []string, scale float64) ([]OptimizerImpactRow, error) {
+	var rows []OptimizerImpactRow
+	for _, name := range names {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+		}
+		bench, err := workload.Synthesize(p.Scaled(scale))
+		if err != nil {
+			return nil, err
+		}
+		run := func(capacity uint64, optimize bool) (dbt.RunStats, error) {
+			mgr := core.NewUnified(capacity, nil, core.Hooks{})
+			eng, err := dbt.New(bench.Image, dbt.Config{Manager: mgr, Optimize: optimize})
+			if err != nil {
+				return dbt.RunStats{}, err
+			}
+			if err := eng.Run(bench.NewDriver(), 0); err != nil {
+				return dbt.RunStats{}, err
+			}
+			return eng.Stats(), nil
+		}
+
+		unbounded, err := run(1<<40, false)
+		if err != nil {
+			return nil, err
+		}
+		capacity := unbounded.TraceBytes / 2
+		if capacity == 0 {
+			continue
+		}
+		plain, err := run(capacity, false)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := run(capacity, true)
+		if err != nil {
+			return nil, err
+		}
+		row := OptimizerImpactRow{
+			Name:           name,
+			TraceBytes:     plain.TraceBytes,
+			TraceBytesOpt:  opt.TraceBytes,
+			MissRate:       plain.MissRate(),
+			MissRateOpt:    opt.MissRate(),
+			OptimizedInsts: opt.OptimizedInsts,
+		}
+		if plain.TraceBytes > 0 {
+			row.BytesSavedPct = 100 * (1 - float64(opt.TraceBytes)/float64(plain.TraceBytes))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderOptimizerImpact renders the comparison as text.
+func RenderOptimizerImpact(rows []OptimizerImpactRow) string {
+	t := stats.NewTable("Benchmark", "TraceBytes", "Optimized", "Saved", "MissRate", "MissRate(opt)")
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			stats.FmtBytes(r.TraceBytes), stats.FmtBytes(r.TraceBytesOpt),
+			fmt.Sprintf("%.1f%%", r.BytesSavedPct),
+			fmt.Sprintf("%.3f%%", r.MissRate*100), fmt.Sprintf("%.3f%%", r.MissRateOpt*100))
+	}
+	return t.String()
+}

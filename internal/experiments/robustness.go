@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Seed robustness: the calibrated profiles use fixed RNG seeds. This
+// experiment re-runs the headline comparison (45-10-45 @1 vs unified at
+// half the unbounded footprint) across several seed offsets and reports the
+// spread, demonstrating that the reproduction's conclusion is a property of
+// the workload *shape*, not of particular random draws.
+
+// RobustnessPoint is one seed offset's headline numbers.
+type RobustnessPoint struct {
+	SeedOffset   int64
+	AvgReduction float64 // unweighted mean miss-rate reduction
+	Benchmarks   int
+}
+
+// RobustnessResult aggregates the study.
+type RobustnessResult struct {
+	Points []RobustnessPoint
+	Mean   float64
+	StdDev float64
+	AllWin bool // every seed produced a positive average reduction
+}
+
+// Robustness collects the named benchmarks at each seed offset and replays
+// the headline comparison.
+func Robustness(benchmarks []string, scale float64, offsets []int64) (RobustnessResult, error) {
+	if len(offsets) == 0 {
+		offsets = []int64{0, 1000, 2000}
+	}
+	var res RobustnessResult
+	var avgs []float64
+	for _, off := range offsets {
+		suite, err := Collect(Options{Scale: scale, Benchmarks: benchmarks, SeedOffset: off})
+		if err != nil {
+			return res, err
+		}
+		var sum float64
+		n := 0
+		for _, r := range suite.Runs {
+			capacity := r.MaxTraceBytes() / 2
+			if capacity == 0 {
+				continue
+			}
+			u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, suite.Model)
+			if err != nil {
+				return res, err
+			}
+			if u.MissRate() == 0 {
+				continue
+			}
+			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events,
+				core.Layout451045Threshold1(capacity), suite.Model)
+			if err != nil {
+				return res, err
+			}
+			sum += 1 - g.MissRate()/u.MissRate()
+			n++
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		res.Points = append(res.Points, RobustnessPoint{SeedOffset: off, AvgReduction: avg, Benchmarks: n})
+		avgs = append(avgs, avg)
+	}
+	res.Mean = stats.Mean(avgs)
+	res.StdDev = stats.StdDev(avgs)
+	res.AllWin = true
+	for _, a := range avgs {
+		if a <= 0 {
+			res.AllWin = false
+		}
+	}
+	return res, nil
+}
+
+// RenderRobustness renders the study as text.
+func RenderRobustness(res RobustnessResult) string {
+	t := stats.NewTable("SeedOffset", "Benchmarks", "AvgMissRateReduction")
+	for _, p := range res.Points {
+		t.AddRow(fmt.Sprintf("%d", p.SeedOffset), fmt.Sprintf("%d", p.Benchmarks),
+			fmt.Sprintf("%+.1f%%", p.AvgReduction*100))
+	}
+	t.AddRow("(mean ± std)", "", fmt.Sprintf("%+.1f%% ± %.1f%%", res.Mean*100, res.StdDev*100))
+	return t.String()
+}

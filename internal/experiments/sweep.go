@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The §6.1 configuration-space sweep: the paper swept generational cache
+// proportions and promotion thresholds, observing (a) no universally best
+// unbalanced nursery/persistent sizing and (b) an undeniable link between
+// probation size and promotion threshold — small probation caches need low
+// thresholds or long-lived traces are evicted before qualifying.
+
+// SweepPoint is one configuration's average miss-rate reduction.
+type SweepPoint struct {
+	Nursery, Probation, Persistent float64
+	Threshold                      uint64
+	PromoteOnAccess                bool
+	AvgReduction                   float64 // unweighted mean over benchmarks
+}
+
+// Label renders the configuration compactly.
+func (p SweepPoint) Label() string {
+	return fmt.Sprintf("%.0f-%.0f-%.0f@%d", p.Nursery*100, p.Probation*100, p.Persistent*100, p.Threshold)
+}
+
+// SweepResult holds the grid.
+type SweepResult struct {
+	Points []SweepPoint
+	Best   SweepPoint
+}
+
+// sweepGrid returns the explored layouts: balanced and unbalanced
+// proportions crossed with promotion thresholds.
+func sweepGrid() []core.Config {
+	type shape struct{ n, p, s float64 }
+	shapes := []shape{
+		{1.0 / 3, 1.0 / 3, 1.0 / 3},
+		{0.45, 0.10, 0.45},
+		{0.10, 0.45, 0.45},
+		{0.45, 0.45, 0.10},
+		{0.25, 0.50, 0.25},
+		{0.60, 0.10, 0.30},
+		{0.30, 0.10, 0.60},
+	}
+	thresholds := []uint64{1, 5, 10, 50}
+	var out []core.Config
+	for _, sh := range shapes {
+		for _, th := range thresholds {
+			out = append(out, core.Config{
+				NurseryFrac:      sh.n,
+				ProbationFrac:    sh.p,
+				PersistentFrac:   sh.s,
+				PromoteThreshold: th,
+				PromoteOnAccess:  th == 1,
+			})
+		}
+	}
+	return out
+}
+
+// Sweep replays every benchmark's log through the configuration grid and
+// averages the miss-rate reductions.
+func Sweep(s *Suite) (SweepResult, error) {
+	grid := sweepGrid()
+	sums := make([]float64, len(grid))
+	n := 0
+	for _, r := range s.Runs {
+		capacity := r.MaxTraceBytes() / 2
+		if capacity == 0 {
+			continue
+		}
+		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if u.MissRate() == 0 {
+			continue
+		}
+		n++
+		for i, cfg := range grid {
+			cfg.TotalCapacity = capacity
+			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, cfg, s.Model)
+			if err != nil {
+				return SweepResult{}, err
+			}
+			sums[i] += 1 - g.MissRate()/u.MissRate()
+		}
+	}
+	var res SweepResult
+	for i, cfg := range grid {
+		avg := 0.0
+		if n > 0 {
+			avg = sums[i] / float64(n)
+		}
+		pt := SweepPoint{
+			Nursery: cfg.NurseryFrac, Probation: cfg.ProbationFrac, Persistent: cfg.PersistentFrac,
+			Threshold: cfg.PromoteThreshold, PromoteOnAccess: cfg.PromoteOnAccess,
+			AvgReduction: avg,
+		}
+		res.Points = append(res.Points, pt)
+		if i == 0 || pt.AvgReduction > res.Best.AvgReduction {
+			res.Best = pt
+		}
+	}
+	return res, nil
+}
+
+// RenderSweep renders the sweep grid as text.
+func RenderSweep(res SweepResult) string {
+	t := stats.NewTable("Layout", "Threshold", "AvgMissRateReduction")
+	for _, p := range res.Points {
+		t.AddRow(fmt.Sprintf("%.0f-%.0f-%.0f", p.Nursery*100, p.Probation*100, p.Persistent*100),
+			fmt.Sprintf("%d", p.Threshold), fmt.Sprintf("%+.1f%%", p.AvgReduction*100))
+	}
+	t.AddRow("(best)", res.Best.Label(), fmt.Sprintf("%+.1f%%", res.Best.AvgReduction*100))
+	return t.String()
+}
+
+// ProbationLink quantifies the paper's §6.1 observation: for each probation
+// size, the best threshold; small probation caches should prefer small
+// thresholds.
+type ProbationLink struct {
+	ProbationFrac  float64
+	BestThreshold  uint64
+	AvgAtBest      float64
+	AvgAtWorst     float64
+	WorstThreshold uint64
+}
+
+// ProbationThresholdLink derives the interaction from a completed sweep.
+func ProbationThresholdLink(res SweepResult) []ProbationLink {
+	byProb := map[float64][]SweepPoint{}
+	for _, p := range res.Points {
+		byProb[p.Probation] = append(byProb[p.Probation], p)
+	}
+	var out []ProbationLink
+	for frac, pts := range byProb {
+		link := ProbationLink{ProbationFrac: frac}
+		for i, p := range pts {
+			if i == 0 || p.AvgReduction > link.AvgAtBest {
+				link.AvgAtBest = p.AvgReduction
+				link.BestThreshold = p.Threshold
+			}
+			if i == 0 || p.AvgReduction < link.AvgAtWorst {
+				link.AvgAtWorst = p.AvgReduction
+				link.WorstThreshold = p.Threshold
+			}
+		}
+		out = append(out, link)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (design choices DESIGN.md calls out)
+
+// AblationRow compares one design variant against the paper's 45-10-45@1
+// design on average miss-rate reduction over the unified baseline.
+type AblationRow struct {
+	Name         string
+	AvgReduction float64
+}
+
+// Ablations evaluates:
+//   - paper: the 45-10-45 @1 design;
+//   - no-probation: nursery victims promote straight to the persistent
+//     cache (threshold 0 through a vestigial probation buffer);
+//   - lru-local: the paper's layout but with LRU as every cache's local
+//     policy (left as future work in §5);
+//   - flush-unified: a unified cache that flushes when full (Dynamo-style
+//     management), as a second baseline.
+func Ablations(s *Suite) ([]AblationRow, error) {
+	type variant struct {
+		name string
+		run  func(r *Run, capacity uint64, u sim.Result) (float64, error)
+	}
+	genRed := func(cfg core.Config, r *Run, u sim.Result) (float64, error) {
+		g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, cfg, s.Model)
+		if err != nil {
+			return 0, err
+		}
+		if u.MissRate() == 0 {
+			return 0, nil
+		}
+		return 1 - g.MissRate()/u.MissRate(), nil
+	}
+	variants := []variant{
+		{"45-10-45@1 (paper)", func(r *Run, c uint64, u sim.Result) (float64, error) {
+			return genRed(core.Layout451045Threshold1(c), r, u)
+		}},
+		{"no-probation", func(r *Run, c uint64, u sim.Result) (float64, error) {
+			cfg := core.Config{
+				TotalCapacity: c,
+				NurseryFrac:   0.47, ProbationFrac: 0.03, PersistentFrac: 0.50,
+				PromoteThreshold: 0, // every probation victim promotes
+			}
+			return genRed(cfg, r, u)
+		}},
+		{"lru-local", func(r *Run, c uint64, u sim.Result) (float64, error) {
+			cfg := core.Layout451045Threshold1(c)
+			cfg.Local = func(core.Level) policy.Local { return policy.NewLRU() }
+			return genRed(cfg, r, u)
+		}},
+		{"flush-unified", func(r *Run, c uint64, u sim.Result) (float64, error) {
+			acc := costmodel.NewAccum(s.Model)
+			mgr := core.NewUnified(c, &policy.FlushWhenFull{}, sim.CostHooks(acc))
+			g, err := sim.Replay(r.Profile.Name, r.Events, mgr, acc)
+			if err != nil {
+				return 0, err
+			}
+			if u.MissRate() == 0 {
+				return 0, nil
+			}
+			return 1 - g.MissRate()/u.MissRate(), nil
+		}},
+		{"holefill-unified", func(r *Run, c uint64, u sim.Result) (float64, error) {
+			// The §4.3 road not taken: fill program-forced holes before
+			// evicting at the cursor.
+			acc := costmodel.NewAccum(s.Model)
+			mgr := core.NewUnified(c, &policy.CircularFirstFit{}, sim.CostHooks(acc))
+			g, err := sim.Replay(r.Profile.Name, r.Events, mgr, acc)
+			if err != nil {
+				return 0, err
+			}
+			if u.MissRate() == 0 {
+				return 0, nil
+			}
+			return 1 - g.MissRate()/u.MissRate(), nil
+		}},
+	}
+
+	sums := make([]float64, len(variants))
+	n := 0
+	for _, r := range s.Runs {
+		capacity := r.MaxTraceBytes() / 2
+		if capacity == 0 {
+			continue
+		}
+		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
+		if err != nil {
+			return nil, err
+		}
+		if u.MissRate() == 0 {
+			continue
+		}
+		n++
+		for i, v := range variants {
+			red, err := v.run(r, capacity, u)
+			if err != nil {
+				return nil, err
+			}
+			sums[i] += red
+		}
+	}
+	var out []AblationRow
+	for i, v := range variants {
+		avg := 0.0
+		if n > 0 {
+			avg = sums[i] / float64(n)
+		}
+		out = append(out, AblationRow{Name: v.name, AvgReduction: avg})
+	}
+	return out, nil
+}
+
+// RenderAblations renders the ablation table as text.
+func RenderAblations(rows []AblationRow) string {
+	t := stats.NewTable("Variant", "AvgMissRateReduction")
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%+.1f%%", r.AvgReduction*100))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------------
+// Capacity sensitivity
+
+// CapacityPoint is one cache-size point of the capacity sweep: average miss
+// rates for the unified baseline and the 45-10-45 @1 generational layout
+// when total capacity is CapFrac of each benchmark's unbounded footprint.
+type CapacityPoint struct {
+	CapFrac         float64
+	UnifiedMissRate float64
+	GenMissRate     float64
+	AvgReduction    float64
+}
+
+// CapacitySweep maps out how the generational advantage depends on cache
+// pressure. The paper evaluates only CapFrac = 0.5; the sweep shows the
+// advantage shrinking as the cache approaches the unbounded footprint (no
+// pressure, nothing to manage) and at very small caches (nothing fits
+// anywhere).
+func CapacitySweep(s *Suite, fracs []float64) ([]CapacityPoint, error) {
+	if len(fracs) == 0 {
+		fracs = []float64{0.25, 0.375, 0.5, 0.75, 0.9}
+	}
+	var out []CapacityPoint
+	for _, frac := range fracs {
+		var uSum, gSum, redSum float64
+		n := 0
+		for _, r := range s.Runs {
+			capacity := uint64(float64(r.MaxTraceBytes()) * frac)
+			if capacity == 0 {
+				continue
+			}
+			u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
+			if err != nil {
+				return nil, err
+			}
+			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, core.Layout451045Threshold1(capacity), s.Model)
+			if err != nil {
+				return nil, err
+			}
+			uSum += u.MissRate()
+			gSum += g.MissRate()
+			if u.MissRate() > 0 {
+				redSum += 1 - g.MissRate()/u.MissRate()
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, CapacityPoint{
+			CapFrac:         frac,
+			UnifiedMissRate: uSum / float64(n),
+			GenMissRate:     gSum / float64(n),
+			AvgReduction:    redSum / float64(n),
+		})
+	}
+	return out, nil
+}
+
+// RenderCapacitySweep renders the sweep as text.
+func RenderCapacitySweep(points []CapacityPoint) string {
+	t := stats.NewTable("Capacity", "UnifiedMissRate", "GenMissRate", "AvgReduction")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.0f%% of maxCache", p.CapFrac*100),
+			fmt.Sprintf("%.3f%%", p.UnifiedMissRate*100),
+			fmt.Sprintf("%.3f%%", p.GenMissRate*100),
+			fmt.Sprintf("%+.1f%%", p.AvgReduction*100))
+	}
+	return t.String()
+}

@@ -1,0 +1,145 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The binary encoding is little-endian and byte-oriented:
+//
+//	byte 0: opcode
+//	byte 1: Rd in the low nibble, Rs1 in the high nibble
+//	byte 2 (4+ byte forms): Rs2 in the low nibble, Cond in the high nibble
+//	byte 3 (4+ byte forms): reserved, zero
+//	remaining bytes: the immediate (32-bit) or target (32-bit) operand,
+//	depending on the opcode, truncated to the space the format leaves.
+//
+// 6-byte forms carry a 16-bit immediate; 8-byte forms carry a 32-bit
+// immediate or target. The encoding exists so the code cache can hold real
+// bytes and the relocator can patch targets in place, exactly as a dynamic
+// optimizer must.
+
+// Encode appends the binary encoding of the instruction to dst and returns
+// the extended slice.
+func Encode(dst []byte, in Inst) ([]byte, error) {
+	if !in.Op.Valid() {
+		return dst, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	size := in.Op.Size()
+	start := len(dst)
+	for i := 0; i < size; i++ {
+		dst = append(dst, 0)
+	}
+	b := dst[start:]
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd&0x0f) | byte(in.Rs1&0x0f)<<4
+	if size >= 4 {
+		b[2] = byte(in.Rs2&0x0f) | byte(in.Cond&0x0f)<<4
+	}
+	switch size {
+	case 4:
+		// OpSyscall keeps a small immediate in byte 3.
+		if in.Op == OpSyscall {
+			b[3] = byte(in.Imm)
+		}
+	case 6:
+		binary.LittleEndian.PutUint16(b[4:], uint16(in.Imm))
+	case 8:
+		if in.IsDirect() {
+			binary.LittleEndian.PutUint32(b[4:], uint32(in.Target))
+		} else {
+			binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+		}
+	}
+	return dst, nil
+}
+
+// Decode decodes one instruction from the front of b, returning the
+// instruction and the number of bytes consumed.
+func Decode(b []byte) (Inst, int, error) {
+	if len(b) == 0 {
+		return Inst{}, 0, fmt.Errorf("isa: decode: empty input")
+	}
+	op := Opcode(b[0])
+	if !op.Valid() {
+		return Inst{}, 0, fmt.Errorf("isa: decode: invalid opcode %d", b[0])
+	}
+	size := op.Size()
+	if len(b) < size {
+		return Inst{}, 0, fmt.Errorf("isa: decode: truncated %s: need %d bytes, have %d", op, size, len(b))
+	}
+	in := Inst{Op: op}
+	if size >= 2 {
+		in.Rd = Reg(b[1] & 0x0f)
+		in.Rs1 = Reg(b[1] >> 4)
+	}
+	if size >= 4 {
+		in.Rs2 = Reg(b[2] & 0x0f)
+		in.Cond = Cond(b[2] >> 4)
+	}
+	switch size {
+	case 4:
+		if op == OpSyscall {
+			in.Imm = int64(b[3])
+		}
+	case 6:
+		in.Imm = int64(int16(binary.LittleEndian.Uint16(b[4:])))
+	case 8:
+		v := binary.LittleEndian.Uint32(b[4:])
+		if in.IsDirect() {
+			in.Target = uint64(v)
+		} else {
+			in.Imm = int64(int32(v))
+		}
+	}
+	return in, size, nil
+}
+
+// EncodeAll encodes a full instruction sequence.
+func EncodeAll(code []Inst) ([]byte, error) {
+	out := make([]byte, 0, CodeSize(code))
+	var err error
+	for _, in := range code {
+		out, err = Encode(out, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DecodeAll decodes an entire byte slice into instructions.
+func DecodeAll(b []byte) ([]Inst, error) {
+	var out []Inst
+	for len(b) > 0 {
+		in, n, err := Decode(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+// PatchTarget rewrites the target field of the direct branch encoded at
+// b[off:]. It is the primitive the code-cache relocator uses when moving a
+// trace between caches.
+func PatchTarget(b []byte, off int, target uint64) error {
+	if off < 0 || off >= len(b) {
+		return fmt.Errorf("isa: patch: offset %d out of range", off)
+	}
+	op := Opcode(b[off])
+	if !op.Valid() {
+		return fmt.Errorf("isa: patch: invalid opcode %d at offset %d", b[off], off)
+	}
+	in := Inst{Op: op}
+	if !in.IsDirect() {
+		return fmt.Errorf("isa: patch: %s at offset %d is not a direct transfer", op, off)
+	}
+	if off+op.Size() > len(b) {
+		return fmt.Errorf("isa: patch: truncated %s at offset %d", op, off)
+	}
+	binary.LittleEndian.PutUint32(b[off+4:], uint32(target))
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package isa defines the synthetic instruction set executed by the
+// reproduction's virtual machine and manipulated by the dynamic optimizer.
+//
+// The ISA is deliberately small but carries everything a dynamic binary
+// translator cares about: variable-length encodings (so code-cache fragments
+// vary in size), a full complement of direct, conditional, and indirect
+// control transfers (so trace selection sees realistic control flow), and a
+// syscall instruction (so guests can load and unload modules, the event that
+// forces program-driven code-cache evictions in the paper).
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose registers r0..r15.
+type Reg uint8
+
+// NumRegs is the size of the architectural register file.
+const NumRegs = 16
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Opcode enumerates every instruction kind in the synthetic ISA.
+type Opcode uint8
+
+const (
+	// OpNop does nothing. 2 bytes.
+	OpNop Opcode = iota
+	// OpMovImm loads a 32-bit immediate into Rd. 8 bytes.
+	OpMovImm
+	// OpMov copies Rs1 into Rd. 4 bytes.
+	OpMov
+	// OpAdd computes Rd = Rs1 + Rs2. 4 bytes.
+	OpAdd
+	// OpAddImm computes Rd = Rs1 + Imm. 6 bytes.
+	OpAddImm
+	// OpSub computes Rd = Rs1 - Rs2. 4 bytes.
+	OpSub
+	// OpMul computes Rd = Rs1 * Rs2. 4 bytes.
+	OpMul
+	// OpAnd computes Rd = Rs1 & Rs2. 4 bytes.
+	OpAnd
+	// OpOr computes Rd = Rs1 | Rs2. 4 bytes.
+	OpOr
+	// OpXor computes Rd = Rs1 ^ Rs2. 4 bytes.
+	OpXor
+	// OpShl computes Rd = Rs1 << (Imm & 63). 6 bytes.
+	OpShl
+	// OpShr computes Rd = Rs1 >> (Imm & 63) (logical). 6 bytes.
+	OpShr
+	// OpLoad loads a 64-bit word: Rd = mem[Rs1 + Imm]. 6 bytes.
+	OpLoad
+	// OpStore stores a 64-bit word: mem[Rs1 + Imm] = Rs2. 6 bytes.
+	OpStore
+	// OpCmp compares Rs1 with Rs2 and sets the machine flags. 4 bytes.
+	OpCmp
+	// OpCmpImm compares Rs1 with Imm and sets the machine flags. 6 bytes.
+	OpCmpImm
+	// OpJmp is an unconditional direct branch to Target. 8 bytes.
+	OpJmp
+	// OpJcc is a conditional direct branch: taken to Target when the flags
+	// satisfy Cond, otherwise execution falls through. 8 bytes.
+	OpJcc
+	// OpJmpInd is an indirect branch through Rs1. 4 bytes.
+	OpJmpInd
+	// OpCall is a direct call to Target; the return address is pushed on the
+	// machine call stack. 8 bytes.
+	OpCall
+	// OpCallInd is an indirect call through Rs1. 4 bytes.
+	OpCallInd
+	// OpRet returns to the address on top of the call stack. 2 bytes.
+	OpRet
+	// OpSyscall requests a service from the host environment; Imm selects
+	// the service (see the Sys* constants). 4 bytes.
+	OpSyscall
+	// OpHalt stops the machine. 2 bytes.
+	OpHalt
+
+	opcodeCount // sentinel; keep last
+)
+
+// OpcodeCount reports the number of defined opcodes.
+const OpcodeCount = int(opcodeCount)
+
+var opcodeNames = [...]string{
+	OpNop:     "nop",
+	OpMovImm:  "movi",
+	OpMov:     "mov",
+	OpAdd:     "add",
+	OpAddImm:  "addi",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpAnd:     "and",
+	OpOr:      "or",
+	OpXor:     "xor",
+	OpShl:     "shl",
+	OpShr:     "shr",
+	OpLoad:    "ld",
+	OpStore:   "st",
+	OpCmp:     "cmp",
+	OpCmpImm:  "cmpi",
+	OpJmp:     "jmp",
+	OpJcc:     "jcc",
+	OpJmpInd:  "jmpi",
+	OpCall:    "call",
+	OpCallInd: "calli",
+	OpRet:     "ret",
+	OpSyscall: "sys",
+	OpHalt:    "halt",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < opcodeCount }
+
+var opcodeSizes = [...]uint8{
+	OpNop:     2,
+	OpMovImm:  8,
+	OpMov:     4,
+	OpAdd:     4,
+	OpAddImm:  6,
+	OpSub:     4,
+	OpMul:     4,
+	OpAnd:     4,
+	OpOr:      4,
+	OpXor:     4,
+	OpShl:     6,
+	OpShr:     6,
+	OpLoad:    6,
+	OpStore:   6,
+	OpCmp:     4,
+	OpCmpImm:  6,
+	OpJmp:     8,
+	OpJcc:     8,
+	OpJmpInd:  4,
+	OpCall:    8,
+	OpCallInd: 4,
+	OpRet:     2,
+	OpSyscall: 4,
+	OpHalt:    2,
+}
+
+// Size returns the encoded size, in bytes, of an instruction with opcode op.
+func (op Opcode) Size() int {
+	if !op.Valid() {
+		return 0
+	}
+	return int(opcodeSizes[op])
+}
+
+// Cond enumerates the condition codes usable by OpJcc.
+type Cond uint8
+
+const (
+	// CondEQ is taken when the last comparison found its operands equal.
+	CondEQ Cond = iota
+	// CondNE is taken when the last comparison found its operands unequal.
+	CondNE
+	// CondLT is taken when Rs1 < Rs2 (signed) in the last comparison.
+	CondLT
+	// CondGE is taken when Rs1 >= Rs2 (signed) in the last comparison.
+	CondGE
+	// CondGT is taken when Rs1 > Rs2 (signed) in the last comparison.
+	CondGT
+	// CondLE is taken when Rs1 <= Rs2 (signed) in the last comparison.
+	CondLE
+
+	condCount
+)
+
+var condNames = [...]string{"eq", "ne", "lt", "ge", "gt", "le"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Negate returns the condition that is taken exactly when c is not.
+func (c Cond) Negate() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	case CondGT:
+		return CondLE
+	case CondLE:
+		return CondGT
+	}
+	return c
+}
+
+// Syscall service numbers understood by the virtual machine.
+const (
+	// SysExit terminates the guest. r1 holds the exit code.
+	SysExit = 0
+	// SysWrite emits the low byte of r1 to the machine's output buffer.
+	SysWrite = 1
+	// SysLoadModule asks the host to map the module whose ID is in r1.
+	SysLoadModule = 2
+	// SysUnloadModule asks the host to unmap the module whose ID is in r1.
+	SysUnloadModule = 3
+	// SysClock reads the machine's instruction counter into r1.
+	SysClock = 4
+)
+
+// Inst is one decoded instruction. The zero value is a valid OpNop.
+type Inst struct {
+	Op     Opcode
+	Rd     Reg    // destination register
+	Rs1    Reg    // first source register
+	Rs2    Reg    // second source register
+	Cond   Cond   // condition, for OpJcc
+	Imm    int64  // immediate operand
+	Target uint64 // branch/call target address, for direct transfers
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (in Inst) Size() int { return in.Op.Size() }
+
+// IsBranch reports whether the instruction transfers control anywhere other
+// than the next sequential instruction (calls and returns included).
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case OpJmp, OpJcc, OpJmpInd, OpCall, OpCallInd, OpRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// IsConditional reports whether the instruction may either transfer control
+// or fall through depending on machine state.
+func (in Inst) IsConditional() bool { return in.Op == OpJcc }
+
+// IsDirect reports whether the instruction's target is encoded in the
+// instruction itself (and can therefore be rewritten by the relocator).
+func (in Inst) IsDirect() bool {
+	switch in.Op {
+	case OpJmp, OpJcc, OpCall:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the instruction's target comes from a register
+// or the call stack at run time.
+func (in Inst) IsIndirect() bool {
+	switch in.Op {
+	case OpJmpInd, OpCallInd, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction is a (direct or indirect) call.
+func (in Inst) IsCall() bool { return in.Op == OpCall || in.Op == OpCallInd }
+
+// IsBackward reports whether the instruction is a direct branch whose target
+// does not lie after the instruction's own address pc. Backward branches
+// signal loops to the trace selector.
+func (in Inst) IsBackward(pc uint64) bool {
+	return in.IsDirect() && in.Op != OpCall && in.Target <= pc
+}
+
+// EndsBlock reports whether the instruction must terminate a basic block.
+func (in Inst) EndsBlock() bool {
+	return in.IsBranch() || in.Op == OpSyscall
+}
+
+func (in Inst) String() string {
+	switch in.Op {
+	case OpNop, OpRet, OpHalt:
+		return in.Op.String()
+	case OpMovImm:
+		return fmt.Sprintf("%s %s, #%d", in.Op, in.Rd, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddImm, OpShl, OpShr:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("%s %s, [%s+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("%s [%s+%d], %s", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case OpCmp:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rs1, in.Rs2)
+	case OpCmpImm:
+		return fmt.Sprintf("%s %s, #%d", in.Op, in.Rs1, in.Imm)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case OpJcc:
+		return fmt.Sprintf("j%s 0x%x", in.Cond, in.Target)
+	case OpJmpInd, OpCallInd:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case OpSyscall:
+		return fmt.Sprintf("%s #%d", in.Op, in.Imm)
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// CodeSize returns the total encoded size of a sequence of instructions.
+func CodeSize(code []Inst) int {
+	n := 0
+	for _, in := range code {
+		n += in.Size()
+	}
+	return n
+}

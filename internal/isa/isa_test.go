@@ -1,0 +1,303 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeSizesDefined(t *testing.T) {
+	for op := Opcode(0); op.Valid(); op++ {
+		if op.Size() <= 0 {
+			t.Errorf("opcode %s has no size", op)
+		}
+		if op.Size()%2 != 0 {
+			t.Errorf("opcode %s has odd size %d", op, op.Size())
+		}
+		if !strings.Contains(op.String(), "op(") && op.String() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestInvalidOpcode(t *testing.T) {
+	op := Opcode(200)
+	if op.Valid() {
+		t.Fatal("opcode 200 should be invalid")
+	}
+	if op.Size() != 0 {
+		t.Errorf("invalid opcode size = %d, want 0", op.Size())
+	}
+	if !strings.Contains(op.String(), "op(200)") {
+		t.Errorf("invalid opcode name = %q", op.String())
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	for c := Cond(0); c < condCount; c++ {
+		n := c.Negate()
+		if n == c {
+			t.Errorf("Negate(%s) == %s", c, c)
+		}
+		if n.Negate() != c {
+			t.Errorf("double negation of %s = %s", c, n.Negate())
+		}
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	cases := []struct {
+		in                     Inst
+		branch, cond, dir, ind bool
+	}{
+		{Inst{Op: OpAdd}, false, false, false, false},
+		{Inst{Op: OpJmp, Target: 8}, true, false, true, false},
+		{Inst{Op: OpJcc, Target: 8}, true, true, true, false},
+		{Inst{Op: OpJmpInd, Rs1: 3}, true, false, false, true},
+		{Inst{Op: OpCall, Target: 8}, true, false, true, false},
+		{Inst{Op: OpCallInd, Rs1: 3}, true, false, false, true},
+		{Inst{Op: OpRet}, true, false, false, true},
+		{Inst{Op: OpHalt}, true, false, false, false},
+		{Inst{Op: OpSyscall}, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.IsBranch(); got != c.branch {
+			t.Errorf("%s: IsBranch = %v, want %v", c.in, got, c.branch)
+		}
+		if got := c.in.IsConditional(); got != c.cond {
+			t.Errorf("%s: IsConditional = %v, want %v", c.in, got, c.cond)
+		}
+		if got := c.in.IsDirect(); got != c.dir {
+			t.Errorf("%s: IsDirect = %v, want %v", c.in, got, c.dir)
+		}
+		if got := c.in.IsIndirect(); got != c.ind {
+			t.Errorf("%s: IsIndirect = %v, want %v", c.in, got, c.ind)
+		}
+	}
+}
+
+func TestIsBackward(t *testing.T) {
+	j := Inst{Op: OpJmp, Target: 100}
+	if !j.IsBackward(100) {
+		t.Error("branch to own address should be backward")
+	}
+	if !j.IsBackward(200) {
+		t.Error("branch to lower address should be backward")
+	}
+	if j.IsBackward(50) {
+		t.Error("branch to higher address should not be backward")
+	}
+	call := Inst{Op: OpCall, Target: 10}
+	if call.IsBackward(100) {
+		t.Error("calls are never backward branches for trace selection")
+	}
+	ind := Inst{Op: OpJmpInd}
+	if ind.IsBackward(100) {
+		t.Error("indirect branches have no static direction")
+	}
+}
+
+func TestEndsBlock(t *testing.T) {
+	if (Inst{Op: OpAdd}).EndsBlock() {
+		t.Error("add should not end a block")
+	}
+	for _, op := range []Opcode{OpJmp, OpJcc, OpJmpInd, OpCall, OpCallInd, OpRet, OpSyscall, OpHalt} {
+		if !(Inst{Op: op}).EndsBlock() {
+			t.Errorf("%s should end a block", op)
+		}
+	}
+}
+
+func randInst(r *rand.Rand) Inst {
+	op := Opcode(r.Intn(OpcodeCount))
+	in := Inst{
+		Op:  op,
+		Rd:  Reg(r.Intn(NumRegs)),
+		Rs1: Reg(r.Intn(NumRegs)),
+		Rs2: Reg(r.Intn(NumRegs)),
+	}
+	switch op.Size() {
+	case 4:
+		if op == OpSyscall {
+			in.Imm = int64(r.Intn(5))
+		}
+		if op == OpJcc { // never 4 bytes, but keep Cond valid anyway
+			in.Cond = Cond(r.Intn(int(condCount)))
+		}
+	case 6:
+		in.Imm = int64(int16(r.Uint32()))
+	case 8:
+		if in.IsDirect() {
+			in.Target = uint64(r.Uint32())
+			in.Cond = Cond(r.Intn(int(condCount)))
+		} else {
+			in.Imm = int64(int32(r.Uint32()))
+		}
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		b, err := Encode(nil, in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if len(b) != in.Size() {
+			t.Fatalf("%s: encoded %d bytes, size says %d", in, len(b), in.Size())
+		}
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if n != len(b) {
+			t.Fatalf("%s: decode consumed %d of %d bytes", in, n, len(b))
+		}
+		// Normalize fields the encoding legitimately drops.
+		want := in
+		if want.Op.Size() < 4 {
+			want.Rs2, want.Cond = 0, 0
+		}
+		if !want.IsDirect() || want.Op.Size() != 8 {
+			// Cond only survives in 4+ byte forms; Target only in direct 8-byte forms.
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", want, got)
+		}
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	code := make([]Inst, 200)
+	for i := range code {
+		in := randInst(r)
+		if in.Op.Size() < 4 {
+			in.Rs2, in.Cond = 0, 0
+		}
+		code[i] = in
+	}
+	b, err := EncodeAll(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != CodeSize(code) {
+		t.Fatalf("encoded %d bytes, CodeSize says %d", len(b), CodeSize(code))
+	}
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(code) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(code))
+	}
+	for i := range code {
+		if got[i] != code[i] {
+			t.Fatalf("inst %d mismatch: %+v vs %+v", i, code[i], got[i])
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("decoding empty input should fail")
+	}
+	if _, _, err := Decode([]byte{200}); err == nil {
+		t.Error("decoding invalid opcode should fail")
+	}
+	if _, _, err := Decode([]byte{byte(OpJmp), 0, 0}); err == nil {
+		t.Error("decoding truncated jmp should fail")
+	}
+	if _, err := Encode(nil, Inst{Op: Opcode(99)}); err == nil {
+		t.Error("encoding invalid opcode should fail")
+	}
+}
+
+func TestPatchTarget(t *testing.T) {
+	code := []Inst{
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpJmp, Target: 0x1234},
+	}
+	b, err := EncodeAll(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := code[0].Size()
+	if err := PatchTarget(b, off, 0xdeadbe); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Target != 0xdeadbe {
+		t.Fatalf("patched target = %#x, want 0xdeadbe", got[1].Target)
+	}
+
+	if err := PatchTarget(b, 0, 1); err == nil {
+		t.Error("patching a non-branch should fail")
+	}
+	if err := PatchTarget(b, -1, 1); err == nil {
+		t.Error("patching negative offset should fail")
+	}
+	if err := PatchTarget(b, len(b), 1); err == nil {
+		t.Error("patching past end should fail")
+	}
+	if err := PatchTarget(b, len(b)-2, 1); err == nil {
+		t.Error("patching truncated branch should fail")
+	}
+	if err := PatchTarget([]byte{250}, 0, 1); err == nil {
+		t.Error("patching invalid opcode should fail")
+	}
+}
+
+// Property: encoded size always matches Opcode.Size, and decode of any
+// encodable instruction consumes exactly that many bytes.
+func TestQuickEncodeSize(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2, cond uint8, imm int32, target uint32) bool {
+		op := Opcode(opRaw % uint8(OpcodeCount))
+		in := Inst{
+			Op:   op,
+			Rd:   Reg(rd % NumRegs),
+			Rs1:  Reg(rs1 % NumRegs),
+			Rs2:  Reg(rs2 % NumRegs),
+			Cond: Cond(cond % uint8(condCount)),
+			Imm:  int64(imm),
+		}
+		if in.IsDirect() {
+			in.Target = uint64(target)
+		}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		if len(b) != op.Size() {
+			return false
+		}
+		_, n, err := Decode(b)
+		return err == nil && n == op.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Every opcode must render without the "?" fallback.
+	for op := Opcode(0); op.Valid(); op++ {
+		in := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: 7, Target: 0x10}
+		s := in.String()
+		if s == "" || strings.HasSuffix(s, "?") {
+			t.Errorf("opcode %s renders as %q", op, s)
+		}
+	}
+}
+
+func TestCodeSizeEmpty(t *testing.T) {
+	if CodeSize(nil) != 0 {
+		t.Error("empty code should have size 0")
+	}
+}

@@ -1,0 +1,122 @@
+package linker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLinkBasics(t *testing.T) {
+	tb := New()
+	if !tb.Link(1, 2) {
+		t.Fatal("link failed")
+	}
+	if tb.Link(1, 2) {
+		t.Error("duplicate link created")
+	}
+	if tb.Link(3, 3) {
+		t.Error("self link created")
+	}
+	if tb.Link(0, 1) || tb.Link(1, 0) {
+		t.Error("zero-id link created")
+	}
+	if !tb.Linked(1, 2) || tb.Linked(2, 1) {
+		t.Error("Linked wrong")
+	}
+	tb.Link(3, 2)
+	tb.Link(1, 4)
+	if tb.Incoming(2) != 2 || tb.Outgoing(1) != 2 || tb.Live() != 3 {
+		t.Errorf("in=%d out=%d live=%d", tb.Incoming(2), tb.Outgoing(1), tb.Live())
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := tb.Stats()
+	if s.Created != 3 || s.MaxLinks != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUnlinkSeversBothDirections(t *testing.T) {
+	tb := New()
+	tb.Link(1, 2)
+	tb.Link(3, 2)
+	tb.Link(2, 4)
+	if n := tb.Unlink(2); n != 3 {
+		t.Fatalf("unlinked %d, want 3", n)
+	}
+	if tb.Live() != 0 {
+		t.Errorf("live = %d", tb.Live())
+	}
+	if tb.Linked(1, 2) || tb.Linked(2, 4) {
+		t.Error("links survived unlink")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Unlink(2) != 0 {
+		t.Error("second unlink removed something")
+	}
+	s := tb.Stats()
+	if s.Removed != 3 || s.Unlinks != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestUnlinkLeavesOthersIntact(t *testing.T) {
+	tb := New()
+	tb.Link(1, 2)
+	tb.Link(1, 3)
+	tb.Link(4, 3)
+	tb.Unlink(2)
+	if !tb.Linked(1, 3) || !tb.Linked(4, 3) {
+		t.Error("unrelated links severed")
+	}
+	if tb.Outgoing(1) != 1 {
+		t.Errorf("outgoing(1) = %d", tb.Outgoing(1))
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedLinker checks symmetry invariants under a random mix of
+// links and unlinks against a naive model.
+func TestRandomizedLinker(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tb := New()
+	model := map[[2]uint64]bool{}
+	for op := 0; op < 5000; op++ {
+		if r.Intn(4) != 0 {
+			from, to := uint64(1+r.Intn(40)), uint64(1+r.Intn(40))
+			created := tb.Link(from, to)
+			key := [2]uint64{from, to}
+			wantCreated := from != to && !model[key]
+			if created != wantCreated {
+				t.Fatalf("op %d: Link(%d,%d) = %v, want %v", op, from, to, created, wantCreated)
+			}
+			if wantCreated {
+				model[key] = true
+			}
+		} else {
+			id := uint64(1 + r.Intn(40))
+			want := 0
+			for key := range model {
+				if key[0] == id || key[1] == id {
+					delete(model, key)
+					want++
+				}
+			}
+			if got := tb.Unlink(id); got != want {
+				t.Fatalf("op %d: Unlink(%d) = %d, want %d", op, id, got, want)
+			}
+		}
+		if tb.Live() != len(model) {
+			t.Fatalf("op %d: live %d, model %d", op, tb.Live(), len(model))
+		}
+		if op%200 == 0 {
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package opt implements the trace-optimization pass of a dynamic optimizer
+// (§1 task two: "applies optimizations and/or transformations to the
+// generated code traces"). Superblocks are ideal for cheap straight-line
+// optimization: between control transfers there is exactly one path, so
+// classic peephole and constant-propagation passes apply without any
+// control-flow analysis.
+//
+// The pass suite is deliberately conservative and provably behaviour-
+// preserving at every potential exit: no pass removes, reorders, or crosses
+// a control transfer or a comparison, every store is kept, and all
+// registers are treated as live at segment boundaries. The property tests
+// in this package execute random straight-line code before and after
+// optimization and require identical architectural state at every branch
+// and at the end.
+package opt
+
+import (
+	"repro/internal/isa"
+)
+
+// Result summarizes one optimization run.
+type Result struct {
+	BytesBefore int
+	BytesAfter  int
+	Removed     int // instructions deleted
+	Folded      int // instructions rewritten to cheaper forms
+}
+
+// Saved returns the byte reduction.
+func (r Result) Saved() int { return r.BytesBefore - r.BytesAfter }
+
+// Optimize applies the pass suite to a superblock body until fixpoint and
+// returns the optimized code. The input slice is not modified.
+func Optimize(code []isa.Inst) ([]isa.Inst, Result) {
+	res := Result{BytesBefore: isa.CodeSize(code)}
+	out := append([]isa.Inst(nil), code...)
+	for {
+		changed := false
+		var removed, folded int
+		out, removed = removeDead(out)
+		res.Removed += removed
+		changed = changed || removed > 0
+		out, folded = propagateConstants(out)
+		res.Folded += folded
+		changed = changed || folded > 0
+		out, folded = forwardStores(out)
+		res.Folded += folded
+		changed = changed || folded > 0
+		out, removed = removeDead(out)
+		res.Removed += removed
+		changed = changed || removed > 0
+		if !changed {
+			break
+		}
+	}
+	res.BytesAfter = isa.CodeSize(out)
+	// Folding can grow individual instructions (a 4-byte ALU op becomes an
+	// 8-byte MovImm) in the hope that dead-code elimination pays it back;
+	// when it does not, keep the original — a code cache must never grow
+	// its traces.
+	if res.BytesAfter > res.BytesBefore {
+		return append([]isa.Inst(nil), code...), Result{BytesBefore: res.BytesBefore, BytesAfter: res.BytesBefore}
+	}
+	return out, res
+}
+
+// isBarrier reports whether an instruction ends a straight-line segment:
+// control can leave (or re-enter) at these points, so all registers must
+// hold their architectural values there.
+func isBarrier(in isa.Inst) bool {
+	return in.IsBranch() || in.Op == isa.OpSyscall
+}
+
+// writesReg returns the register an instruction defines, if any.
+func writesReg(in isa.Inst) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.OpMovImm, isa.OpMov, isa.OpAdd, isa.OpAddImm, isa.OpSub, isa.OpMul,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpLoad:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// readsReg reports whether the instruction reads register r.
+func readsReg(in isa.Inst, r isa.Reg) bool {
+	switch in.Op {
+	case isa.OpMovImm, isa.OpNop, isa.OpHalt, isa.OpRet, isa.OpJmp, isa.OpJcc, isa.OpCall:
+		return false
+	case isa.OpMov, isa.OpAddImm, isa.OpShl, isa.OpShr, isa.OpLoad, isa.OpCmpImm,
+		isa.OpJmpInd, isa.OpCallInd:
+		return in.Rs1 == r
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpCmp:
+		return in.Rs1 == r || in.Rs2 == r
+	case isa.OpStore:
+		return in.Rs1 == r || in.Rs2 == r
+	case isa.OpSyscall:
+		// Syscalls read r1 (and conceptually any register); be maximal.
+		return true
+	}
+	return true // unknown: be conservative
+}
+
+// hasSideEffects reports whether removing the instruction could change
+// anything other than its destination register.
+func hasSideEffects(in isa.Inst) bool {
+	switch in.Op {
+	case isa.OpStore, isa.OpSyscall, isa.OpCmp, isa.OpCmpImm:
+		return true
+	}
+	return in.IsBranch()
+}
+
+// removeDead deletes no-ops, self-moves, and register writes that are
+// provably overwritten before any read within the same straight-line
+// segment. Registers are live at every barrier.
+func removeDead(code []isa.Inst) ([]isa.Inst, int) {
+	out := make([]isa.Inst, 0, len(code))
+	removed := 0
+	for i := 0; i < len(code); i++ {
+		in := code[i]
+		if in.Op == isa.OpNop {
+			removed++
+			continue
+		}
+		if in.Op == isa.OpMov && in.Rd == in.Rs1 {
+			removed++
+			continue
+		}
+		if rd, ok := writesReg(in); ok && !hasSideEffects(in) && deadUntilRedefined(code[i+1:], rd) {
+			removed++
+			continue
+		}
+		out = append(out, in)
+	}
+	return out, removed
+}
+
+// deadUntilRedefined reports whether register r is overwritten before any
+// read and before the segment ends.
+func deadUntilRedefined(rest []isa.Inst, r isa.Reg) bool {
+	for _, in := range rest {
+		if isBarrier(in) {
+			return false // live at the barrier
+		}
+		if readsReg(in, r) {
+			return false
+		}
+		if rd, ok := writesReg(in); ok && rd == r {
+			return true
+		}
+	}
+	return false // live at the end of the trace
+}
+
+// constVal tracks a known constant in a register.
+type constVal struct {
+	known bool
+	v     int64
+}
+
+// propagateConstants performs forward constant propagation and folding
+// within each straight-line segment: instructions whose sources are all
+// known constants are rewritten as OpMovImm when the result fits the
+// 32-bit immediate encoding. Comparisons and memory operations are left in
+// place (flags and memory must be architecturally identical), but their
+// known-constant knowledge still flows.
+func propagateConstants(code []isa.Inst) ([]isa.Inst, int) {
+	out := append([]isa.Inst(nil), code...)
+	folded := 0
+	var regs [isa.NumRegs]constVal
+	reset := func() {
+		for i := range regs {
+			regs[i] = constVal{}
+		}
+	}
+	fits := func(v int64) bool { return v >= -(1<<31) && v < (1<<31) }
+
+	for i, in := range out {
+		if isBarrier(in) {
+			// Conservative: treat barriers as clobbering all knowledge
+			// (calls and syscalls can change registers; execution can
+			// re-enter past a branch target).
+			reset()
+			continue
+		}
+		val := func(r isa.Reg) (int64, bool) { return regs[r].v, regs[r].known }
+
+		rewrite := func(rd isa.Reg, v int64) {
+			if fits(v) && !(in.Op == isa.OpMovImm && in.Imm == v) {
+				out[i] = isa.Inst{Op: isa.OpMovImm, Rd: rd, Imm: v}
+				folded++
+			}
+			regs[rd] = constVal{known: true, v: v}
+		}
+
+		switch in.Op {
+		case isa.OpMovImm:
+			regs[in.Rd] = constVal{known: true, v: in.Imm}
+		case isa.OpMov:
+			if v, ok := val(in.Rs1); ok {
+				rewrite(in.Rd, v)
+			} else {
+				regs[in.Rd] = constVal{}
+			}
+		case isa.OpAddImm:
+			if v, ok := val(in.Rs1); ok {
+				rewrite(in.Rd, v+in.Imm)
+			} else {
+				regs[in.Rd] = constVal{}
+			}
+		case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor:
+			a, aok := val(in.Rs1)
+			b, bok := val(in.Rs2)
+			if aok && bok {
+				var v int64
+				switch in.Op {
+				case isa.OpAdd:
+					v = a + b
+				case isa.OpSub:
+					v = a - b
+				case isa.OpMul:
+					v = a * b
+				case isa.OpAnd:
+					v = a & b
+				case isa.OpOr:
+					v = a | b
+				case isa.OpXor:
+					v = a ^ b
+				}
+				rewrite(in.Rd, v)
+			} else {
+				regs[in.Rd] = constVal{}
+			}
+		case isa.OpShl:
+			if v, ok := val(in.Rs1); ok {
+				rewrite(in.Rd, v<<(uint64(in.Imm)&63))
+			} else {
+				regs[in.Rd] = constVal{}
+			}
+		case isa.OpShr:
+			if v, ok := val(in.Rs1); ok {
+				rewrite(in.Rd, int64(uint64(v)>>(uint64(in.Imm)&63)))
+			} else {
+				regs[in.Rd] = constVal{}
+			}
+		case isa.OpLoad:
+			regs[in.Rd] = constVal{} // memory contents unknown
+		case isa.OpStore, isa.OpCmp, isa.OpCmpImm:
+			// No register writes; knowledge flows through.
+		}
+	}
+	return out, folded
+}
+
+// memKey identifies a memory word by its base register's value *version*
+// and the displacement: within a segment, two accesses with the same base
+// version and displacement hit the same word, and two accesses with the
+// same base version but different displacements cannot alias (the ISA
+// addresses whole words at base+imm).
+type memKey struct {
+	base    isa.Reg
+	version uint32
+	imm     int64
+}
+
+// forwardStores replaces a load with a register move when the loaded word
+// was stored earlier in the same straight-line segment and both the base
+// address and the stored register are provably unchanged since. Any store
+// whose base version differs from a remembered one may alias and kills the
+// remembered knowledge.
+func forwardStores(code []isa.Inst) ([]isa.Inst, int) {
+	out := append([]isa.Inst(nil), code...)
+	folded := 0
+
+	var versions [isa.NumRegs]uint32
+	// known maps a memory word to the register+version that was stored.
+	type src struct {
+		reg     isa.Reg
+		version uint32
+	}
+	known := make(map[memKey]src)
+	reset := func() {
+		for k := range known {
+			delete(known, k)
+		}
+	}
+
+	for i, in := range out {
+		if isBarrier(in) {
+			reset()
+			for r := range versions {
+				versions[r]++
+			}
+			continue
+		}
+		switch in.Op {
+		case isa.OpStore:
+			key := memKey{base: in.Rs1, version: versions[in.Rs1], imm: in.Imm}
+			// A store through a base whose version is not current for any
+			// remembered key may alias it; drop everything that does not
+			// share this exact base version.
+			for k := range known {
+				if !(k.base == in.Rs1 && k.version == versions[in.Rs1]) {
+					delete(known, k)
+				}
+			}
+			known[key] = src{reg: in.Rs2, version: versions[in.Rs2]}
+		case isa.OpLoad:
+			key := memKey{base: in.Rs1, version: versions[in.Rs1], imm: in.Imm}
+			if s, ok := known[key]; ok && versions[s.reg] == s.version {
+				// A mov is always at least as cheap as the load; a self-move
+				// (source register is the destination) is removed by DCE.
+				out[i] = isa.Inst{Op: isa.OpMov, Rd: in.Rd, Rs1: s.reg}
+				folded++
+			}
+			versions[in.Rd]++
+			// The load's destination may have been a remembered source; its
+			// version bump above invalidates those entries naturally.
+		default:
+			if rd, ok := writesReg(in); ok {
+				versions[rd]++
+			}
+		}
+	}
+	return out, folded
+}

@@ -1,0 +1,361 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// machineState is the architectural state a straight-line evaluator tracks.
+type machineState struct {
+	regs   [isa.NumRegs]int64
+	mem    map[uint64]int64
+	flagLT bool
+	flagEQ bool
+	stores int
+}
+
+// eval executes straight-line code, skipping control transfers (they carry
+// no register semantics here), and snapshots the state at every barrier.
+func eval(code []isa.Inst, init [isa.NumRegs]int64) (machineState, []machineState) {
+	st := machineState{regs: init, mem: map[uint64]int64{}}
+	var snaps []machineState
+	snap := func() {
+		cp := st
+		cp.mem = map[uint64]int64{}
+		for k, v := range st.mem {
+			cp.mem[k] = v
+		}
+		snaps = append(snaps, cp)
+	}
+	for _, in := range code {
+		r := &st.regs
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpMovImm:
+			r[in.Rd] = in.Imm
+		case isa.OpMov:
+			r[in.Rd] = r[in.Rs1]
+		case isa.OpAdd:
+			r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+		case isa.OpAddImm:
+			r[in.Rd] = r[in.Rs1] + in.Imm
+		case isa.OpSub:
+			r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+		case isa.OpMul:
+			r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+		case isa.OpAnd:
+			r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+		case isa.OpOr:
+			r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+		case isa.OpXor:
+			r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+		case isa.OpShl:
+			r[in.Rd] = r[in.Rs1] << (uint64(in.Imm) & 63)
+		case isa.OpShr:
+			r[in.Rd] = int64(uint64(r[in.Rs1]) >> (uint64(in.Imm) & 63))
+		case isa.OpLoad:
+			r[in.Rd] = st.mem[uint64(r[in.Rs1]+in.Imm)]
+		case isa.OpStore:
+			st.mem[uint64(r[in.Rs1]+in.Imm)] = r[in.Rs2]
+			st.stores++
+		case isa.OpCmp:
+			st.flagLT = r[in.Rs1] < r[in.Rs2]
+			st.flagEQ = r[in.Rs1] == r[in.Rs2]
+		case isa.OpCmpImm:
+			st.flagLT = r[in.Rs1] < in.Imm
+			st.flagEQ = r[in.Rs1] == in.Imm
+		default:
+			if isBarrier(in) {
+				snap()
+			}
+		}
+	}
+	return st, snaps
+}
+
+func sameState(t *testing.T, label string, a, b machineState) {
+	t.Helper()
+	if a.regs != b.regs {
+		t.Errorf("%s: registers differ\n%v\n%v", label, a.regs, b.regs)
+	}
+	if a.flagLT != b.flagLT || a.flagEQ != b.flagEQ {
+		t.Errorf("%s: flags differ", label)
+	}
+	if len(a.mem) != len(b.mem) {
+		t.Errorf("%s: memory size differs", label)
+	}
+	for k, v := range a.mem {
+		if b.mem[k] != v {
+			t.Errorf("%s: mem[%d] = %d vs %d", label, k, v, b.mem[k])
+		}
+	}
+}
+
+func TestRemovesNopsAndSelfMoves(t *testing.T) {
+	code := []isa.Inst{
+		{Op: isa.OpNop},
+		{Op: isa.OpMov, Rd: 3, Rs1: 3},
+		{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 5},
+		{Op: isa.OpNop},
+	}
+	out, res := Optimize(code)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if res.Removed != 3 || res.Saved() <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestDeadWriteElimination(t *testing.T) {
+	code := []isa.Inst{
+		{Op: isa.OpMovImm, Rd: 4, Imm: 1}, // dead: overwritten below, never read
+		{Op: isa.OpAddImm, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.OpMovImm, Rd: 4, Imm: 2},
+	}
+	out, res := Optimize(code)
+	if res.Removed != 1 {
+		t.Fatalf("removed = %d, want 1: %v", res.Removed, out)
+	}
+}
+
+func TestDeadWriteKeptWhenReadOrBarrier(t *testing.T) {
+	// Read between the writes; the first write is a load (unknown value) so
+	// constant folding cannot turn the read into a constant.
+	code := []isa.Inst{
+		{Op: isa.OpLoad, Rd: 4, Rs1: 2},
+		{Op: isa.OpAdd, Rd: 5, Rs1: 4, Rs2: 6},
+		{Op: isa.OpStore, Rs1: 3, Rs2: 5},
+		{Op: isa.OpMovImm, Rd: 4, Imm: 2},
+	}
+	if _, res := Optimize(code); res.Removed != 0 {
+		t.Error("removed a live write")
+	}
+	// Barrier between the writes: r4 is live at the branch.
+	code = []isa.Inst{
+		{Op: isa.OpMovImm, Rd: 4, Imm: 1},
+		{Op: isa.OpJcc, Target: 0x100},
+		{Op: isa.OpMovImm, Rd: 4, Imm: 2},
+	}
+	if _, res := Optimize(code); res.Removed != 0 {
+		t.Error("removed a write live at a barrier")
+	}
+}
+
+func TestConstantFoldingEnablesDCE(t *testing.T) {
+	// movi r1,5 ; addi r1,r1,3 => movi r1,8 (one instruction).
+	code := []isa.Inst{
+		{Op: isa.OpMovImm, Rd: 1, Imm: 5},
+		{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 3},
+		{Op: isa.OpStore, Rs1: 2, Rs2: 1}, // keep r1 live
+	}
+	out, res := Optimize(code)
+	if len(out) != 2 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0].Op != isa.OpMovImm || out[0].Imm != 8 {
+		t.Fatalf("folded inst = %v", out[0])
+	}
+	if res.Saved() <= 0 {
+		t.Errorf("saved = %d", res.Saved())
+	}
+}
+
+func TestNeverGrows(t *testing.T) {
+	// A single Add with constant sources would fold to a bigger MovImm;
+	// without a killable producer the pass must leave the code alone.
+	code := []isa.Inst{
+		{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+	}
+	out, res := Optimize(code)
+	if res.BytesAfter > res.BytesBefore {
+		t.Fatalf("grew: %+v", res)
+	}
+	if len(out) != 1 || out[0].Op != isa.OpAdd {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestBarriersResetKnowledge(t *testing.T) {
+	// After a call, r1's constant must be forgotten: the addi cannot fold.
+	code := []isa.Inst{
+		{Op: isa.OpMovImm, Rd: 1, Imm: 5},
+		{Op: isa.OpStore, Rs1: 3, Rs2: 1}, // keep the movi live
+		{Op: isa.OpCall, Target: 0x100},
+		{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.OpStore, Rs1: 3, Rs2: 1},
+	}
+	out, _ := Optimize(code)
+	found := false
+	for _, in := range out {
+		if in.Op == isa.OpAddImm {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("addi was folded across a call barrier")
+	}
+}
+
+// randStraightLine generates random code with occasional barriers.
+func randStraightLine(r *rand.Rand, n int) []isa.Inst {
+	var code []isa.Inst
+	for i := 0; i < n; i++ {
+		switch r.Intn(14) {
+		case 0:
+			code = append(code, isa.Inst{Op: isa.OpNop})
+		case 1:
+			code = append(code, isa.Inst{Op: isa.OpMovImm, Rd: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(100))})
+		case 2:
+			code = append(code, isa.Inst{Op: isa.OpMov, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8))})
+		case 3:
+			code = append(code, isa.Inst{Op: isa.OpAdd, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8))})
+		case 4:
+			code = append(code, isa.Inst{Op: isa.OpAddImm, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(50) - 25)})
+		case 5:
+			code = append(code, isa.Inst{Op: isa.OpSub, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8))})
+		case 6:
+			code = append(code, isa.Inst{Op: isa.OpMul, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8))})
+		case 7:
+			code = append(code, isa.Inst{Op: isa.OpXor, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8))})
+		case 8:
+			code = append(code, isa.Inst{Op: isa.OpShl, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(8))})
+		case 9:
+			code = append(code, isa.Inst{Op: isa.OpLoad, Rd: isa.Reg(r.Intn(8)), Rs1: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(8) * 8)})
+		case 10:
+			code = append(code, isa.Inst{Op: isa.OpStore, Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(8) * 8)})
+		case 11:
+			code = append(code, isa.Inst{Op: isa.OpCmp, Rs1: isa.Reg(r.Intn(8)), Rs2: isa.Reg(r.Intn(8))})
+		case 12:
+			code = append(code, isa.Inst{Op: isa.OpCmpImm, Rs1: isa.Reg(r.Intn(8)), Imm: int64(r.Intn(20))})
+		default:
+			code = append(code, isa.Inst{Op: isa.OpJcc, Cond: isa.Cond(r.Intn(6)), Target: uint64(r.Intn(1000))})
+		}
+	}
+	return code
+}
+
+// TestQuickSemanticPreservation is the soundness property: optimized code
+// produces identical final state, identical state at every barrier, and
+// identical store counts, for random programs and random initial registers.
+func TestQuickSemanticPreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for iter := 0; iter < 500; iter++ {
+		code := randStraightLine(r, 5+r.Intn(60))
+		opt, res := Optimize(code)
+		if res.BytesAfter > res.BytesBefore {
+			t.Fatalf("iter %d: code grew", iter)
+		}
+		var init [isa.NumRegs]int64
+		for i := range init {
+			init[i] = int64(r.Intn(200) - 100)
+		}
+		before, snapsB := eval(code, init)
+		after, snapsA := eval(opt, init)
+		sameState(t, "final", before, after)
+		if before.stores != after.stores {
+			t.Fatalf("iter %d: store count changed %d -> %d", iter, before.stores, after.stores)
+		}
+		if len(snapsB) != len(snapsA) {
+			t.Fatalf("iter %d: barrier count changed %d -> %d", iter, len(snapsB), len(snapsA))
+		}
+		for i := range snapsB {
+			sameState(t, "barrier", snapsB[i], snapsA[i])
+		}
+	}
+}
+
+// TestOptimizeIdempotent: running the pass twice changes nothing more.
+func TestOptimizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 100; iter++ {
+		code := randStraightLine(r, 40)
+		once, _ := Optimize(code)
+		twice, res := Optimize(once)
+		if len(twice) != len(once) {
+			t.Fatalf("iter %d: second pass changed length %d -> %d", iter, len(once), len(twice))
+		}
+		if res.Saved() != 0 {
+			t.Fatalf("iter %d: second pass saved %d bytes", iter, res.Saved())
+		}
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	// st [r2+8], r3 ; ld r4, [r2+8]  =>  the load becomes mov r4, r3.
+	code := []isa.Inst{
+		{Op: isa.OpStore, Rs1: 2, Rs2: 3, Imm: 8},
+		{Op: isa.OpLoad, Rd: 4, Rs1: 2, Imm: 8},
+		{Op: isa.OpStore, Rs1: 5, Rs2: 4}, // keep r4 live
+	}
+	out, res := Optimize(code)
+	if res.Folded == 0 {
+		t.Fatalf("nothing forwarded: %v", out)
+	}
+	for _, in := range out {
+		if in.Op == isa.OpLoad {
+			t.Fatalf("load survived forwarding: %v", out)
+		}
+	}
+}
+
+func TestForwardingKilledByAliasingStore(t *testing.T) {
+	// An intervening store through a different base may alias: no forward.
+	code := []isa.Inst{
+		{Op: isa.OpStore, Rs1: 2, Rs2: 3, Imm: 8},
+		{Op: isa.OpStore, Rs1: 6, Rs2: 7, Imm: 0}, // unknown alias
+		{Op: isa.OpLoad, Rd: 4, Rs1: 2, Imm: 8},
+		{Op: isa.OpStore, Rs1: 5, Rs2: 4},
+	}
+	out, _ := Optimize(code)
+	found := false
+	for _, in := range out {
+		if in.Op == isa.OpLoad {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("load forwarded across a potentially aliasing store")
+	}
+}
+
+func TestForwardingKilledByBaseOrSourceChange(t *testing.T) {
+	// Base register changes between store and load: no forward.
+	code := []isa.Inst{
+		{Op: isa.OpStore, Rs1: 2, Rs2: 3, Imm: 8},
+		{Op: isa.OpAddImm, Rd: 2, Rs1: 2, Imm: 0}, // rewrites the base
+		{Op: isa.OpLoad, Rd: 4, Rs1: 2, Imm: 8},
+		{Op: isa.OpStore, Rs1: 5, Rs2: 4},
+	}
+	out, _ := Optimize(code)
+	loads := 0
+	for _, in := range out {
+		if in.Op == isa.OpLoad {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("load forwarded across a base-register change: %v", out)
+	}
+
+	// Source register changes between store and load: no forward.
+	code = []isa.Inst{
+		{Op: isa.OpStore, Rs1: 2, Rs2: 3, Imm: 8},
+		{Op: isa.OpLoad, Rd: 3, Rs1: 6, Imm: 0}, // clobbers r3
+		{Op: isa.OpLoad, Rd: 4, Rs1: 2, Imm: 8},
+		{Op: isa.OpStore, Rs1: 5, Rs2: 4},
+		{Op: isa.OpStore, Rs1: 5, Rs2: 3, Imm: 8},
+	}
+	out, _ = Optimize(code)
+	loads = 0
+	for _, in := range out {
+		if in.Op == isa.OpLoad {
+			loads++
+		}
+	}
+	if loads != 2 {
+		t.Fatalf("load forwarded from a clobbered source: %v", out)
+	}
+}

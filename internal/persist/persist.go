@@ -1,0 +1,246 @@
+// Package persist implements cross-run code-cache persistence: serializing
+// the long-lived contents of the persistent cache at process exit and
+// pre-populating a fresh cache from that image at the next startup.
+//
+// The paper closes by observing that long-lived traces dominate cache value;
+// the natural follow-on (pursued by the same research line in later work on
+// persistent and process-shared code caches) is to keep those traces across
+// runs and skip their regeneration cost entirely. This package provides the
+// mechanism and the experiment hook: save a generational manager's
+// persistent cache, then warm a new manager from the file and measure how
+// many trace generations the second run avoids.
+//
+// The on-disk format is a small versioned binary file: a magic header, the
+// benchmark name, then one record per trace (ID, head address, size,
+// module, and the member-block addresses). Trace *bodies* are rebuilt from
+// the program image on reuse — exactly what a DBT must do anyway when it
+// revalidates a persisted trace against the current address space — so the
+// file stays compact and stale records are rejected by Rebuild.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+const magic = "CCPERSIST1\n"
+
+// Record describes one persisted trace.
+type Record struct {
+	ID       uint64
+	HeadAddr uint64
+	Size     uint32
+	Module   uint16
+	// Blocks are the member-block addresses in execution order; Rebuild
+	// reconstructs the superblock from them.
+	Blocks []uint64
+}
+
+// Image is a saved persistent-cache snapshot.
+type Image struct {
+	Benchmark string
+	Records   []Record
+}
+
+// Snapshot captures the current contents of a generational manager's
+// persistent cache (the traces that earned promotion). lookup resolves a
+// trace ID to its materialized trace (the engine's TraceByID); traces the
+// engine no longer knows are skipped.
+func Snapshot(benchmark string, g *core.Generational, lookup func(uint64) (*trace.Trace, bool)) Image {
+	img := Image{Benchmark: benchmark}
+	for _, f := range g.PersistentFragments() {
+		rec := Record{
+			ID:       f.ID,
+			HeadAddr: f.HeadAddr,
+			Size:     uint32(f.Size),
+			Module:   f.Module,
+		}
+		if lookup != nil {
+			t, ok := lookup(f.ID)
+			if !ok {
+				continue
+			}
+			rec.Blocks = append(rec.Blocks, t.BlockAddrs...)
+		}
+		img.Records = append(img.Records, rec)
+	}
+	return img
+}
+
+// Save writes the image.
+func Save(w io.Writer, img Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(img.Benchmark))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(img.Benchmark); err != nil {
+		return err
+	}
+	if err := put(uint64(len(img.Records))); err != nil {
+		return err
+	}
+	for _, r := range img.Records {
+		for _, v := range []uint64{r.ID, r.HeadAddr, uint64(r.Size), uint64(r.Module), uint64(len(r.Blocks))} {
+			if err := put(v); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.Blocks {
+			if err := put(a); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an image.
+func Load(r io.Reader) (Image, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return Image{}, fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return Image{}, fmt.Errorf("persist: bad magic %q", got)
+	}
+	get := func() (uint64, error) { return binary.ReadUvarint(br) }
+	nameLen, err := get()
+	if err != nil {
+		return Image{}, err
+	}
+	if nameLen > 1<<16 {
+		return Image{}, errors.New("persist: unreasonable name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return Image{}, err
+	}
+	n, err := get()
+	if err != nil {
+		return Image{}, err
+	}
+	if n > 1<<24 {
+		return Image{}, errors.New("persist: unreasonable record count")
+	}
+	img := Image{Benchmark: string(name), Records: make([]Record, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var vals [5]uint64
+		for j := range vals {
+			v, err := get()
+			if err != nil {
+				return Image{}, fmt.Errorf("persist: record %d: %w", i, err)
+			}
+			vals[j] = v
+		}
+		if vals[4] > 1<<16 {
+			return Image{}, errors.New("persist: unreasonable block count")
+		}
+		rec := Record{
+			ID:       vals[0],
+			HeadAddr: vals[1],
+			Size:     uint32(vals[2]),
+			Module:   uint16(vals[3]),
+		}
+		for j := uint64(0); j < vals[4]; j++ {
+			a, err := get()
+			if err != nil {
+				return Image{}, fmt.Errorf("persist: record %d block %d: %w", i, j, err)
+			}
+			rec.Blocks = append(rec.Blocks, a)
+		}
+		img.Records = append(img.Records, rec)
+	}
+	return img, nil
+}
+
+// Rebuild reconstructs real superblocks from a snapshot against the current
+// program image, rejecting stale records (missing blocks, changed layout,
+// or a rebuilt size that disagrees with the snapshot). The returned traces
+// keep their persisted IDs.
+func Rebuild(img Image, prog *program.Image) (ok []*trace.Trace, rejected int) {
+	for _, r := range img.Records {
+		if len(r.Blocks) == 0 {
+			rejected++
+			continue
+		}
+		blocks := make([]*program.Block, 0, len(r.Blocks))
+		valid := true
+		for _, a := range r.Blocks {
+			b, found := prog.Block(a)
+			if !found {
+				valid = false
+				break
+			}
+			blocks = append(blocks, b)
+		}
+		if !valid || blocks[0].Addr != r.HeadAddr {
+			rejected++
+			continue
+		}
+		t, err := trace.Build(r.ID, blocks)
+		if err != nil || uint32(t.Size()) != r.Size {
+			rejected++
+			continue
+		}
+		ok = append(ok, t)
+	}
+	return ok, rejected
+}
+
+// WarmStats reports what a warm start accomplished.
+type WarmStats struct {
+	Restored uint64  // traces pre-populated into the persistent cache
+	Rejected uint64  // records that did not fit or failed validation
+	SavedGen float64 // trace-generation instructions avoided (Table 2)
+}
+
+// Validator revalidates a record against the current program image; a DBT
+// must confirm the original code is still there before reusing a cached
+// trace. Return false to reject.
+type Validator func(Record) bool
+
+// Warm pre-populates a fresh generational manager's persistent cache from a
+// saved image. genCost gives the per-trace regeneration cost being avoided
+// (use costmodel.Model.TraceGen).
+func Warm(g *core.Generational, img Image, validate Validator, genCost func(sizeBytes int) float64) WarmStats {
+	var ws WarmStats
+	for _, r := range img.Records {
+		if validate != nil && !validate(r) {
+			ws.Rejected++
+			continue
+		}
+		err := g.InsertPersistent(codecache.Fragment{
+			ID:       r.ID,
+			Size:     uint64(r.Size),
+			Module:   r.Module,
+			HeadAddr: r.HeadAddr,
+		})
+		if err != nil {
+			ws.Rejected++
+			continue
+		}
+		ws.Restored++
+		if genCost != nil {
+			ws.SavedGen += genCost(int(r.Size))
+		}
+	}
+	return ws
+}

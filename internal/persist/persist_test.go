@@ -1,0 +1,286 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dbt"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// populated builds a generational manager with some traces promoted into
+// the persistent cache.
+func populated(t *testing.T) *core.Generational {
+	t.Helper()
+	g, err := core.NewGenerational(core.Config{
+		TotalCapacity:    3000,
+		NurseryFrac:      0.3,
+		ProbationFrac:    0.3,
+		PersistentFrac:   0.4,
+		PromoteThreshold: 1,
+		PromoteOnAccess:  true,
+	}, core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push traces through nursery into probation, hit them to promote.
+	for id := uint64(1); id <= 12; id++ {
+		if err := g.Insert(codecache.Fragment{ID: id, Size: 100, Module: uint16(id % 3), HeadAddr: 0x1000 * id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(1); id <= 6; id++ {
+		g.Access(id) // promote whatever sits in probation
+	}
+	if len(g.PersistentFragments()) == 0 {
+		t.Fatal("no traces reached the persistent cache")
+	}
+	return g
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	g := populated(t)
+	img := Snapshot("word", g, nil)
+	if len(img.Records) == 0 || img.Benchmark != "word" {
+		t.Fatalf("snapshot = %+v", img)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != img.Benchmark || len(got.Records) != len(img.Records) {
+		t.Fatalf("loaded = %+v", got)
+	}
+	for i := range img.Records {
+		a, b := img.Records[i], got.Records[i]
+		if a.ID != b.ID || a.HeadAddr != b.HeadAddr || a.Size != b.Size || a.Module != b.Module || len(a.Blocks) != len(b.Blocks) {
+			t.Errorf("record %d: %+v != %+v", i, b, a)
+			continue
+		}
+		for j := range a.Blocks {
+			if a.Blocks[j] != b.Blocks[j] {
+				t.Errorf("record %d block %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("short")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	if _, err := Load(strings.NewReader("NOTTHEMAG1\nxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid magic, truncated payload.
+	var buf bytes.Buffer
+	buf.WriteString("CCPERSIST1\n")
+	buf.WriteByte(3) // claims a 3-byte name, then EOF
+	if _, err := Load(&buf); err == nil {
+		t.Error("truncated name accepted")
+	}
+}
+
+func TestWarmRestoresTraces(t *testing.T) {
+	g := populated(t)
+	img := Snapshot("b", g, nil)
+	persisted := len(img.Records)
+
+	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := costmodel.DefaultModel
+	ws := Warm(fresh, img, nil, model.TraceGen)
+	if ws.Restored != uint64(persisted) {
+		t.Fatalf("restored %d of %d", ws.Restored, persisted)
+	}
+	if ws.SavedGen <= 0 {
+		t.Error("no generation cost saved")
+	}
+	// Every restored trace is immediately hittable: no regeneration needed.
+	for _, r := range img.Records {
+		if !fresh.Access(r.ID) {
+			t.Errorf("restored trace %d not resident", r.ID)
+		}
+	}
+	if err := fresh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmValidatorRejects(t *testing.T) {
+	g := populated(t)
+	img := Snapshot("b", g, nil)
+	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := Warm(fresh, img, func(r Record) bool { return r.Module != 0 }, nil)
+	if ws.Rejected == 0 {
+		t.Error("validator rejected nothing")
+	}
+	for _, r := range img.Records {
+		if r.Module == 0 && fresh.Contains(r.ID) {
+			t.Errorf("rejected trace %d was restored", r.ID)
+		}
+	}
+}
+
+func TestWarmOverflowRejects(t *testing.T) {
+	g := populated(t)
+	img := Snapshot("b", g, nil)
+	// A tiny persistent cache cannot hold everything; Warm must cope.
+	tiny, err := core.NewGenerational(core.Config{
+		TotalCapacity:    300,
+		NurseryFrac:      0.34,
+		ProbationFrac:    0.33,
+		PersistentFrac:   0.33,
+		PromoteThreshold: 1,
+	}, core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := Warm(tiny, img, nil, nil)
+	// 99-byte persistent cache cannot hold a single 100-byte trace.
+	if ws.Restored != 0 || ws.Rejected != uint64(len(img.Records)) {
+		t.Errorf("warm stats = %+v", ws)
+	}
+	if err := tiny.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySnapshotRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Image{Benchmark: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Benchmark != "empty" || len(img.Records) != 0 {
+		t.Errorf("img = %+v", img)
+	}
+}
+
+// TestWarmStartEndToEnd is the cross-run experiment: run a benchmark cold
+// under a generational cache, snapshot its persistent cache, rebuild the
+// traces against the image, preload them into a fresh engine, and run
+// again. The warm run must create fewer traces and hit the preloaded ones.
+func TestWarmStartEndToEnd(t *testing.T) {
+	p, ok := workload.ByName("solitaire")
+	if !ok {
+		t.Fatal("solitaire missing")
+	}
+	p = p.Scaled(0.05)
+	bench, err := workload.Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := uint64(256 << 10)
+
+	runOnce := func(preloaded []*trace.Trace) (dbt.RunStats, *core.Generational, *dbt.Engine) {
+		g, err := core.NewGenerational(core.Layout451045Threshold1(capacity), core.Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := dbt.New(bench.Image, dbt.Config{Manager: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preloaded != nil {
+			if err := e.Preload(preloaded); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Run(bench.NewDriver(), 0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats(), g, e
+	}
+
+	cold, g, e := runOnce(nil)
+	if cold.TracesCreated == 0 {
+		t.Fatal("cold run created nothing")
+	}
+
+	img := Snapshot(p.Name, g, e.TraceByID)
+	if len(img.Records) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, rejected := Rebuild(loaded, bench.Image)
+	if len(rebuilt) == 0 {
+		t.Fatalf("rebuilt 0 traces (%d rejected)", rejected)
+	}
+	if rejected != 0 {
+		t.Errorf("rejected %d records against an unchanged image", rejected)
+	}
+
+	warm, _, _ := runOnce(rebuilt)
+	saved := int64(cold.TracesCreated) - int64(warm.TracesCreated)
+	if saved < int64(len(rebuilt))/2 {
+		t.Errorf("warm run created %d traces vs cold %d; preloaded %d but saved only %d generations",
+			warm.TracesCreated, cold.TracesCreated, len(rebuilt), saved)
+	}
+}
+
+// TestRebuildRejectsStaleImage: records against a different program image
+// (changed layout) must be rejected, not mis-reused.
+func TestRebuildRejectsStaleImage(t *testing.T) {
+	p, _ := workload.ByName("art")
+	bench1, err := workload.Synthesize(p.Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Scaled(0.05)
+	q.Seed = 777 // different program layout
+	bench2, err := workload.Synthesize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := core.NewGenerational(core.Layout451045Threshold1(128<<10), core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dbt.New(bench1.Image, dbt.Config{Manager: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(bench1.NewDriver(), 0); err != nil {
+		t.Fatal(err)
+	}
+	img := Snapshot(p.Name, g, e.TraceByID)
+	if len(img.Records) == 0 {
+		t.Skip("no persistent traces to test with")
+	}
+	rebuilt, rejected := Rebuild(img, bench2.Image)
+	if rejected == 0 {
+		t.Errorf("no records rejected against a different image (rebuilt %d)", len(rebuilt))
+	}
+	// Whatever does rebuild must genuinely validate against bench2.
+	for _, tr := range rebuilt {
+		if _, ok := bench2.Image.Block(tr.Head); !ok {
+			t.Errorf("rebuilt trace %d has head outside the image", tr.ID)
+		}
+	}
+}

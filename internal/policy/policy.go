@@ -1,0 +1,302 @@
+// Package policy implements the paper's *local* code-cache management
+// policies (§4): replacement disciplines that operate within a single cache.
+// The pseudo-circular policy of §4.3 is the one the generational design
+// builds on; LRU, flush-when-full, preemptive flushing (Dynamo's scheme),
+// and unbounded caches are the baselines the paper's prior work compared.
+package policy
+
+import (
+	"container/heap"
+	"errors"
+
+	"repro/internal/codecache"
+)
+
+// Local is a replacement policy for one code-cache arena. Implementations
+// choose victims when an insertion does not fit. Every capacity-driven
+// victim is reported through onEvict.
+type Local interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Insert places f into a, evicting resident fragments as the policy
+	// dictates. It returns codecache.ErrNoSpace when no legal eviction
+	// sequence frees enough room, and codecache.ErrTooBig when f can never
+	// fit.
+	Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error
+	// OnAccess lets the policy maintain recency bookkeeping. The arena has
+	// already recorded the access.
+	OnAccess(a *codecache.Arena, id uint64)
+}
+
+// PseudoCircular is the paper's §4.3 policy: a circular (FIFO) sweep that
+// resets past undeletable fragments and absorbs program-forced holes into
+// its path. It delegates entirely to the arena's built-in sweep.
+type PseudoCircular struct{}
+
+// Name implements Local.
+func (PseudoCircular) Name() string { return "pseudo-circular" }
+
+// Insert implements Local.
+func (PseudoCircular) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	return a.Insert(f, onEvict)
+}
+
+// OnAccess implements Local.
+func (PseudoCircular) OnAccess(*codecache.Arena, uint64) {}
+
+// LRU evicts the least-recently-used fragment until the insertion fits
+// somewhere. The paper's prior work found it competitive on miss rate but
+// fragmentation-prone and expensive; it is here as a baseline and as the
+// alternate local policy for the generational ablation.
+type LRU struct {
+	h lruHeap
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+type lruEntry struct {
+	id   uint64
+	last uint64
+}
+
+type lruHeap []lruEntry
+
+func (h lruHeap) Len() int           { return len(h) }
+func (h lruHeap) Less(i, j int) bool { return h[i].last < h[j].last }
+func (h lruHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *lruHeap) Push(x any)        { *h = append(*h, x.(lruEntry)) }
+func (h *lruHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *lruHeap) push(e lruEntry)   { heap.Push(h, e) }
+func (h *lruHeap) popMin() (lruEntry, bool) {
+	if len(*h) == 0 {
+		return lruEntry{}, false
+	}
+	return heap.Pop(h).(lruEntry), true
+}
+
+// Name implements Local.
+func (l *LRU) Name() string { return "lru" }
+
+// OnAccess implements Local. Entries are pushed lazily; stale heap entries
+// are discarded at pop time by comparing against the arena's current state.
+func (l *LRU) OnAccess(a *codecache.Arena, id uint64) {
+	if f, ok := a.Lookup(id); ok {
+		l.h.push(lruEntry{id: id, last: f.LastAccess})
+	}
+}
+
+// Insert implements Local.
+func (l *LRU) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	if f.Size > a.Capacity() {
+		return codecache.ErrTooBig
+	}
+	for {
+		err := a.PlaceFirstFit(f)
+		if err == nil {
+			l.h.push(lruEntry{id: f.ID, last: a.Clock()})
+			return nil
+		}
+		if !errors.Is(err, codecache.ErrNoSpace) {
+			return err
+		}
+		victim, ok := l.victim(a)
+		if !ok {
+			return codecache.ErrNoSpace
+		}
+		v, derr := a.Delete(victim, false)
+		if derr != nil {
+			continue // raced with staleness; try the next candidate
+		}
+		if onEvict != nil {
+			onEvict(v)
+		}
+	}
+}
+
+// victim pops heap entries until one matches a live, deletable fragment
+// whose recorded recency is current.
+func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
+	for {
+		e, ok := l.h.popMin()
+		if !ok {
+			// Heap exhausted; fall back to a scan (covers fragments whose
+			// heap entries were all stale).
+			var bestID uint64
+			var bestLast uint64
+			found := false
+			for _, f := range a.Fragments() {
+				if f.Undeletable {
+					continue
+				}
+				if !found || f.LastAccess < bestLast {
+					bestID, bestLast, found = f.ID, f.LastAccess, true
+				}
+			}
+			return bestID, found
+		}
+		f, ok := a.Lookup(e.id)
+		if !ok || f.Undeletable || f.LastAccess != e.last {
+			continue // stale entry
+		}
+		return e.id, true
+	}
+}
+
+// FlushWhenFull deletes every deletable fragment when an insertion fails,
+// then retries. This is the bluntest policy: cheap bookkeeping, terrible
+// retention.
+type FlushWhenFull struct {
+	// Flushes counts how many whole-cache flushes have occurred.
+	Flushes uint64
+}
+
+// Name implements Local.
+func (p *FlushWhenFull) Name() string { return "flush-when-full" }
+
+// OnAccess implements Local.
+func (p *FlushWhenFull) OnAccess(*codecache.Arena, uint64) {}
+
+// Insert implements Local.
+func (p *FlushWhenFull) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	if f.Size > a.Capacity() {
+		return codecache.ErrTooBig
+	}
+	if err := a.PlaceFirstFit(f); err == nil {
+		return nil
+	} else if !errors.Is(err, codecache.ErrNoSpace) {
+		return err
+	}
+	p.Flushes++
+	a.Flush(onEvict)
+	return a.PlaceFirstFit(f)
+}
+
+// PreemptiveFlush approximates Dynamo's preemptive flushing (§2): it watches
+// the trace-creation rate and flushes the cache when a spike suggests a
+// program phase change, on the theory that the old working set is dead. It
+// also flushes when full, like FlushWhenFull.
+type PreemptiveFlush struct {
+	// Window is how many recent insertions the rate estimate covers.
+	Window int
+	// SpikeFactor is how much faster than the long-term insertion rate the
+	// recent rate must be to signal a phase change.
+	SpikeFactor float64
+
+	// Flushes counts phase-change flushes; FullFlushes counts flushes
+	// forced by a failed insertion.
+	Flushes     uint64
+	FullFlushes uint64
+
+	recent  []uint64 // clock values of the last Window inserts
+	inserts uint64
+	start   uint64
+	started bool
+}
+
+// NewPreemptiveFlush returns a policy with the default window (32) and
+// spike factor (4).
+func NewPreemptiveFlush() *PreemptiveFlush {
+	return &PreemptiveFlush{Window: 32, SpikeFactor: 4}
+}
+
+// Name implements Local.
+func (p *PreemptiveFlush) Name() string { return "preemptive-flush" }
+
+// OnAccess implements Local.
+func (p *PreemptiveFlush) OnAccess(*codecache.Arena, uint64) {}
+
+// Insert implements Local.
+func (p *PreemptiveFlush) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	if f.Size > a.Capacity() {
+		return codecache.ErrTooBig
+	}
+	now := a.Clock()
+	if !p.started {
+		p.start = now
+		p.started = true
+	}
+	p.inserts++
+	p.recent = append(p.recent, now)
+	if len(p.recent) > p.Window {
+		p.recent = p.recent[len(p.recent)-p.Window:]
+	}
+	if p.phaseChange(now) {
+		p.Flushes++
+		a.Flush(onEvict)
+		p.recent = p.recent[:0]
+	}
+	if err := a.PlaceFirstFit(f); err == nil {
+		return nil
+	} else if !errors.Is(err, codecache.ErrNoSpace) {
+		return err
+	}
+	p.FullFlushes++
+	a.Flush(onEvict)
+	return a.PlaceFirstFit(f)
+}
+
+// phaseChange reports whether the recent insertion rate is SpikeFactor times
+// the long-term rate.
+func (p *PreemptiveFlush) phaseChange(now uint64) bool {
+	if len(p.recent) < p.Window || p.inserts < uint64(2*p.Window) {
+		return false
+	}
+	total := now - p.start
+	if total == 0 {
+		return false
+	}
+	recentSpan := now - p.recent[0]
+	if recentSpan == 0 {
+		recentSpan = 1
+	}
+	longRate := float64(p.inserts) / float64(total)
+	recentRate := float64(len(p.recent)) / float64(recentSpan)
+	return recentRate > p.SpikeFactor*longRate
+}
+
+// Unbounded never evicts; it is only usable with an arena whose capacity
+// exceeds the workload's total trace bytes (see codecache.NewUnbounded).
+type Unbounded struct{}
+
+// Name implements Local.
+func (Unbounded) Name() string { return "unbounded" }
+
+// OnAccess implements Local.
+func (Unbounded) OnAccess(*codecache.Arena, uint64) {}
+
+// Insert implements Local.
+func (Unbounded) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	return a.Insert(f, func(v codecache.Fragment) {
+		// An unbounded cache must never evict; reaching here means the
+		// arena was sized too small for the workload.
+		panic("policy: unbounded cache evicted fragment")
+	})
+}
+
+// CircularFirstFit is the design alternative §4.3 explicitly rejects: before
+// evicting at the cursor, try to place the new trace into an existing hole
+// (left by program-forced deletions). The paper argues this complicates the
+// design and can hurt temporal locality; it is implemented here so the
+// ablation can measure that trade-off.
+type CircularFirstFit struct {
+	// HoleFills counts insertions satisfied from holes without eviction.
+	HoleFills uint64
+}
+
+// Name implements Local.
+func (p *CircularFirstFit) Name() string { return "circular-first-fit" }
+
+// OnAccess implements Local.
+func (p *CircularFirstFit) OnAccess(*codecache.Arena, uint64) {}
+
+// Insert implements Local.
+func (p *CircularFirstFit) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	if err := a.PlaceFirstFit(f); err == nil {
+		p.HoleFills++
+		return nil
+	} else if !errors.Is(err, codecache.ErrNoSpace) {
+		return err
+	}
+	return a.Insert(f, onEvict)
+}

@@ -1,0 +1,321 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/codecache"
+)
+
+func insertN(t *testing.T, p Local, a *codecache.Arena, ids []uint64, size uint64) []uint64 {
+	t.Helper()
+	var evicted []uint64
+	for _, id := range ids {
+		err := p.Insert(a, codecache.Fragment{ID: id, Size: size}, func(v codecache.Fragment) {
+			evicted = append(evicted, v.ID)
+		})
+		if err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", id, err)
+		}
+	}
+	return evicted
+}
+
+func TestPseudoCircularDelegates(t *testing.T) {
+	p := PseudoCircular{}
+	a := codecache.New(300)
+	ev := insertN(t, p, a, []uint64{1, 2, 3, 4}, 100)
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", ev)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+	p.OnAccess(a, 2) // must be a no-op
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(300)
+	insertN(t, p, a, []uint64{1, 2, 3}, 100)
+	// Touch 1 and 3; 2 becomes the LRU victim.
+	a.Access(1)
+	p.OnAccess(a, 1)
+	a.Access(3)
+	p.OnAccess(a, 3)
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 4, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2]", ev)
+	}
+	if !a.Contains(1) || !a.Contains(3) || !a.Contains(4) {
+		t.Error("wrong residents after LRU eviction")
+	}
+}
+
+func TestLRUFragmentationRequiresMultipleEvictions(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(300)
+	insertN(t, p, a, []uint64{1, 2, 3}, 100)
+	// All three untouched since insert; inserting a 250-byte trace must
+	// evict multiple fragments and still find contiguous space.
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 4, Size: 250}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) < 2 {
+		t.Fatalf("evicted %v, want at least 2 victims", ev)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUSkipsPinned(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(200)
+	if err := p.Insert(a, codecache.Fragment{ID: 1, Size: 100, Undeletable: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(a, codecache.Fragment{ID: 2, Size: 100}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 3, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (1 is pinned)", ev)
+	}
+}
+
+func TestLRUNoSpaceAllPinned(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(200)
+	if err := p.Insert(a, codecache.Fragment{ID: 1, Size: 200, Undeletable: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Insert(a, codecache.Fragment{ID: 2, Size: 100}, nil)
+	if !errors.Is(err, codecache.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if err := p.Insert(a, codecache.Fragment{ID: 3, Size: 300}, nil); !errors.Is(err, codecache.ErrTooBig) {
+		t.Fatalf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestFlushWhenFull(t *testing.T) {
+	p := &FlushWhenFull{}
+	a := codecache.New(300)
+	insertN(t, p, a, []uint64{1, 2, 3}, 100)
+	if p.Flushes != 0 {
+		t.Fatalf("premature flush")
+	}
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 4, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", p.Flushes)
+	}
+	if len(ev) != 3 {
+		t.Fatalf("flush evicted %v, want all three", ev)
+	}
+	if a.Len() != 1 || !a.Contains(4) {
+		t.Error("only fragment 4 should remain")
+	}
+	if err := p.Insert(a, codecache.Fragment{ID: 5, Size: 400}, nil); !errors.Is(err, codecache.ErrTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPreemptiveFlushOnPhaseChange(t *testing.T) {
+	p := NewPreemptiveFlush()
+	p.Window = 8
+	p.SpikeFactor = 3
+	a := codecache.New(1 << 20)
+	id := uint64(1)
+
+	// Warm-up phase: slow insertion rate (many accesses between inserts).
+	for i := 0; i < 32; i++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 64}, nil); err != nil {
+			t.Fatal(err)
+		}
+		id++
+		for j := 0; j < 50; j++ {
+			a.Access(id - 1)
+		}
+	}
+	if p.Flushes != 0 {
+		t.Fatalf("flushed during steady phase")
+	}
+	// Phase change: a burst of back-to-back insertions.
+	before := a.Len()
+	for i := 0; i < 16; i++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 64}, nil); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	if p.Flushes == 0 {
+		t.Fatalf("no preemptive flush after burst (len before %d, after %d)", before, a.Len())
+	}
+}
+
+func TestPreemptiveFlushWhenFull(t *testing.T) {
+	p := NewPreemptiveFlush()
+	a := codecache.New(300)
+	for id := uint64(1); id <= 4; id++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 100}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.FullFlushes != 1 {
+		t.Fatalf("full flushes = %d, want 1", p.FullFlushes)
+	}
+	if err := p.Insert(a, codecache.Fragment{ID: 9, Size: 400}, nil); !errors.Is(err, codecache.ErrTooBig) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	p := Unbounded{}
+	a := codecache.NewUnbounded()
+	for id := uint64(1); id <= 500; id++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 1000}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 500 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestUnboundedPanicsWhenTooSmall(t *testing.T) {
+	p := Unbounded{}
+	a := codecache.New(100)
+	if err := p.Insert(a, codecache.Fragment{ID: 1, Size: 80}, nil); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unbounded policy must panic when forced to evict")
+		}
+	}()
+	_ = p.Insert(a, codecache.Fragment{ID: 2, Size: 80}, nil)
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Local{PseudoCircular{}, NewLRU(), &FlushWhenFull{}, NewPreemptiveFlush(), Unbounded{}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+// TestPoliciesRandomized runs every policy through a random workload and
+// checks arena invariants and residency consistency throughout.
+func TestPoliciesRandomized(t *testing.T) {
+	mk := []func() Local{
+		func() Local { return PseudoCircular{} },
+		func() Local { return NewLRU() },
+		func() Local { return &FlushWhenFull{} },
+		func() Local { return NewPreemptiveFlush() },
+	}
+	for _, make := range mk {
+		p := make()
+		t.Run(p.Name(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			a := codecache.New(8192)
+			live := map[uint64]bool{}
+			id := uint64(1)
+			for op := 0; op < 2000; op++ {
+				if r.Intn(3) == 0 {
+					// access a random live fragment
+					for k := range live {
+						if a.Access(k) {
+							p.OnAccess(a, k)
+						}
+						break
+					}
+					continue
+				}
+				f := codecache.Fragment{ID: id, Size: uint64(32 + r.Intn(900))}
+				id++
+				err := p.Insert(a, f, func(v codecache.Fragment) {
+					if !live[v.ID] {
+						t.Fatalf("op %d: evicted dead fragment %d", op, v.ID)
+					}
+					delete(live, v.ID)
+				})
+				if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				live[f.ID] = true
+				if err := a.CheckInvariants(); err != nil {
+					t.Fatalf("op %d: %v", op, err)
+				}
+				if a.Len() != len(live) {
+					t.Fatalf("op %d: arena %d vs model %d", op, a.Len(), len(live))
+				}
+			}
+		})
+	}
+}
+
+func TestCircularFirstFitFillsHoles(t *testing.T) {
+	p := &CircularFirstFit{}
+	a := codecache.New(400)
+	for id := uint64(1); id <= 4; id++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 100, Module: uint16(id % 2)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unmap module 1 (fragments 1 and 3): two 100-byte holes.
+	a.DeleteModule(1)
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 5, Size: 80}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 0 {
+		t.Fatalf("hole fill evicted %v", ev)
+	}
+	if p.HoleFills == 0 {
+		t.Error("hole fill not counted")
+	}
+	off, _ := a.Offset(5)
+	if off != 0 {
+		t.Errorf("fragment 5 placed at %d, want hole at 0", off)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// When no hole fits, it falls back to circular eviction.
+	if err := p.Insert(a, codecache.Fragment{ID: 6, Size: 150}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) == 0 {
+		t.Error("oversized insert should have evicted")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

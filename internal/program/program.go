@@ -1,0 +1,220 @@
+// Package program models guest program images: modules (the analogue of
+// executables and DLLs), functions, basic blocks, and the address space they
+// occupy. Images are what the virtual machine interprets and what the
+// dynamic optimizer translates.
+//
+// Modules matter to the reproduction because the paper's interactive
+// workloads constantly load and unload DLLs; every unload forces the
+// optimizer to delete the corresponding traces from its code cache
+// (program-forced evictions, paper §3.4 and §4.2).
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// ModuleID identifies a module within an image.
+type ModuleID uint16
+
+// NoModule is the ModuleID used for addresses that belong to no module.
+const NoModule ModuleID = 0xffff
+
+// Block is a single-entry single-exit instruction sequence.
+type Block struct {
+	Addr   uint64
+	Module ModuleID
+	Code   []isa.Inst
+
+	size int
+}
+
+// Size returns the encoded size of the block in bytes.
+func (b *Block) Size() int {
+	if b.size == 0 {
+		b.size = isa.CodeSize(b.Code)
+	}
+	return b.size
+}
+
+// Last returns the block's final (terminating) instruction.
+func (b *Block) Last() isa.Inst {
+	if len(b.Code) == 0 {
+		return isa.Inst{}
+	}
+	return b.Code[len(b.Code)-1]
+}
+
+// LastAddr returns the address of the block's final instruction.
+func (b *Block) LastAddr() uint64 {
+	a := b.Addr
+	for i := 0; i < len(b.Code)-1; i++ {
+		a += uint64(b.Code[i].Size())
+	}
+	return a
+}
+
+// End returns the address one past the block's last byte.
+func (b *Block) End() uint64 { return b.Addr + uint64(b.Size()) }
+
+// FallThrough returns the address execution reaches when the terminating
+// instruction does not transfer control (conditional branch not taken,
+// return from a call, resumption after a syscall). For unconditional
+// transfers it still returns the address after the block, which is only
+// meaningful for calls and syscalls.
+func (b *Block) FallThrough() uint64 { return b.End() }
+
+// Function groups the blocks of one procedure.
+type Function struct {
+	Name   string
+	Module ModuleID
+	Entry  uint64
+	Blocks []*Block
+}
+
+// Size returns the total code bytes of the function.
+func (f *Function) Size() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += b.Size()
+	}
+	return n
+}
+
+// Module is a contiguous code region that can be mapped and unmapped as a
+// unit, like a Windows DLL.
+type Module struct {
+	ID         ModuleID
+	Name       string
+	Base       uint64
+	Unloadable bool
+	Functions  []*Function
+
+	size uint64
+}
+
+// Size returns the module's code footprint in bytes.
+func (m *Module) Size() uint64 { return m.size }
+
+// End returns the address one past the module's last code byte.
+func (m *Module) End() uint64 { return m.Base + m.size }
+
+// Contains reports whether addr lies inside the module.
+func (m *Module) Contains(addr uint64) bool { return addr >= m.Base && addr < m.End() }
+
+// Image is a complete guest program.
+type Image struct {
+	Modules []*Module
+	Entry   uint64 // address of the first instruction to execute
+
+	blocks map[uint64]*Block
+}
+
+// Block returns the basic block starting at addr.
+func (img *Image) Block(addr uint64) (*Block, bool) {
+	b, ok := img.blocks[addr]
+	return b, ok
+}
+
+// MustBlock returns the block at addr or panics; for tests and internal use.
+func (img *Image) MustBlock(addr uint64) *Block {
+	b, ok := img.blocks[addr]
+	if !ok {
+		panic(fmt.Sprintf("program: no block at %#x", addr))
+	}
+	return b
+}
+
+// Module returns the module with the given ID, or nil.
+func (img *Image) Module(id ModuleID) *Module {
+	if int(id) >= len(img.Modules) {
+		return nil
+	}
+	return img.Modules[id]
+}
+
+// ModuleOf returns the module containing addr.
+func (img *Image) ModuleOf(addr uint64) (*Module, bool) {
+	// Modules are sorted by base address.
+	i := sort.Search(len(img.Modules), func(i int) bool {
+		return img.Modules[i].End() > addr
+	})
+	if i < len(img.Modules) && img.Modules[i].Contains(addr) {
+		return img.Modules[i], true
+	}
+	return nil, false
+}
+
+// NumBlocks returns the number of basic blocks in the image.
+func (img *Image) NumBlocks() int { return len(img.blocks) }
+
+// Footprint returns the total static code bytes across all modules.
+func (img *Image) Footprint() uint64 {
+	var n uint64
+	for _, m := range img.Modules {
+		n += m.Size()
+	}
+	return n
+}
+
+// FindFunction returns the first function with the given name.
+func (img *Image) FindFunction(name string) (*Function, bool) {
+	for _, m := range img.Modules {
+		for _, f := range m.Functions {
+			if f.Name == name {
+				return f, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Validate checks the structural invariants of the image: blocks do not
+// overlap, every block terminator is a real terminator, every direct branch
+// target is a block address inside the image, and fall-through addresses of
+// conditional branches are block starts.
+func (img *Image) Validate() error {
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for addr, b := range img.blocks {
+		if addr != b.Addr {
+			return fmt.Errorf("program: block indexed at %#x has Addr %#x", addr, b.Addr)
+		}
+		if len(b.Code) == 0 {
+			return fmt.Errorf("program: empty block at %#x", addr)
+		}
+		last := b.Last()
+		if !last.EndsBlock() {
+			return fmt.Errorf("program: block at %#x ends with non-terminator %s", addr, last)
+		}
+		for i, in := range b.Code[:len(b.Code)-1] {
+			if in.EndsBlock() {
+				return fmt.Errorf("program: block at %#x has terminator %s at position %d", addr, in, i)
+			}
+		}
+		if last.IsDirect() {
+			if _, ok := img.blocks[last.Target]; !ok {
+				return fmt.Errorf("program: block at %#x branches to %#x which is not a block", addr, last.Target)
+			}
+		}
+		if last.IsConditional() || last.IsCall() || last.Op == isa.OpSyscall {
+			ft := b.FallThrough()
+			if _, ok := img.blocks[ft]; !ok {
+				return fmt.Errorf("program: block at %#x falls through to %#x which is not a block", addr, ft)
+			}
+		}
+		spans = append(spans, span{b.Addr, b.End()})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo < spans[i-1].hi {
+			return fmt.Errorf("program: blocks overlap at %#x", spans[i].lo)
+		}
+	}
+	if _, ok := img.blocks[img.Entry]; !ok && len(img.blocks) > 0 {
+		return fmt.Errorf("program: entry %#x is not a block", img.Entry)
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildCountdown builds a tiny two-module program:
+//
+//	main: r1 = 5; loop: r1--; if r1 != 0 goto loop; call helper; halt
+//	helper (in DLL): r2 = r1 + 1; ret
+func buildCountdown(t *testing.T) (*Image, *FuncSym, *FuncSym) {
+	t.Helper()
+	b := NewBuilder()
+	exe := b.Module("main.exe", false)
+	dll := b.Module("util.dll", true)
+
+	hb, helper := dll.Function("helper")
+	hb.Block()
+	hb.I(isa.Inst{Op: isa.OpAddImm, Rd: 2, Rs1: 1, Imm: 1})
+	hb.Ret()
+
+	fb, mainFn := exe.Function("main")
+	entry := fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 5})
+	loop := fb.NewBlock()
+	fb.Jmp(loop)
+	fb.StartBlock(loop)
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: -1})
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 1, Imm: 0})
+	fb.Jcc(isa.CondNE, loop)
+	callBlk := fb.Block()
+	fb.Call(helper)
+	after := fb.Block()
+	fb.Halt()
+	_ = entry
+	_ = callBlk
+	_ = after
+
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return img, mainFn, helper
+}
+
+func TestBuildCountdown(t *testing.T) {
+	img, mainFn, helper := buildCountdown(t)
+
+	if img.Entry == 0 || img.Entry != mainFn.Entry() {
+		t.Fatalf("entry = %#x, mainFn entry = %#x", img.Entry, mainFn.Entry())
+	}
+	if len(img.Modules) != 2 {
+		t.Fatalf("modules = %d, want 2", len(img.Modules))
+	}
+	if img.Modules[0].Name != "main.exe" || img.Modules[1].Name != "util.dll" {
+		t.Fatalf("module names wrong: %q %q", img.Modules[0].Name, img.Modules[1].Name)
+	}
+	if img.Modules[0].Unloadable || !img.Modules[1].Unloadable {
+		t.Error("unloadable flags wrong")
+	}
+
+	// The call block must target the helper entry in the other module.
+	blk := img.MustBlock(img.Entry)
+	if blk.Last().Op != isa.OpJmp {
+		t.Fatalf("entry block ends with %s, want jmp", blk.Last())
+	}
+	loopBlk := img.MustBlock(blk.Last().Target)
+	if loopBlk.Last().Op != isa.OpJcc {
+		t.Fatalf("loop block ends with %s", loopBlk.Last())
+	}
+	if loopBlk.Last().Target != loopBlk.Addr {
+		t.Fatalf("loop branch targets %#x, want self %#x", loopBlk.Last().Target, loopBlk.Addr)
+	}
+	callBlk := img.MustBlock(loopBlk.FallThrough())
+	if callBlk.Last().Op != isa.OpCall {
+		t.Fatalf("call block ends with %s", callBlk.Last())
+	}
+	if callBlk.Last().Target != helper.Entry() {
+		t.Fatalf("call targets %#x, want helper %#x", callBlk.Last().Target, helper.Entry())
+	}
+
+	// Helper lives in module 1's address range.
+	m, ok := img.ModuleOf(helper.Entry())
+	if !ok || m.ID != 1 {
+		t.Fatalf("ModuleOf(helper) = %v, %v", m, ok)
+	}
+
+	if err := img.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestImageLookups(t *testing.T) {
+	img, _, helper := buildCountdown(t)
+
+	if _, ok := img.Block(12345); ok {
+		t.Error("Block(12345) should fail")
+	}
+	if img.Module(99) != nil {
+		t.Error("Module(99) should be nil")
+	}
+	if _, ok := img.ModuleOf(1); ok {
+		t.Error("ModuleOf(1) should fail, below first module")
+	}
+	if _, ok := img.ModuleOf(1 << 62); ok {
+		t.Error("ModuleOf(huge) should fail")
+	}
+	if f, ok := img.FindFunction("helper"); !ok || f.Entry != helper.Entry() {
+		t.Errorf("FindFunction(helper) = %v, %v", f, ok)
+	}
+	if _, ok := img.FindFunction("nope"); ok {
+		t.Error("FindFunction(nope) should fail")
+	}
+	if img.NumBlocks() != 5 {
+		t.Errorf("NumBlocks = %d, want 5", img.NumBlocks())
+	}
+	if img.Footprint() == 0 {
+		t.Error("footprint should be positive")
+	}
+	var sum uint64
+	for _, m := range img.Modules {
+		sum += m.Size()
+		var fsum int
+		for _, f := range m.Functions {
+			fsum += f.Size()
+		}
+		if uint64(fsum) != m.Size() {
+			t.Errorf("module %s: function sizes %d != module size %d", m.Name, fsum, m.Size())
+		}
+	}
+	if sum != img.Footprint() {
+		t.Errorf("module sizes %d != footprint %d", sum, img.Footprint())
+	}
+}
+
+func TestBlockGeometry(t *testing.T) {
+	img, _, _ := buildCountdown(t)
+	blk := img.MustBlock(img.Entry)
+	if blk.End() != blk.Addr+uint64(blk.Size()) {
+		t.Error("End != Addr+Size")
+	}
+	if blk.FallThrough() != blk.End() {
+		t.Error("FallThrough != End")
+	}
+	// LastAddr + last inst size == End.
+	if blk.LastAddr()+uint64(blk.Last().Size()) != blk.End() {
+		t.Error("LastAddr inconsistent with End")
+	}
+	var empty Block
+	if empty.Last() != (isa.Inst{}) {
+		t.Error("Last of empty block should be zero inst")
+	}
+}
+
+func TestMustBlockPanics(t *testing.T) {
+	img, _, _ := buildCountdown(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBlock on bad address should panic")
+		}
+	}()
+	img.MustBlock(777)
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("empty function", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		m.Function("f")
+		if _, err := b.Build(); err == nil {
+			t.Error("building function with no blocks should fail")
+		}
+	})
+	t.Run("empty block", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		if _, err := b.Build(); err == nil {
+			t.Error("building empty block should fail")
+		}
+	})
+	t.Run("missing terminator", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.I(isa.Inst{Op: isa.OpAdd})
+		if _, err := b.Build(); err == nil {
+			t.Error("block without terminator should fail")
+		}
+	})
+	t.Run("emit after terminator", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.Halt()
+		fb.I(isa.Inst{Op: isa.OpAdd})
+		if _, err := b.Build(); err == nil {
+			t.Error("emitting after a terminator should fail")
+		}
+	})
+	t.Run("terminator via I", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.I(isa.Inst{Op: isa.OpHalt})
+		if _, err := b.Build(); err == nil {
+			t.Error("emitting a terminator through I should fail")
+		}
+	})
+	t.Run("emit with no block", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.I(isa.Inst{Op: isa.OpAdd})
+		if _, err := b.Build(); err == nil {
+			t.Error("emitting with no open block should fail")
+		}
+	})
+	t.Run("bad StartBlock", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.StartBlock(Label(5))
+		if _, err := b.Build(); err == nil {
+			t.Error("StartBlock on unknown label should fail")
+		}
+	})
+	t.Run("call to unbuilt function", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.Call(&FuncSym{name: "ghost"})
+		if _, err := b.Build(); err == nil {
+			t.Error("call to unresolved function should fail")
+		}
+	})
+	t.Run("bad entry", func(t *testing.T) {
+		b := NewBuilder()
+		m := b.Module("m", false)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.Halt()
+		b.SetEntry(&FuncSym{name: "ghost"})
+		if _, err := b.Build(); err == nil {
+			t.Error("entry pointing at unbuilt function should fail")
+		}
+	})
+}
+
+func TestDefaultEntry(t *testing.T) {
+	b := NewBuilder()
+	m := b.Module("m", false)
+	fb, sym := m.Function("f")
+	fb.Block()
+	fb.Halt()
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != sym.Entry() {
+		t.Errorf("default entry = %#x, want first function %#x", img.Entry, sym.Entry())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	img, _, _ := buildCountdown(t)
+
+	// Corrupt a branch target and expect Validate to notice.
+	blk := img.MustBlock(img.Entry)
+	saved := blk.Code[len(blk.Code)-1]
+	blk.Code[len(blk.Code)-1] = isa.Inst{Op: isa.OpJmp, Target: 3}
+	if err := img.Validate(); err == nil || !strings.Contains(err.Error(), "branches to") {
+		t.Errorf("Validate should catch dangling branch, got %v", err)
+	}
+	blk.Code[len(blk.Code)-1] = saved
+	if err := img.Validate(); err != nil {
+		t.Fatalf("restored image should validate: %v", err)
+	}
+}
+
+func TestResolveEntry(t *testing.T) {
+	_, mainFn, _ := buildCountdown(t)
+	a, err := ResolveEntry(mainFn)
+	if err != nil || a != mainFn.Entry() {
+		t.Errorf("ResolveEntry = %#x, %v", a, err)
+	}
+	if _, err := ResolveEntry(nil); err == nil {
+		t.Error("ResolveEntry(nil) should fail")
+	}
+	if _, err := ResolveEntry(&FuncSym{name: "x"}); err == nil {
+		t.Error("ResolveEntry on unbuilt sym should fail")
+	}
+}
+
+func TestModulesAreDisjoint(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		m := b.Module("m", i%2 == 0)
+		fb, _ := m.Function("f")
+		fb.Block()
+		fb.Halt()
+	}
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(img.Modules); i++ {
+		if img.Modules[i].Base < img.Modules[i-1].End() {
+			t.Errorf("modules %d and %d overlap", i-1, i)
+		}
+	}
+	for _, m := range img.Modules {
+		got, ok := img.ModuleOf(m.Base)
+		if !ok || got.ID != m.ID {
+			t.Errorf("ModuleOf(base of %d) = %v", m.ID, got)
+		}
+		got, ok = img.ModuleOf(m.End() - 1)
+		if !ok || got.ID != m.ID {
+			t.Errorf("ModuleOf(end-1 of %d) = %v", m.ID, got)
+		}
+	}
+}

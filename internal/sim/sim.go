@@ -1,0 +1,208 @@
+// Package sim replays a code-cache event log against a cache manager,
+// reproducing the paper's evaluation methodology (§6): the benchmark runs
+// once under an unbounded cache to produce the log, and every cache
+// configuration under study replays the identical access stream. Misses,
+// evictions, and promotions are weighed with the Table 2 cost model to
+// produce the overhead numbers of Figure 11.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/tracelog"
+)
+
+// Result reports one replay.
+type Result struct {
+	Config    string
+	Benchmark string
+
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64 // accesses to traces that had been generated but were not resident
+	// ColdCreates counts first-time trace generations (identical across
+	// configurations; charged to both sides of an overhead comparison).
+	ColdCreates uint64
+	// Regenerations counts trace re-creations forced by conflict misses.
+	Regenerations uint64
+	ForcedDeletes uint64
+
+	// Overhead aggregates instruction costs per the Table 2 model.
+	Overhead *costmodel.Accum
+
+	// Manager is the manager's own counter set after the run.
+	Manager core.Stats
+}
+
+// MissRate returns misses per access (0 for an access-free log).
+func (r Result) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// Replay drives every event in the log through the manager. The manager
+// must be freshly constructed; Replay does not reset it. The hooks wired at
+// manager construction time must be the ones returned by CostHooks (or
+// equivalent) so evictions and promotions are charged to acc.
+func Replay(benchmark string, events []tracelog.Event, mgr core.Manager, acc *costmodel.Accum) (Result, error) {
+	res := Result{
+		Config:    mgr.Name(),
+		Benchmark: benchmark,
+		Overhead:  acc,
+	}
+	type meta struct {
+		size   uint32
+		module uint16
+		head   uint64
+		dead   bool // module unmapped; must never be accessed again
+	}
+	traces := make(map[uint64]meta)
+	byModule := make(map[uint16][]uint64)
+
+	for _, e := range events {
+		switch e.Kind {
+		case tracelog.KindCreate:
+			if _, dup := traces[e.Trace]; dup {
+				return res, fmt.Errorf("sim: duplicate create of trace %d", e.Trace)
+			}
+			traces[e.Trace] = meta{size: e.Size, module: e.Module, head: e.Head}
+			byModule[e.Module] = append(byModule[e.Module], e.Trace)
+			res.ColdCreates++
+			acc.ChargeTraceGen(int(e.Size))
+			// Insertion failures (trace bigger than the nursery) leave the
+			// trace uncached; subsequent accesses are misses.
+			_ = mgr.Insert(codecache.Fragment{
+				ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
+			})
+
+		case tracelog.KindAccess:
+			m, ok := traces[e.Trace]
+			if !ok {
+				return res, fmt.Errorf("sim: access to unknown trace %d", e.Trace)
+			}
+			if m.dead {
+				return res, fmt.Errorf("sim: access to trace %d from unmapped module %d", e.Trace, m.module)
+			}
+			res.Accesses++
+			if mgr.Access(e.Trace) {
+				res.Hits++
+				continue
+			}
+			// Conflict miss: the trace must be re-generated and re-inserted,
+			// paying trace generation plus the surrounding context switches.
+			res.Misses++
+			res.Regenerations++
+			acc.ChargeTraceGen(int(m.size))
+			_ = mgr.Insert(codecache.Fragment{
+				ID: e.Trace, Size: uint64(m.size), Module: m.module, HeadAddr: m.head,
+			})
+
+		case tracelog.KindUnmap:
+			victims := mgr.DeleteModule(e.Module)
+			res.ForcedDeletes += uint64(len(victims))
+			// Deletion work is charged per evicted trace; program-forced
+			// deletions cost the same eviction labor.
+			for _, v := range victims {
+				acc.ChargeEviction(int(v.Size))
+			}
+			for _, id := range byModule[e.Module] {
+				if m, ok := traces[id]; ok && !m.dead {
+					m.dead = true
+					traces[id] = m
+				}
+			}
+			byModule[e.Module] = byModule[e.Module][:0]
+
+		case tracelog.KindPin:
+			mgr.SetUndeletable(e.Trace, true)
+		case tracelog.KindUnpin:
+			mgr.SetUndeletable(e.Trace, false)
+		case tracelog.KindEnd:
+			// nothing to do
+		default:
+			return res, fmt.Errorf("sim: unknown event kind %d", e.Kind)
+		}
+	}
+	res.Manager = mgr.Stats()
+	return res, nil
+}
+
+// CostHooks returns manager hooks that charge evictions and promotions to
+// the accumulator.
+func CostHooks(acc *costmodel.Accum) core.Hooks {
+	return core.Hooks{
+		OnEvict: func(f codecache.Fragment, _ core.Level) {
+			acc.ChargeEviction(int(f.Size))
+		},
+		OnPromote: func(f codecache.Fragment, _, _ core.Level) {
+			acc.ChargePromotion(int(f.Size))
+		},
+	}
+}
+
+// ReplayUnified is a convenience: replay under a single pseudo-circular
+// cache of the given capacity.
+func ReplayUnified(benchmark string, events []tracelog.Event, capacity uint64, model costmodel.Model) (Result, error) {
+	acc := costmodel.NewAccum(model)
+	mgr := core.NewUnified(capacity, nil, CostHooks(acc))
+	return Replay(benchmark, events, mgr, acc)
+}
+
+// ReplayGenerational is a convenience: replay under a generational manager
+// with the given configuration.
+func ReplayGenerational(benchmark string, events []tracelog.Event, cfg core.Config, model costmodel.Model) (Result, error) {
+	acc := costmodel.NewAccum(model)
+	mgr, err := core.NewGenerational(cfg, CostHooks(acc))
+	if err != nil {
+		return Result{}, err
+	}
+	return Replay(benchmark, events, mgr, acc)
+}
+
+// Comparison pairs a unified baseline with a generational configuration on
+// the same log, producing the paper's headline metrics.
+type Comparison struct {
+	Unified      Result
+	Generational Result
+}
+
+// MissRateReduction returns 1 - gen/unified miss rate (Figure 9's metric);
+// positive is better.
+func (c Comparison) MissRateReduction() float64 {
+	u := c.Unified.MissRate()
+	if u == 0 {
+		return 0
+	}
+	return 1 - c.Generational.MissRate()/u
+}
+
+// MissesEliminated returns the absolute miss reduction (Figure 10).
+func (c Comparison) MissesEliminated() int64 {
+	return int64(c.Unified.Misses) - int64(c.Generational.Misses)
+}
+
+// OverheadRatio returns generational overhead / unified overhead
+// (Equation 3, Figure 11); below 1 is better.
+func (c Comparison) OverheadRatio() float64 {
+	return costmodel.OverheadRatio(c.Generational.Overhead, c.Unified.Overhead)
+}
+
+// Compare replays the log under both a unified cache of the given capacity
+// and a generational configuration of the same total capacity.
+func Compare(benchmark string, events []tracelog.Event, capacity uint64, cfg core.Config, model costmodel.Model) (Comparison, error) {
+	u, err := ReplayUnified(benchmark, events, capacity, model)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cfg.TotalCapacity = capacity
+	g, err := ReplayGenerational(benchmark, events, cfg, model)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Unified: u, Generational: g}, nil
+}

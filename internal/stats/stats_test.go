@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1 2 3]) != 2")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean([2 8]) = %v, want 4", GeoMean([]float64{2, 8}))
+	}
+	if !almost(GeoMean([]float64{-1, 0, 2, 8}), 4) {
+		t.Error("GeoMean should skip non-positive values")
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Error("GeoMean of all non-positive should be 0")
+	}
+	if StdDev(nil) != 0 {
+		t.Error("StdDev(nil) != 0")
+	}
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("StdDev of constants != 0")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Errorf("StdDev([1 3]) = %v, want 1", StdDev([]float64{1, 3}))
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Error("Median odd")
+	}
+	if !almost(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("Median even")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(0.05) // bucket 0
+	h.Add(0.15) // bucket 1
+	h.Add(0.95) // bucket 9
+	h.Add(1.5)  // clamped to bucket 9
+	h.Add(-0.5) // clamped to bucket 0
+	if h.N != 5 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[9] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if !almost(h.Fraction(0), 0.4) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+	if !almost(h.FractionBetween(0, 0.2), 0.6) {
+		t.Errorf("FractionBetween(0,0.2) = %v", h.FractionBetween(0, 0.2))
+	}
+	if !almost(h.FractionBetween(0.8, 1.0), 0.4) {
+		t.Errorf("FractionBetween(0.8,1) = %v", h.FractionBetween(0.8, 1.0))
+	}
+
+	empty := NewHistogram(0, 1, 4)
+	if empty.Fraction(0) != 0 || empty.FractionBetween(0, 1) != 0 {
+		t.Error("empty histogram fractions should be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickHistogramTotal(t *testing.T) {
+	// Property: N always equals the sum of bucket counts.
+	f := func(vals []float64) bool {
+		h := NewHistogram(0, 1, 7)
+		for _, v := range vals {
+			h.Add(v)
+		}
+		var sum uint64
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == h.N && h.N == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLifetimes(t *testing.T) {
+	l := NewLifetimes()
+	l.Touch(1, 10) // lives 10..90 of 100 => 0.8
+	l.Touch(1, 90)
+	l.Touch(2, 50) // lives instant => 0.0
+	l.Touch(3, 0)  // lives 0..100 => 1.0
+	l.Touch(3, 100)
+	l.Touch(3, 40) // out-of-order touch must not shrink the range
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// Lifetime 0.8 is not strictly greater than hi=0.8, so it counts as mid.
+	short, mid, long := l.Fractions(100, 0.2, 0.8)
+	if !almost(short, 1.0/3) || !almost(mid, 1.0/3) || !almost(long, 1.0/3) {
+		t.Errorf("fractions = %v %v %v", short, mid, long)
+	}
+	h := l.Histogram(100, 10)
+	if h.N != 3 {
+		t.Errorf("histogram N = %d", h.N)
+	}
+	if h.Counts[0] != 1 || h.Counts[8] != 1 || h.Counts[9] != 1 {
+		t.Errorf("histogram counts = %v", h.Counts)
+	}
+
+	// Degenerate totals.
+	if s, m, g := l.Fractions(0, 0.2, 0.8); s != 0 || m != 0 || g != 0 {
+		t.Error("Fractions with zero total should be zeros")
+	}
+	if l.Histogram(0, 10).N != 0 {
+		t.Error("Histogram with zero total should be empty")
+	}
+	if s, m, g := NewLifetimes().Fractions(10, 0.2, 0.8); s != 0 || m != 0 || g != 0 {
+		t.Error("Fractions of empty tracker should be zeros")
+	}
+}
+
+func TestQuickLifetimeBounds(t *testing.T) {
+	// Property: every lifetime fraction is within [0, 1] when touches are
+	// within [0, total], and short+mid+long == 1 for non-empty trackers.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		l := NewLifetimes()
+		total := 1 + r.Float64()*1000
+		n := 1 + r.Intn(50)
+		for j := 0; j < n; j++ {
+			id := uint64(r.Intn(10))
+			l.Touch(id, r.Float64()*total)
+		}
+		s, m, g := l.Fractions(total, 0.2, 0.8)
+		if s < 0 || m < 0 || g < 0 || math.Abs(s+m+g-1) > 1e-9 {
+			t.Fatalf("fractions %v %v %v do not sum to 1", s, m, g)
+		}
+		h := l.Histogram(total, 10)
+		if int(h.N) != l.Len() {
+			t.Fatalf("histogram N %d != tracker len %d", h.N, l.Len())
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := NewTable("Name", "Value")
+	tab.AddRow("gzip", "300")
+	tab.AddRow("a-very-long-benchmark-name", "4")
+	tab.AddRow("extra", "1", "dropped-cell")
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	if strings.Contains(s, "dropped-cell") {
+		t.Error("extra cells should be dropped")
+	}
+	// All lines should align to the same width.
+	w := len(lines[0])
+	for _, ln := range lines[1:] {
+		if len(ln) > w+2 {
+			t.Errorf("line overflows header width: %q", ln)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{500, "500 B"},
+		{2048, "2.0 KB"},
+		{3 << 20, "3.0 MB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.n); got != c.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+	if FmtPct(0.185) != "18.5%" {
+		t.Errorf("FmtPct = %q", FmtPct(0.185))
+	}
+	if FmtCount(999) != "999" {
+		t.Errorf("FmtCount(999) = %q", FmtCount(999))
+	}
+	if FmtCount(1234567) != "1,234,567" {
+		t.Errorf("FmtCount(1234567) = %q", FmtCount(1234567))
+	}
+	if FmtCount(292486) != "292,486" {
+		t.Errorf("FmtCount(292486) = %q", FmtCount(292486))
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Code relocation (§5.4): promoting a trace from one cache to another moves
+// its instructions to a new address, so every address-relative transfer must
+// be fixed up. Encode emits the trace body at a chosen cache address with
+// trace-internal branches resolved to their in-cache locations; Relocate
+// patches an already-encoded body for a move.
+
+// Encode lays the trace body out at cache address base. Direct transfers
+// whose target is inside the trace are rewritten to the target's new
+// in-cache address; off-trace direct targets are left as original program
+// addresses (in a real DBT they point at exit stubs, which the size model
+// accounts for separately). It returns the encoded bytes and the offsets of
+// every direct-transfer instruction, which Relocate needs.
+func Encode(t *Trace, base uint64) ([]byte, []int, error) {
+	// Map original instruction addresses to in-cache offsets. Instruction
+	// i's original address is not tracked per-instruction; internal branch
+	// targets are block addresses, so map member block addresses to their
+	// in-cache offsets.
+	blockOff := make(map[uint64]int, len(t.BlockAddrs))
+	// Recompute block boundaries by walking BlockAddrs through Code: we
+	// know each block contributed its body; boundaries were erased by
+	// straightening. Track boundaries during a simulated rebuild instead:
+	// the head starts at 0. Internal branches can only target member block
+	// heads; for straightened traces the only internal targets would come
+	// from inverted conditionals, whose targets are off-trace by
+	// construction. The head itself can be the target of the trace's final
+	// backward branch.
+	blockOff[t.Head] = 0
+
+	var buf []byte
+	var branchOffs []int
+	var err error
+	for _, in := range t.Code {
+		off := len(buf)
+		if in.IsDirect() {
+			branchOffs = append(branchOffs, off)
+			if o, ok := blockOff[in.Target]; ok {
+				in.Target = base + uint64(o)
+			}
+		}
+		buf, err = isa.Encode(buf, in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return buf, branchOffs, nil
+}
+
+// Relocate patches an encoded trace body that moved from oldBase to newBase:
+// every direct transfer whose target pointed into the old body location is
+// shifted by the same displacement. Targets outside the body (exit stubs,
+// original program addresses) are untouched. branchOffs must come from
+// Encode.
+func Relocate(body []byte, branchOffs []int, oldBase, newBase uint64, size int) error {
+	for _, off := range branchOffs {
+		in, _, err := isa.Decode(body[off:])
+		if err != nil {
+			return fmt.Errorf("trace: relocate at offset %d: %w", off, err)
+		}
+		if !in.IsDirect() {
+			return fmt.Errorf("trace: relocate: offset %d is %s, not a direct transfer", off, in.Op)
+		}
+		if in.Target >= oldBase && in.Target < oldBase+uint64(size) {
+			if err := isa.PatchTarget(body, off, in.Target-oldBase+newBase); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,446 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildLoopImage builds a function with a counted loop containing an if/else
+// diamond, so recordings see both conditional shapes.
+//
+//	entry: r1=0; r2=N
+//	loop:  cmp r1&1; jeq even
+//	odd:   r3++; jmp join
+//	even:  r4++
+//	join:  r1++; cmp r1,r2; jlt loop
+//	exit:  halt
+func buildLoopImage(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	m := b.Module("main", false)
+	fb, mainFn := m.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 0})
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 2, Imm: 100})
+	loop := fb.NewBlock()
+	fb.Jmp(loop)
+	fb.StartBlock(loop)
+	fb.I(isa.Inst{Op: isa.OpAnd, Rd: 5, Rs1: 1, Rs2: 1}) // placeholder work
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 5, Imm: 0})
+	even := fb.NewBlock()
+	fb.Jcc(isa.CondEQ, even)
+	fb.Block() // odd
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 3, Rs1: 3, Imm: 1})
+	join := fb.NewBlock()
+	fb.Jmp(join)
+	fb.StartBlock(even)
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 4, Rs1: 4, Imm: 1})
+	fb.Jmp(join)
+	fb.StartBlock(join)
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 1})
+	fb.I(isa.Inst{Op: isa.OpCmp, Rs1: 1, Rs2: 2})
+	fb.Jcc(isa.CondLT, loop)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// pathBlocks returns the blocks along one loop iteration taking the odd
+// path: loop -> odd -> join.
+func pathBlocks(t *testing.T, img *program.Image) []*program.Block {
+	t.Helper()
+	entry := img.MustBlock(img.Entry)
+	loopBlk := img.MustBlock(entry.Last().Target)
+	oddBlk := img.MustBlock(loopBlk.FallThrough())
+	joinBlk := img.MustBlock(oddBlk.Last().Target)
+	return []*program.Block{loopBlk, oddBlk, joinBlk}
+}
+
+func TestBuildStraightensOddPath(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	tr, err := Build(7, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != 7 || tr.Head != blocks[0].Addr || tr.Len() != 3 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	// The loop block's jcc targeted `even` (off-trace) with fall-through to
+	// odd (on-trace): the branch keeps its sense and exits to even.
+	// The odd block's jmp to join is straightened away.
+	var jccs, jmps int
+	for _, in := range tr.Code {
+		switch in.Op {
+		case isa.OpJcc:
+			jccs++
+		case isa.OpJmp:
+			jmps++
+		}
+	}
+	if jccs != 2 { // loop's diamond jcc + join's back edge
+		t.Errorf("jccs = %d, want 2", jccs)
+	}
+	if jmps != 0 {
+		t.Errorf("jmps = %d, want 0 (straightened)", jmps)
+	}
+	// Exits: diamond exit to even, final jcc's taken target (loop head,
+	// inside!) and fall-through (exit block). The loop head is a member, so
+	// it is an exit edge without an exit target entry... the taken target
+	// IS the head: off-trace targets must not include it.
+	for _, x := range tr.ExitTargets {
+		if x == tr.Head {
+			t.Error("trace head listed as off-trace exit target")
+		}
+	}
+	if tr.Exits != 3 {
+		t.Errorf("exits = %d, want 3 (diamond exit, back-edge, loop fall-through)", tr.Exits)
+	}
+	if tr.Size() != tr.CodeBytes()+PrefixBytes+3*ExitStubBytes {
+		t.Errorf("size accounting wrong: %d", tr.Size())
+	}
+}
+
+func TestBuildInvertsTakenBranch(t *testing.T) {
+	img := buildLoopImage(t)
+	entry := img.MustBlock(img.Entry)
+	loopBlk := img.MustBlock(entry.Last().Target)
+	evenBlk := img.MustBlock(loopBlk.Last().Target) // taken side
+	tr, err := Build(1, []*program.Block{loopBlk, evenBlk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loop's jcc EQ targeted even (on-trace): it must be inverted to NE and
+	// exit to the original fall-through (odd block).
+	found := false
+	for _, in := range tr.Code {
+		if in.Op == isa.OpJcc && in.Cond == isa.CondNE {
+			found = true
+			if in.Target != loopBlk.FallThrough() {
+				t.Errorf("inverted branch exits to %#x, want %#x", in.Target, loopBlk.FallThrough())
+			}
+		}
+	}
+	if !found {
+		t.Error("no inverted conditional in trace body")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	if _, err := Build(1, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	// Non-adjacent blocks: odd's jmp targets join, so loop->odd->exit is
+	// inconsistent.
+	exitBlk := img.MustBlock(blocks[2].FallThrough())
+	if _, err := Build(1, []*program.Block{blocks[0], blocks[1], exitBlk}); err == nil {
+		t.Error("inconsistent block sequence accepted")
+	}
+}
+
+func TestBuildCallAndIndirect(t *testing.T) {
+	b := program.NewBuilder()
+	m := b.Module("main", false)
+
+	cb, callee := m.Function("callee")
+	cb.Block()
+	cb.I(isa.Inst{Op: isa.OpAddImm, Rd: 1, Rs1: 1, Imm: 1})
+	cb.Ret()
+
+	fb, mainFn := m.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.Call(callee)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong call layout: main's entry block is laid out after callee, so
+	// calling Build with [mainEntry, calleeEntry] matches call target.
+	mainEntry := img.MustBlock(img.Entry)
+	calleeEntry := img.MustBlock(callee.Entry())
+	haltBlk := img.MustBlock(mainEntry.FallThrough())
+
+	tr, err := Build(1, []*program.Block{mainEntry, calleeEntry, haltBlk})
+	if err == nil {
+		// callee ends in ret (indirect) and halt follows dynamically: legal.
+		if tr.Exits == 0 {
+			t.Error("indirect transfer inside trace should cost an exit")
+		}
+	} else {
+		t.Fatalf("call-through trace rejected: %v", err)
+	}
+
+	// A call whose target is not the next block must be rejected.
+	if _, err := Build(2, []*program.Block{mainEntry, haltBlk}); err == nil {
+		t.Error("call to non-next block accepted")
+	}
+}
+
+func TestRecorderBackwardBranchStops(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	rec := NewRecorder(blocks[0], 0)
+	if rec.Done() {
+		t.Fatal("fresh recorder already done")
+	}
+	noHead := func(uint64) bool { return false }
+	if rec.Observe(blocks[1], noHead) {
+		t.Fatal("stopped at odd block")
+	}
+	if rec.Observe(blocks[2], noHead) {
+		t.Fatal("stopped at join block")
+	}
+	// Back edge to the loop head: backward branch taken -> stop; the head
+	// is not re-included.
+	if !rec.Observe(blocks[0], noHead) {
+		t.Fatal("did not stop at backward branch")
+	}
+	if rec.Reason() != StopBackwardBranch {
+		t.Fatalf("reason = %v", rec.Reason())
+	}
+	if len(rec.Blocks()) != 3 {
+		t.Fatalf("recorded %d blocks", len(rec.Blocks()))
+	}
+	// Observing after done stays done.
+	if !rec.Observe(blocks[1], noHead) {
+		t.Error("Observe after done should report done")
+	}
+}
+
+func TestRecorderStopsAtExistingTrace(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	rec := NewRecorder(blocks[0], 0)
+	stopped := rec.Observe(blocks[1], func(addr uint64) bool { return addr == blocks[1].Addr })
+	if !stopped || rec.Reason() != StopExistingTrace {
+		t.Fatalf("reason = %v", rec.Reason())
+	}
+	if len(rec.Blocks()) != 1 {
+		t.Fatalf("recorded %d blocks, head only expected", len(rec.Blocks()))
+	}
+}
+
+func TestRecorderMaxBlocks(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	rec := NewRecorder(blocks[0], 2)
+	stopped := rec.Observe(blocks[1], func(uint64) bool { return false })
+	if !stopped || rec.Reason() != StopMaxBlocks {
+		t.Fatalf("reason = %v after %d blocks", rec.Reason(), len(rec.Blocks()))
+	}
+}
+
+func TestRecorderModuleCross(t *testing.T) {
+	b := program.NewBuilder()
+	m1 := b.Module("a", false)
+	m2 := b.Module("b", true)
+	fb1, f1 := m1.Function("f1")
+	fb1.Block()
+	fb1.Halt()
+	fb2, _ := m2.Function("f2")
+	fb2.Block()
+	fb2.Halt()
+	b.SetEntry(f1)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := img.Modules[0].Functions[0].Blocks[0]
+	b2 := img.Modules[1].Functions[0].Blocks[0]
+	rec := NewRecorder(b1, 0)
+	if !rec.Observe(b2, func(uint64) bool { return false }) || rec.Reason() != StopModuleCross {
+		t.Fatalf("reason = %v", rec.Reason())
+	}
+}
+
+func TestRecorderSyscallStops(t *testing.T) {
+	b := program.NewBuilder()
+	m := b.Module("main", false)
+	fb, mainFn := m.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.Syscall(isa.SysWrite)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := img.MustBlock(img.Entry)
+	rec := NewRecorder(head, 0)
+	if !rec.Done() || rec.Reason() != StopSyscall {
+		t.Fatalf("syscall head: done=%v reason=%v", rec.Done(), rec.Reason())
+	}
+	// Build succeeds with the syscall block last.
+	if _, err := Build(1, rec.Blocks()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	for r := StopNone; r <= StopAborted; r++ {
+		if strings.Contains(r.String(), "stop(") {
+			t.Errorf("reason %d unnamed", r)
+		}
+	}
+	if StopReason(99).String() != "stop(99)" {
+		t.Error("unknown reason string")
+	}
+}
+
+func TestEncodeAndRelocate(t *testing.T) {
+	img := buildLoopImage(t)
+	blocks := pathBlocks(t, img)
+	tr, err := Build(1, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const base = 0x70000000
+	body, offs, err := Encode(tr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != tr.CodeBytes() {
+		t.Fatalf("encoded %d bytes, CodeBytes %d", len(body), tr.CodeBytes())
+	}
+	// The back edge (final jcc to the head) must now point at base.
+	insts, err := isa.DecodeAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastJcc := isa.Inst{}
+	for _, in := range insts {
+		if in.Op == isa.OpJcc {
+			lastJcc = in
+		}
+	}
+	if lastJcc.Target != base {
+		t.Fatalf("back edge targets %#x, want %#x", lastJcc.Target, base)
+	}
+
+	// Relocate to a new base: internal targets shift, external ones stay.
+	const newBase = 0x7f000000
+	var externalBefore []uint64
+	for _, in := range insts {
+		if in.IsDirect() && (in.Target < base || in.Target >= base+uint64(len(body))) {
+			externalBefore = append(externalBefore, in.Target)
+		}
+	}
+	if err := Relocate(body, offs, base, newBase, len(body)); err != nil {
+		t.Fatal(err)
+	}
+	insts2, err := isa.DecodeAll(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var externalAfter []uint64
+	for _, in := range insts2 {
+		if in.Op == isa.OpJcc && in.Target == newBase {
+			lastJcc = in
+		}
+		if in.IsDirect() && (in.Target < newBase || in.Target >= newBase+uint64(len(body))) {
+			externalAfter = append(externalAfter, in.Target)
+		}
+	}
+	if lastJcc.Target != newBase {
+		t.Fatalf("relocated back edge targets %#x, want %#x", lastJcc.Target, newBase)
+	}
+	if len(externalBefore) != len(externalAfter) {
+		t.Fatalf("external targets changed: %v vs %v", externalBefore, externalAfter)
+	}
+	for i := range externalBefore {
+		if externalBefore[i] != externalAfter[i] {
+			t.Errorf("external target %d moved: %#x -> %#x", i, externalBefore[i], externalAfter[i])
+		}
+	}
+}
+
+func TestRelocateErrors(t *testing.T) {
+	if err := Relocate([]byte{1, 2}, []int{0}, 0, 0, 2); err == nil {
+		t.Error("garbage body accepted")
+	}
+	// Offset pointing at a non-branch.
+	body, err := isa.EncodeAll([]isa.Inst{{Op: isa.OpNop}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Relocate(body, []int{0}, 0, 0, len(body)); err == nil {
+		t.Error("non-branch offset accepted")
+	}
+}
+
+// TestRandomWalkRecordings drives the recorder over random legal walks of a
+// generated CFG shape (guard-at-top loops with side exits, the workload
+// synthesizer's shape) and requires every recording to Build cleanly with
+// consistent size accounting.
+func TestRandomWalkRecordings(t *testing.T) {
+	img := buildLoopImage(t)
+	entry := img.MustBlock(img.Entry)
+	loopBlk := img.MustBlock(entry.Last().Target)
+
+	// Enumerate the blocks reachable in one iteration both ways.
+	odd := img.MustBlock(loopBlk.FallThrough())
+	even := img.MustBlock(loopBlk.Last().Target)
+	join := img.MustBlock(odd.Last().Target)
+
+	walks := [][]*program.Block{
+		{loopBlk, odd, join},
+		{loopBlk, even, join},
+		{loopBlk},
+		{loopBlk, odd},
+		{loopBlk, even},
+	}
+	for wi, blocks := range walks {
+		rec := NewRecorder(blocks[0], 0)
+		for _, b := range blocks[1:] {
+			if rec.Observe(b, func(uint64) bool { return false }) {
+				t.Fatalf("walk %d stopped early at %#x (%v)", wi, b.Addr, rec.Reason())
+			}
+		}
+		// Terminate with the back edge.
+		if !rec.Observe(blocks[0], func(uint64) bool { return false }) {
+			t.Fatalf("walk %d did not stop at back edge", wi)
+		}
+		tr, err := Build(uint64(wi+1), rec.Blocks())
+		if err != nil {
+			t.Fatalf("walk %d: %v", wi, err)
+		}
+		if tr.Len() != len(blocks) {
+			t.Fatalf("walk %d: trace has %d blocks, want %d", wi, tr.Len(), len(blocks))
+		}
+		if tr.Size() <= tr.CodeBytes() {
+			t.Fatalf("walk %d: size %d must exceed body %d (prefix+stubs)", wi, tr.Size(), tr.CodeBytes())
+		}
+		if tr.Exits == 0 {
+			t.Fatalf("walk %d: trace with no exits", wi)
+		}
+		// Encoding is internally consistent.
+		body, offs, err := Encode(tr, 0x5000_0000)
+		if err != nil {
+			t.Fatalf("walk %d: encode: %v", wi, err)
+		}
+		if len(body) != tr.CodeBytes() {
+			t.Fatalf("walk %d: encoded %d bytes, CodeBytes %d", wi, len(body), tr.CodeBytes())
+		}
+		if err := Relocate(body, offs, 0x5000_0000, 0x6000_0000, len(body)); err != nil {
+			t.Fatalf("walk %d: relocate: %v", wi, err)
+		}
+	}
+}

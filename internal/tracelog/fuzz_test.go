@@ -1,0 +1,52 @@
+package tracelog
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the log decoder: it must never panic,
+// and whatever it successfully decodes must re-encode losslessly.
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	w, _ := NewWriter(&seed, Header{Benchmark: "seed", DurationMicros: 42})
+	w.Write(Event{Kind: KindCreate, Time: 1, Trace: 1, Size: 100, Module: 2, Head: 0x1000})
+	w.Write(Event{Kind: KindAccess, Time: 2, Trace: 1})
+	w.Write(Event{Kind: KindUnmap, Time: 3, Module: 2})
+	w.Write(Event{Kind: KindEnd, Time: 4})
+	w.Flush()
+	f.Add(seed.Bytes())
+	f.Add([]byte("CCLOG1\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, events, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is fine, panics are not
+		}
+		// Round-trip what decoded cleanly.
+		var buf bytes.Buffer
+		w, werr := NewWriter(&buf, h)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		for _, e := range events {
+			if werr := w.Write(e); werr != nil {
+				t.Fatalf("re-encoding decoded event %+v: %v", e, werr)
+			}
+		}
+		w.Flush()
+		h2, events2, err := ReadAll(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding: %v", err)
+		}
+		if h2 != h || len(events2) != len(events) {
+			t.Fatalf("round trip changed shape")
+		}
+		for i := range events {
+			if events[i] != events2[i] {
+				t.Fatalf("event %d changed: %+v -> %+v", i, events[i], events2[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,334 @@
+// Package tracelog defines the code-cache event log the reproduction's
+// methodology revolves around. The paper ran each benchmark once under
+// DynamoRIO with an unbounded code cache, captured a verbose log of cache
+// events, and replayed that log through a cache simulator for every
+// configuration under study (§6). The DBT engine here emits the same kind of
+// log; internal/sim replays it.
+//
+// The format is a compact little-endian binary stream: a magic header, a
+// benchmark name, a declared duration, then varint-encoded events with
+// delta-encoded timestamps.
+package tracelog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind enumerates event types.
+type Kind uint8
+
+const (
+	// KindCreate records the generation of a new trace: ID, head address,
+	// size in bytes, and owning module.
+	KindCreate Kind = iota + 1
+	// KindAccess records execution entering a trace through the dispatcher.
+	KindAccess
+	// KindUnmap records a module being unmapped; every trace from that
+	// module must be force-deleted.
+	KindUnmap
+	// KindPin records a trace becoming undeletable (e.g. an exception is
+	// being handled inside it).
+	KindPin
+	// KindUnpin records a pinned trace becoming deletable again.
+	KindUnpin
+	// KindEnd closes the log and fixes the total execution time.
+	KindEnd
+)
+
+var kindNames = [...]string{"invalid", "create", "access", "unmap", "pin", "unpin", "end"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one code-cache event. Time is in virtual microseconds from the
+// start of the run.
+type Event struct {
+	Kind   Kind
+	Time   uint64
+	Trace  uint64 // KindCreate, KindAccess, KindPin, KindUnpin
+	Size   uint32 // KindCreate
+	Module uint16 // KindCreate, KindUnmap
+	Head   uint64 // KindCreate: original address of the trace head
+}
+
+const magic = "CCLOG1\n"
+
+// Header carries run metadata.
+type Header struct {
+	Benchmark string
+	// DurationMicros is the run's declared virtual duration.
+	DurationMicros uint64
+}
+
+// Writer encodes events to a stream.
+type Writer struct {
+	w        *bufio.Writer
+	lastTime uint64
+	events   uint64
+	closed   bool
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(h.Benchmark)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(h.Benchmark); err != nil {
+		return nil, err
+	}
+	n = binary.PutUvarint(buf[:], h.DurationMicros)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Write appends one event. Events must be written in non-decreasing time
+// order.
+func (w *Writer) Write(e Event) error {
+	if w.closed {
+		return errors.New("tracelog: write after close")
+	}
+	if e.Time < w.lastTime {
+		return fmt.Errorf("tracelog: time went backwards (%d after %d)", e.Time, w.lastTime)
+	}
+	if err := w.w.WriteByte(byte(e.Kind)); err != nil {
+		return err
+	}
+	if err := w.uvarint(e.Time - w.lastTime); err != nil {
+		return err
+	}
+	w.lastTime = e.Time
+	switch e.Kind {
+	case KindCreate:
+		if err := w.uvarint(e.Trace); err != nil {
+			return err
+		}
+		if err := w.uvarint(uint64(e.Size)); err != nil {
+			return err
+		}
+		if err := w.uvarint(uint64(e.Module)); err != nil {
+			return err
+		}
+		if err := w.uvarint(e.Head); err != nil {
+			return err
+		}
+	case KindAccess, KindPin, KindUnpin:
+		if err := w.uvarint(e.Trace); err != nil {
+			return err
+		}
+	case KindUnmap:
+		if err := w.uvarint(uint64(e.Module)); err != nil {
+			return err
+		}
+	case KindEnd:
+		// no payload
+	default:
+		return fmt.Errorf("tracelog: unknown kind %d", e.Kind)
+	}
+	w.events++
+	if e.Kind == KindEnd {
+		w.closed = true
+	}
+	return nil
+}
+
+// Events returns the number of events written.
+func (w *Writer) Events() uint64 { return w.events }
+
+// Flush flushes buffered output. Callers must Flush before using the
+// underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes a log stream.
+type Reader struct {
+	r        *bufio.Reader
+	h        Header
+	lastTime uint64
+	done     bool
+}
+
+// NewReader parses the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("tracelog: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("tracelog: bad magic %q", got)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracelog: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("tracelog: unreasonable benchmark name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("tracelog: reading name: %w", err)
+	}
+	dur, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("tracelog: reading duration: %w", err)
+	}
+	return &Reader{r: br, h: Header{Benchmark: string(name), DurationMicros: dur}}, nil
+}
+
+// Header returns the log's metadata.
+func (r *Reader) Header() Header { return r.h }
+
+// Next returns the next event, or io.EOF after the KindEnd event (or a
+// truncated stream).
+func (r *Reader) Next() (Event, error) {
+	if r.done {
+		return Event{}, io.EOF
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			r.done = true
+		}
+		return Event{}, err
+	}
+	e := Event{Kind: Kind(kb)}
+	dt, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("tracelog: reading time: %w", err)
+	}
+	r.lastTime += dt
+	e.Time = r.lastTime
+	switch e.Kind {
+	case KindCreate:
+		if e.Trace, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+		var v uint64
+		if v, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+		e.Size = uint32(v)
+		if v, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+		e.Module = uint16(v)
+		if e.Head, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+	case KindAccess, KindPin, KindUnpin:
+		if e.Trace, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+	case KindUnmap:
+		var v uint64
+		if v, err = binary.ReadUvarint(r.r); err != nil {
+			return Event{}, err
+		}
+		e.Module = uint16(v)
+	case KindEnd:
+		r.done = true
+	default:
+		return Event{}, fmt.Errorf("tracelog: unknown event kind %d", kb)
+	}
+	return e, nil
+}
+
+// ReadAll decodes every event in the stream.
+func ReadAll(r io.Reader) (Header, []Event, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var out []Event
+	for {
+		e, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return rd.Header(), out, nil
+		}
+		if err != nil {
+			return rd.Header(), out, err
+		}
+		out = append(out, e)
+	}
+}
+
+// Summary aggregates facts about a log that several experiments need.
+type Summary struct {
+	Header        Header
+	Events        int
+	Creates       uint64
+	CreatedBytes  uint64
+	Accesses      uint64
+	Unmaps        uint64
+	UnmappedBytes uint64 // bytes of traces whose module was later unmapped
+	EndTime       uint64
+	MaxLiveBytes  uint64 // peak of live (created minus unmapped) trace bytes
+	TraceSizes    []uint32
+}
+
+// Summarize scans a slice of events.
+func Summarize(h Header, events []Event) Summary {
+	s := Summary{Header: h, Events: len(events)}
+	type meta struct {
+		size   uint32
+		module uint16
+		live   bool
+	}
+	traces := make(map[uint64]*meta)
+	byModule := make(map[uint16][]uint64)
+	var live uint64
+	for _, e := range events {
+		switch e.Kind {
+		case KindCreate:
+			s.Creates++
+			s.CreatedBytes += uint64(e.Size)
+			traces[e.Trace] = &meta{size: e.Size, module: e.Module, live: true}
+			byModule[e.Module] = append(byModule[e.Module], e.Trace)
+			live += uint64(e.Size)
+			if live > s.MaxLiveBytes {
+				s.MaxLiveBytes = live
+			}
+			s.TraceSizes = append(s.TraceSizes, e.Size)
+		case KindAccess:
+			s.Accesses++
+		case KindUnmap:
+			s.Unmaps++
+			for _, id := range byModule[e.Module] {
+				if m := traces[id]; m != nil && m.live {
+					m.live = false
+					s.UnmappedBytes += uint64(m.size)
+					live -= uint64(m.size)
+				}
+			}
+			byModule[e.Module] = byModule[e.Module][:0]
+		case KindEnd:
+			s.EndTime = e.Time
+		}
+	}
+	if s.EndTime == 0 && len(events) > 0 {
+		s.EndTime = events[len(events)-1].Time
+	}
+	return s
+}

@@ -1,0 +1,267 @@
+// Package vm interprets program images instruction by instruction. It is the
+// reference execution engine: the dynamic optimizer's translated code must
+// produce exactly the dynamic block sequence and architectural state the
+// interpreter produces, and integration tests enforce that equivalence.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// StepInfo describes the outcome of executing one basic block.
+type StepInfo struct {
+	Block    uint64             // address of the block that executed
+	Loaded   []program.ModuleID // modules mapped by a syscall in this block
+	Unloaded []program.ModuleID // modules unmapped by a syscall in this block
+	Halted   bool               // the machine stopped during this block
+}
+
+// Machine is a synthetic-ISA interpreter. The zero value is not usable; call
+// New.
+type Machine struct {
+	img  *program.Image
+	Regs [isa.NumRegs]int64
+
+	// Comparison flags, set by OpCmp/OpCmpImm.
+	flagLT, flagEQ bool
+
+	mem       map[uint64]int64
+	callStack []uint64
+	pc        uint64
+	loaded    []bool
+	halted    bool
+
+	// InstCount is the number of instructions retired.
+	InstCount uint64
+	// BlockCount is the number of basic blocks executed.
+	BlockCount uint64
+	// Output collects bytes written via SysWrite.
+	Output []byte
+	// ExitCode holds r1 at SysExit, once halted that way.
+	ExitCode int64
+}
+
+// New creates a machine ready to run img from its entry point. All modules
+// start mapped; guests unmap and remap unloadable modules via syscalls.
+func New(img *program.Image) *Machine {
+	m := &Machine{
+		img:    img,
+		mem:    make(map[uint64]int64),
+		pc:     img.Entry,
+		loaded: make([]bool, len(img.Modules)),
+	}
+	for i := range m.loaded {
+		m.loaded[i] = true
+	}
+	return m
+}
+
+// PC returns the address of the next block to execute.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// Image returns the program image the machine executes.
+func (m *Machine) Image() *program.Image { return m.img }
+
+// Halted reports whether the machine has stopped.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ModuleLoaded reports whether module id is currently mapped.
+func (m *Machine) ModuleLoaded(id program.ModuleID) bool {
+	return int(id) < len(m.loaded) && m.loaded[id]
+}
+
+// Mem returns the 64-bit word at addr (zero if never written).
+func (m *Machine) Mem(addr uint64) int64 { return m.mem[addr] }
+
+// SetMem stores a 64-bit word at addr.
+func (m *Machine) SetMem(addr uint64, v int64) { m.mem[addr] = v }
+
+// Step executes the basic block at the current pc, leaving pc at the next
+// block to execute. Calling Step on a halted machine returns an error.
+func (m *Machine) Step() (StepInfo, error) {
+	info := StepInfo{Block: m.pc}
+	if m.halted {
+		return info, fmt.Errorf("vm: machine is halted")
+	}
+	blk, ok := m.img.Block(m.pc)
+	if !ok {
+		m.halted = true
+		return info, fmt.Errorf("vm: no basic block at %#x", m.pc)
+	}
+	if !m.loaded[blk.Module] {
+		m.halted = true
+		return info, fmt.Errorf("vm: executing unmapped module %d at %#x", blk.Module, m.pc)
+	}
+
+	addr := blk.Addr
+	for _, in := range blk.Code {
+		m.InstCount++
+		next, err := m.exec(in, addr, blk, &info)
+		if err != nil {
+			m.halted = true
+			return info, err
+		}
+		if m.halted {
+			info.Halted = true
+			m.BlockCount++
+			return info, nil
+		}
+		if in.EndsBlock() {
+			m.pc = next
+			m.BlockCount++
+			return info, nil
+		}
+		addr += uint64(in.Size())
+	}
+	m.halted = true
+	return info, fmt.Errorf("vm: block at %#x fell off its end", blk.Addr)
+}
+
+// exec executes a single instruction at address addr inside blk. For block
+// terminators it returns the address of the next block.
+func (m *Machine) exec(in isa.Inst, addr uint64, blk *program.Block, info *StepInfo) (uint64, error) {
+	r := &m.Regs
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpMovImm:
+		r[in.Rd] = in.Imm
+	case isa.OpMov:
+		r[in.Rd] = r[in.Rs1]
+	case isa.OpAdd:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.OpAddImm:
+		r[in.Rd] = r[in.Rs1] + in.Imm
+	case isa.OpSub:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.OpMul:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.OpAnd:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.OpOr:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.OpXor:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.OpShl:
+		r[in.Rd] = r[in.Rs1] << (uint64(in.Imm) & 63)
+	case isa.OpShr:
+		r[in.Rd] = int64(uint64(r[in.Rs1]) >> (uint64(in.Imm) & 63))
+	case isa.OpLoad:
+		r[in.Rd] = m.mem[uint64(r[in.Rs1]+in.Imm)]
+	case isa.OpStore:
+		m.mem[uint64(r[in.Rs1]+in.Imm)] = r[in.Rs2]
+	case isa.OpCmp:
+		m.flagLT = r[in.Rs1] < r[in.Rs2]
+		m.flagEQ = r[in.Rs1] == r[in.Rs2]
+	case isa.OpCmpImm:
+		m.flagLT = r[in.Rs1] < in.Imm
+		m.flagEQ = r[in.Rs1] == in.Imm
+
+	case isa.OpJmp:
+		return in.Target, nil
+	case isa.OpJcc:
+		if m.condTrue(in.Cond) {
+			return in.Target, nil
+		}
+		return blk.FallThrough(), nil
+	case isa.OpJmpInd:
+		return uint64(r[in.Rs1]), nil
+	case isa.OpCall:
+		m.callStack = append(m.callStack, blk.FallThrough())
+		return in.Target, nil
+	case isa.OpCallInd:
+		m.callStack = append(m.callStack, blk.FallThrough())
+		return uint64(r[in.Rs1]), nil
+	case isa.OpRet:
+		if len(m.callStack) == 0 {
+			return 0, fmt.Errorf("vm: return with empty call stack at %#x", addr)
+		}
+		top := m.callStack[len(m.callStack)-1]
+		m.callStack = m.callStack[:len(m.callStack)-1]
+		return top, nil
+	case isa.OpHalt:
+		m.halted = true
+		return 0, nil
+	case isa.OpSyscall:
+		if err := m.syscall(in.Imm, info); err != nil {
+			return 0, err
+		}
+		return blk.FallThrough(), nil
+	default:
+		return 0, fmt.Errorf("vm: unimplemented opcode %s at %#x", in.Op, addr)
+	}
+	return 0, nil
+}
+
+func (m *Machine) condTrue(c isa.Cond) bool {
+	switch c {
+	case isa.CondEQ:
+		return m.flagEQ
+	case isa.CondNE:
+		return !m.flagEQ
+	case isa.CondLT:
+		return m.flagLT
+	case isa.CondGE:
+		return !m.flagLT
+	case isa.CondGT:
+		return !m.flagLT && !m.flagEQ
+	case isa.CondLE:
+		return m.flagLT || m.flagEQ
+	}
+	return false
+}
+
+func (m *Machine) syscall(num int64, info *StepInfo) error {
+	switch num {
+	case isa.SysExit:
+		m.ExitCode = m.Regs[1]
+		m.halted = true
+	case isa.SysWrite:
+		m.Output = append(m.Output, byte(m.Regs[1]))
+	case isa.SysLoadModule:
+		id := program.ModuleID(m.Regs[1])
+		if int(id) >= len(m.loaded) {
+			return fmt.Errorf("vm: load of unknown module %d", id)
+		}
+		if !m.loaded[id] {
+			m.loaded[id] = true
+			info.Loaded = append(info.Loaded, id)
+		}
+	case isa.SysUnloadModule:
+		id := program.ModuleID(m.Regs[1])
+		if int(id) >= len(m.loaded) {
+			return fmt.Errorf("vm: unload of unknown module %d", id)
+		}
+		mod := m.img.Module(id)
+		if mod != nil && !mod.Unloadable {
+			return fmt.Errorf("vm: module %d (%s) is not unloadable", id, mod.Name)
+		}
+		if m.loaded[id] {
+			m.loaded[id] = false
+			info.Unloaded = append(info.Unloaded, id)
+		}
+	case isa.SysClock:
+		m.Regs[1] = int64(m.InstCount)
+	default:
+		return fmt.Errorf("vm: unknown syscall %d", num)
+	}
+	return nil
+}
+
+// Run executes blocks until the machine halts or maxInsts instructions have
+// retired (0 means no limit). It returns the number of blocks executed.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var blocks uint64
+	for !m.halted {
+		if maxInsts != 0 && m.InstCount >= maxInsts {
+			return blocks, fmt.Errorf("vm: instruction budget of %d exhausted at %#x", maxInsts, m.pc)
+		}
+		if _, err := m.Step(); err != nil {
+			return blocks, err
+		}
+		blocks++
+	}
+	return blocks, nil
+}

@@ -1,0 +1,435 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// buildLoopSum builds: sum = 0; for i = n; i > 0; i-- { sum += i }; exit(sum)
+func buildLoopSum(t *testing.T, n int64) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	m := b.Module("main", false)
+	fb, mainFn := m.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 0}) // sum
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 2, Imm: n}) // i
+	loop := fb.NewBlock()
+	fb.Jmp(loop)
+	fb.StartBlock(loop)
+	fb.I(isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2})
+	fb.I(isa.Inst{Op: isa.OpAddImm, Rd: 2, Rs1: 2, Imm: -1})
+	fb.I(isa.Inst{Op: isa.OpCmpImm, Rs1: 2, Imm: 0})
+	fb.Jcc(isa.CondGT, loop)
+	fb.Block()
+	fb.Syscall(isa.SysExit)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestLoopSum(t *testing.T) {
+	img := buildLoopSum(t, 100)
+	m := New(img)
+	blocks, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 5050 {
+		t.Errorf("exit code = %d, want 5050", m.ExitCode)
+	}
+	if !m.Halted() {
+		t.Error("machine should be halted")
+	}
+	if blocks == 0 || m.BlockCount != blocks {
+		t.Errorf("blocks = %d, BlockCount = %d", blocks, m.BlockCount)
+	}
+	// 2 setup + 100 iterations * 4 + 1 syscall... rough sanity on counts.
+	if m.InstCount < 400 {
+		t.Errorf("InstCount = %d, suspiciously low", m.InstCount)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	img := buildLoopSum(t, 1_000_000)
+	m := New(img)
+	if _, err := m.Run(1000); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("Run with small budget should fail, got %v", err)
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	img := buildLoopSum(t, 1)
+	m := New(img)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("Step on halted machine should fail")
+	}
+}
+
+// buildCallProgram exercises call/ret, indirect branches, memory, and output.
+func buildCallProgram(t *testing.T) *program.Image {
+	t.Helper()
+	b := program.NewBuilder()
+	m := b.Module("main", false)
+
+	db, double := m.Function("double")
+	db.Block()
+	db.I(isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 1})
+	db.Ret()
+
+	fb, mainFn := m.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 21})
+	fb.Call(double)
+	fb.Block()
+	// Store the result, load it back, write low byte.
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 3, Imm: 0x1000})
+	fb.I(isa.Inst{Op: isa.OpStore, Rs1: 3, Imm: 8, Rs2: 1})
+	fb.I(isa.Inst{Op: isa.OpLoad, Rd: 4, Rs1: 3, Imm: 8})
+	fb.I(isa.Inst{Op: isa.OpMov, Rd: 1, Rs1: 4})
+	fb.Syscall(isa.SysWrite)
+	fb.Block()
+	fb.Syscall(isa.SysExit)
+	fb.Block()
+	fb.Halt()
+
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestCallRetMemoryOutput(t *testing.T) {
+	img := buildCallProgram(t)
+	m := New(img)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 42 {
+		t.Errorf("exit = %d, want 42", m.ExitCode)
+	}
+	if len(m.Output) != 1 || m.Output[0] != 42 {
+		t.Errorf("output = %v, want [42]", m.Output)
+	}
+	if m.Mem(0x1008) != 42 {
+		t.Errorf("mem[0x1008] = %d, want 42", m.Mem(0x1008))
+	}
+}
+
+func TestAllALUOps(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 12})
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 2, Imm: 5})
+	fb.I(isa.Inst{Op: isa.OpSub, Rd: 3, Rs1: 1, Rs2: 2}) // 7
+	fb.I(isa.Inst{Op: isa.OpMul, Rd: 4, Rs1: 1, Rs2: 2}) // 60
+	fb.I(isa.Inst{Op: isa.OpAnd, Rd: 5, Rs1: 1, Rs2: 2}) // 4
+	fb.I(isa.Inst{Op: isa.OpOr, Rd: 6, Rs1: 1, Rs2: 2})  // 13
+	fb.I(isa.Inst{Op: isa.OpXor, Rd: 7, Rs1: 1, Rs2: 2}) // 9
+	fb.I(isa.Inst{Op: isa.OpShl, Rd: 8, Rs1: 1, Imm: 2}) // 48
+	fb.I(isa.Inst{Op: isa.OpShr, Rd: 9, Rs1: 1, Imm: 2}) // 3
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Reg]int64{3: 7, 4: 60, 5: 4, 6: 13, 7: 9, 8: 48, 9: 3}
+	for reg, v := range want {
+		if m.Regs[reg] != v {
+			t.Errorf("r%d = %d, want %d", reg, m.Regs[reg], v)
+		}
+	}
+}
+
+func TestConditions(t *testing.T) {
+	// For each condition, branch taken sets r5=1, fall-through sets r5=2.
+	cases := []struct {
+		a, b  int64
+		cond  isa.Cond
+		taken bool
+	}{
+		{1, 1, isa.CondEQ, true},
+		{1, 2, isa.CondEQ, false},
+		{1, 2, isa.CondNE, true},
+		{2, 2, isa.CondNE, false},
+		{1, 2, isa.CondLT, true},
+		{2, 1, isa.CondLT, false},
+		{-5, 1, isa.CondLT, true},
+		{2, 1, isa.CondGE, true},
+		{2, 2, isa.CondGE, true},
+		{1, 2, isa.CondGE, false},
+		{3, 2, isa.CondGT, true},
+		{2, 2, isa.CondGT, false},
+		{2, 3, isa.CondLE, true},
+		{3, 3, isa.CondLE, true},
+		{4, 3, isa.CondLE, false},
+	}
+	for _, c := range cases {
+		b := program.NewBuilder()
+		mod := b.Module("main", false)
+		fb, mainFn := mod.Function("main")
+		fb.Block()
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: c.a})
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 2, Imm: c.b})
+		fb.I(isa.Inst{Op: isa.OpCmp, Rs1: 1, Rs2: 2})
+		takenBlk := fb.NewBlock()
+		fb.Jcc(c.cond, takenBlk)
+		fb.Block() // fall-through
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 5, Imm: 2})
+		fb.Halt()
+		fb.StartBlock(takenBlk)
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 5, Imm: 1})
+		fb.Halt()
+		b.SetEntry(mainFn)
+		img, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(img)
+		if _, err := m.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(2)
+		if c.taken {
+			want = 1
+		}
+		if m.Regs[5] != want {
+			t.Errorf("cmp(%d,%d) j%s: r5 = %d, want %d", c.a, c.b, c.cond, m.Regs[5], want)
+		}
+	}
+}
+
+func TestIndirectBranchAndCall(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+
+	tb, targetFn := mod.Function("target")
+	tb.Block()
+	tb.I(isa.Inst{Op: isa.OpMovImm, Rd: 7, Imm: 99})
+	tb.Ret()
+
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.CallInd(3) // r3 set below... must be set before; use two stages
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(img)
+	m.Regs[3] = int64(targetFn.Entry())
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[7] != 99 {
+		t.Errorf("r7 = %d, want 99 (indirect call did not reach target)", m.Regs[7])
+	}
+}
+
+func TestModuleLoadUnload(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	dll := b.Module("plugin", true)
+
+	pb, pluginFn := dll.Function("plugin")
+	pb.Block()
+	pb.I(isa.Inst{Op: isa.OpMovImm, Rd: 6, Imm: 7})
+	pb.Ret()
+
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.Call(pluginFn)
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 1}) // module id
+	fb.Syscall(isa.SysUnloadModule)
+	fb.Block()
+	fb.Syscall(isa.SysLoadModule)
+	fb.Block()
+	fb.Call(pluginFn)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := New(img)
+	var loaded, unloaded int
+	for !m.Halted() {
+		info, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded += len(info.Loaded)
+		unloaded += len(info.Unloaded)
+	}
+	if loaded != 1 || unloaded != 1 {
+		t.Errorf("loaded=%d unloaded=%d, want 1 and 1", loaded, unloaded)
+	}
+	if m.Regs[6] != 7 {
+		t.Errorf("r6 = %d, want 7", m.Regs[6])
+	}
+	if !m.ModuleLoaded(1) {
+		t.Error("module 1 should be loaded at the end")
+	}
+}
+
+func TestExecuteUnmappedModuleFails(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	dll := b.Module("plugin", true)
+
+	pb, pluginFn := dll.Function("plugin")
+	pb.Block()
+	pb.Ret()
+
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 1})
+	fb.Syscall(isa.SysUnloadModule)
+	fb.Block()
+	fb.Call(pluginFn)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	_, err = m.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "unmapped") {
+		t.Errorf("calling into unmapped module should fail, got %v", err)
+	}
+}
+
+func TestSyscallErrors(t *testing.T) {
+	mk := func(setup func(fb *program.FuncBuilder)) *Machine {
+		b := program.NewBuilder()
+		mod := b.Module("main", false)
+		fb, mainFn := mod.Function("main")
+		fb.Block()
+		setup(fb)
+		fb.Block()
+		fb.Halt()
+		b.SetEntry(mainFn)
+		img, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return New(img)
+	}
+
+	m := mk(func(fb *program.FuncBuilder) { fb.Syscall(77) })
+	if _, err := m.Run(0); err == nil {
+		t.Error("unknown syscall should fail")
+	}
+
+	m = mk(func(fb *program.FuncBuilder) {
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 50})
+		fb.Syscall(isa.SysUnloadModule)
+	})
+	if _, err := m.Run(0); err == nil {
+		t.Error("unload of unknown module should fail")
+	}
+
+	m = mk(func(fb *program.FuncBuilder) {
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 50})
+		fb.Syscall(isa.SysLoadModule)
+	})
+	if _, err := m.Run(0); err == nil {
+		t.Error("load of unknown module should fail")
+	}
+
+	m = mk(func(fb *program.FuncBuilder) {
+		fb.I(isa.Inst{Op: isa.OpMovImm, Rd: 1, Imm: 0})
+		fb.Syscall(isa.SysUnloadModule)
+	})
+	if _, err := m.Run(0); err == nil {
+		t.Error("unload of non-unloadable module should fail")
+	}
+}
+
+func TestSysClock(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.I(isa.Inst{Op: isa.OpNop})
+	fb.Syscall(isa.SysClock)
+	fb.Block()
+	fb.Halt()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 3 {
+		t.Errorf("clock = %d, want 3", m.Regs[1])
+	}
+}
+
+func TestRetWithEmptyStack(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.Ret()
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	if _, err := m.Run(0); err == nil {
+		t.Error("ret with empty call stack should fail")
+	}
+}
+
+func TestIndirectJumpToNowhere(t *testing.T) {
+	b := program.NewBuilder()
+	mod := b.Module("main", false)
+	fb, mainFn := mod.Function("main")
+	fb.Block()
+	fb.JmpInd(3) // r3 == 0: no block there
+	b.SetEntry(mainFn)
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(img)
+	if _, err := m.Run(0); err == nil || !strings.Contains(err.Error(), "no basic block") {
+		t.Errorf("jump to nowhere should fail, got %v", err)
+	}
+}
