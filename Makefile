@@ -1,0 +1,24 @@
+# Tier-1 gate: everything a change must pass before it lands.
+# `make ci` is what the roadmap calls the tier-1 verify, extended with the
+# race detector now that the experiment pipeline runs on a worker pool.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

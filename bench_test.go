@@ -8,6 +8,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -149,6 +151,35 @@ func BenchmarkFigure9(b *testing.B) {
 	b.ReportMetric(res.InteractAvg[1]*100, "interactive_451045_reduction_pct")
 }
 
+// BenchmarkFigure9Parallel measures the worker-pool speedup of the replay
+// matrix (compare ns/op between the sub-benchmarks; on a multi-core machine
+// parallel=4 should be well over 2x faster) and asserts the typed rows stay
+// identical to the sequential run at every level.
+func BenchmarkFigure9Parallel(b *testing.B) {
+	s := benchSuite(b)
+	s.Parallel = 1
+	want, err := experiments.Figure9(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			s.Parallel = parallel
+			defer func() { s.Parallel = 0 }()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Figure9(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !reflect.DeepEqual(res, want) {
+					b.Fatalf("parallel=%d rows differ from sequential rows", parallel)
+				}
+			}
+		})
+	}
+	s.Parallel = 0
+}
+
 // BenchmarkFigure10 regenerates the absolute eliminated-miss counts.
 func BenchmarkFigure10(b *testing.B) {
 	s := benchSuite(b)
@@ -266,7 +297,7 @@ func BenchmarkArenaAccess(b *testing.B) {
 
 // BenchmarkGenerationalInsert measures Figure 8's full promotion chain.
 func BenchmarkGenerationalInsert(b *testing.B) {
-	g, err := core.NewGenerational(core.Layout451045Threshold1(1<<20), core.Hooks{})
+	g, err := core.NewGenerational(core.Layout451045Threshold1(1<<20), nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -313,7 +344,7 @@ func BenchmarkEngineRun(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mgr := repro.NewUnified(1<<40, repro.Hooks{})
+		mgr := repro.NewUnified(1<<40, nil)
 		eng, err := repro.NewEngine(bench.Image, repro.EngineConfig{Manager: mgr})
 		if err != nil {
 			b.Fatal(err)

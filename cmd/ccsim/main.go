@@ -4,19 +4,25 @@
 //
 // Usage:
 //
-//	ccsim -log word.cclog [-capfrac 0.5] [-layout 45-10-45] [-threshold 1]
+//	ccsim -log word.cclog [-capfrac 0.5] [-layout 45-10-45] [-threshold 1] [-parallel n] [-timeout d]
 //	ccsim -log word.cclog -unified
+//	ccsim -log word.cclog -events events.jsonl
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracelog"
@@ -28,7 +34,20 @@ func main() {
 	layout := flag.String("layout", "45-10-45", "nursery-probation-persistent percentages")
 	threshold := flag.Uint64("threshold", 1, "probation promotion threshold")
 	unified := flag.Bool("unified", false, "simulate only the unified baseline")
+	parallel := flag.Int("parallel", 0, "worker pool size for the replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
+	eventsPath := flag.String("events", "", `dump the observer event stream as JSON lines to this file ("-" = stdout); forces -parallel 1 so the stream stays ordered`)
 	flag.Parse()
+
+	if err := pipeline.Validate(*parallel); err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *logPath == "" {
 		fmt.Fprintln(os.Stderr, "ccsim: -log is required")
@@ -43,19 +62,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var dump *eventDumper
+	if *eventsPath != "" {
+		w := io.Writer(os.Stdout)
+		if *eventsPath != "-" {
+			ef, err := os.Create(*eventsPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer ef.Close()
+			w = ef
+		} else {
+			out = os.Stderr // keep the JSON stream on stdout uncontaminated
+		}
+		dump = &eventDumper{enc: json.NewEncoder(w)}
+		*parallel = 1 // one replay at a time keeps the stream ordered
+	}
+
 	sum := tracelog.Summarize(h, events)
 	capacity := uint64(float64(sum.MaxLiveBytes) * *capFrac)
-	fmt.Printf("%s: %s events, unbounded peak %s, simulated capacity %s\n",
+	fmt.Fprintf(out, "%s: %s events, unbounded peak %s, simulated capacity %s\n",
 		h.Benchmark, stats.FmtCount(uint64(len(events))), stats.FmtBytes(sum.MaxLiveBytes), stats.FmtBytes(capacity))
-
-	u, err := sim.ReplayUnified(h.Benchmark, events, capacity, costmodel.DefaultModel)
-	if err != nil {
-		fatal(err)
-	}
-	report("unified/pseudo-circular", u)
-	if *unified {
-		return
-	}
 
 	fracs, err := parseLayout(*layout)
 	if err != nil {
@@ -69,51 +96,119 @@ func main() {
 		PromoteThreshold: *threshold,
 		PromoteOnAccess:  *threshold <= 1,
 	}
-	g, err := sim.ReplayGenerational(h.Benchmark, events, cfg, costmodel.DefaultModel)
+
+	jobs := []pipeline.Job[sim.Result]{{
+		Name: "unified",
+		Run: func(context.Context) (sim.Result, error) {
+			return sim.ReplayUnifiedObserved(h.Benchmark, events, capacity, costmodel.DefaultModel, dump.forConfig("unified/pseudo-circular"))
+		},
+	}}
+	if !*unified {
+		jobs = append(jobs, pipeline.Job[sim.Result]{
+			Name: "generational",
+			Run: func(context.Context) (sim.Result, error) {
+				return sim.ReplayGenerationalObserved(h.Benchmark, events, cfg, costmodel.DefaultModel, dump.forConfig("generational"))
+			},
+		})
+	}
+	results, err := pipeline.Map(ctx, pipeline.Options{Parallel: *parallel}, jobs)
 	if err != nil {
 		fatal(err)
 	}
+
+	u := results[0]
+	report("unified/pseudo-circular", u)
+	if *unified {
+		return
+	}
+	g := results[1]
 	report(g.Config, g)
 
 	red := 0.0
 	if u.MissRate() > 0 {
 		red = 1 - g.MissRate()/u.MissRate()
 	}
-	fmt.Printf("\nmiss-rate reduction: %+.1f%%   misses eliminated: %d   overhead ratio: %.1f%%\n",
+	fmt.Fprintf(out, "\nmiss-rate reduction: %+.1f%%   misses eliminated: %d   overhead ratio: %.1f%%\n",
 		red*100, int64(u.Misses)-int64(g.Misses),
 		costmodel.OverheadRatio(g.Overhead, u.Overhead)*100)
 }
 
+// out is where human-readable reporting goes; stderr when the JSON event
+// stream owns stdout.
+var out io.Writer = os.Stdout
+
+// eventDumper renders the observer stream as JSON lines, one record per
+// event, tagged with the replay configuration it came from.
+type eventDumper struct {
+	enc *json.Encoder
+}
+
+type eventRecord struct {
+	Config string `json:"config"`
+	Kind   string `json:"kind"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Size   uint64 `json:"size,omitempty"`
+	Module uint16 `json:"module,omitempty"`
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Done   uint64 `json:"done,omitempty"`
+	Total  uint64 `json:"total,omitempty"`
+}
+
+// forConfig returns an observer writing records tagged with config, or nil
+// when no dump was requested (a nil *eventDumper is valid).
+func (d *eventDumper) forConfig(config string) obs.Observer {
+	if d == nil {
+		return nil
+	}
+	return obs.Func(func(e obs.Event) {
+		rec := eventRecord{Config: config, Kind: e.Kind.String(), Trace: e.Trace, Size: e.Size, Module: e.Module}
+		switch e.Kind {
+		case obs.KindEvict, obs.KindUnmap, obs.KindFlush:
+			rec.From = e.From.String()
+		case obs.KindInsert:
+			rec.To = e.To.String()
+		case obs.KindPromote:
+			rec.From, rec.To = e.From.String(), e.To.String()
+		case obs.KindProgress:
+			rec.Done, rec.Total = e.Done, e.Total
+		}
+		if err := d.enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+	})
+}
+
 func report(name string, r sim.Result) {
-	fmt.Printf("\n%s\n", name)
-	fmt.Printf("  accesses %s   hits %s   misses %s   miss rate %.3f%%\n",
+	fmt.Fprintf(out, "\n%s\n", name)
+	fmt.Fprintf(out, "  accesses %s   hits %s   misses %s   miss rate %.3f%%\n",
 		stats.FmtCount(r.Accesses), stats.FmtCount(r.Hits), stats.FmtCount(r.Misses), 100*r.MissRate())
-	fmt.Printf("  regenerations %s   forced deletions %s\n",
+	fmt.Fprintf(out, "  regenerations %s   forced deletions %s\n",
 		stats.FmtCount(r.Regenerations), stats.FmtCount(r.ForcedDeletes))
-	fmt.Printf("  overhead: %.0f instructions (%s trace gens, %s evictions, %s promotions)\n",
+	fmt.Fprintf(out, "  overhead: %.0f instructions (%s trace gens, %s evictions, %s promotions)\n",
 		r.Overhead.Total(), stats.FmtCount(r.Overhead.TraceGens),
 		stats.FmtCount(r.Overhead.Evictions), stats.FmtCount(r.Overhead.Promotions))
 }
 
 func parseLayout(s string) ([3]float64, error) {
-	var out [3]float64
+	var res [3]float64
 	parts := strings.Split(s, "-")
 	if len(parts) != 3 {
-		return out, fmt.Errorf("ccsim: layout %q must be N-P-S percentages", s)
+		return res, fmt.Errorf("layout %q must be N-P-S percentages", s)
 	}
 	sum := 0.0
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil || v <= 0 {
-			return out, fmt.Errorf("ccsim: bad layout component %q", p)
+			return res, fmt.Errorf("bad layout component %q", p)
 		}
-		out[i] = v / 100
+		res[i] = v / 100
 		sum += v
 	}
 	if sum < 99.5 || sum > 100.5 {
-		return out, fmt.Errorf("ccsim: layout %q must sum to 100", s)
+		return res, fmt.Errorf("layout %q must sum to 100", s)
 	}
-	return out, nil
+	return res, nil
 }
 
 func fatal(err error) {

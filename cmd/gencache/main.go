@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	gencache [-scale f] [-bench a,b,c] [-run table1,fig1,...|all]
+//	gencache [-scale f] [-bench a,b,c] [-run table1,fig1,...|all] [-parallel n] [-timeout d]
 //
 // Each experiment prints the same rows/series the paper reports, derived
 // from one unbounded-cache run per benchmark followed by log replays
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
 )
 
 var experimentOrder = []string{
@@ -30,7 +32,20 @@ func main() {
 	run := flag.String("run", "all", "experiments to run: all, or a comma list of "+strings.Join(experimentOrder, ","))
 	verbose := flag.Bool("v", false, "print per-benchmark collection progress")
 	seedOffset := flag.Int64("seedoffset", 0, "shift every benchmark's RNG seed (robustness checks)")
+	parallel := flag.Int("parallel", 0, "worker pool size for collection and replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 10m (0 = no limit)")
 	flag.Parse()
+
+	if err := pipeline.Validate(*parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "gencache:", err)
+		os.Exit(2)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	want := map[string]bool{}
 	if *run == "all" {
@@ -71,7 +86,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Scale: *scale, SeedOffset: *seedOffset}
+	opts := experiments.Options{Scale: *scale, SeedOffset: *seedOffset, Parallel: *parallel}
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 	}
@@ -83,7 +98,7 @@ func main() {
 	if needSim {
 		start := time.Now()
 		var err error
-		suite, err = experiments.Collect(opts)
+		suite, err = experiments.CollectContext(ctx, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gencache:", err)
 			os.Exit(1)
@@ -182,7 +197,7 @@ func main() {
 		if *benchList != "" {
 			names = strings.Split(*benchList, ",")
 		}
-		rows, err := experiments.OptimizerImpact(names, *scale)
+		rows, err := experiments.OptimizerImpactContext(ctx, names, *scale, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gencache:", err)
 			os.Exit(1)
@@ -195,7 +210,7 @@ func main() {
 		if *benchList != "" {
 			names = strings.Split(*benchList, ",")
 		}
-		res, err := experiments.Robustness(names, *scale, []int64{0, 1000, 2000})
+		res, err := experiments.RobustnessContext(ctx, names, *scale, []int64{0, 1000, 2000}, *parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gencache:", err)
 			os.Exit(1)

@@ -60,7 +60,7 @@ func main() {
 		fatal(err)
 	}
 
-	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<40, nil, nil)
 	eng, err := dbt.New(b.Image, dbt.Config{Manager: mgr, Log: w})
 	if err != nil {
 		fatal(err)

@@ -28,7 +28,7 @@ func Example() {
 		log.Fatal(err)
 	}
 	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-		Manager: repro.NewUnified(1<<40, repro.Hooks{}),
+		Manager: repro.NewUnified(1<<40, nil),
 		Log:     w,
 	})
 	if err != nil {

@@ -41,7 +41,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-		Manager: repro.NewUnified(1<<40, repro.Hooks{}),
+		Manager: repro.NewUnified(1<<40, nil),
 		Log:     w,
 	})
 	if err != nil {

@@ -31,7 +31,7 @@ func main() {
 		}
 		lt := repro.NewLifetimes()
 		engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-			Manager:   repro.NewUnified(1<<40, repro.Hooks{}),
+			Manager:   repro.NewUnified(1<<40, nil),
 			Lifetimes: lt,
 		})
 		if err != nil {

@@ -33,7 +33,7 @@ func main() {
 	capacity := uint64(1 << 20)
 
 	run := func(preloaded int, warm []byte) (dbt.RunStats, []byte) {
-		mgr, err := core.NewGenerational(core.Layout451045Threshold1(capacity), core.Hooks{})
+		mgr, err := core.NewGenerational(core.Layout451045Threshold1(capacity), nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -49,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-		Manager: repro.NewUnified(1<<40, repro.Hooks{}),
+		Manager: repro.NewUnified(1<<40, nil),
 		Log:     w,
 	})
 	if err != nil {
@@ -71,10 +71,10 @@ func main() {
 
 	type entry struct {
 		name string
-		mgr  func(repro.Hooks) repro.Manager
+		mgr  func(repro.Observer) repro.Manager
 	}
-	mk := func(p func() repro.LocalPolicy) func(repro.Hooks) repro.Manager {
-		return func(h repro.Hooks) repro.Manager {
+	mk := func(p func() repro.LocalPolicy) func(repro.Observer) repro.Manager {
+		return func(h repro.Observer) repro.Manager {
 			return repro.NewUnifiedWithPolicy(capacity, p(), h)
 		}
 	}
@@ -83,7 +83,7 @@ func main() {
 		{"unified LRU", mk(repro.LRUPolicy)},
 		{"unified flush-when-full", mk(repro.FlushWhenFullPolicy)},
 		{"unified preemptive-flush", mk(repro.PreemptiveFlushPolicy)},
-		{"generational 45-10-45@1", func(h repro.Hooks) repro.Manager {
+		{"generational 45-10-45@1", func(h repro.Observer) repro.Manager {
 			g, err := repro.NewGenerational(repro.BestLayout(capacity), h)
 			if err != nil {
 				log.Fatal(err)
@@ -109,7 +109,7 @@ func main() {
 	fmt.Println("the paper's prior work reject LRU for real code caches (§4.2).")
 }
 
-func replay(mk func(repro.Hooks) repro.Manager, events []repro.Event, name string) repro.ReplayResult {
+func replay(mk func(repro.Observer) repro.Manager, events []repro.Event, name string) repro.ReplayResult {
 	// Each replay needs a fresh manager wired to a fresh cost accumulator;
 	// the facade's Replay helpers handle the pairing for the two standard
 	// shapes, and this generic path reuses ReplayUnified's plumbing through

@@ -32,11 +32,18 @@ func main() {
 	// A generational trace cache: 45% nursery, 10% probation, 45%
 	// persistent, single-hit promotion — the paper's best configuration.
 	// Capacity is deliberately tight (128 KB) so the caches have to work.
+	// A custom observer on the manager's event bus counts promotions and
+	// capacity evictions as they happen.
 	var promotions, evictions int
-	mgr, err := repro.NewGenerational(repro.BestLayout(128<<10), repro.Hooks{
-		OnPromote: func(f repro.Fragment, from, to repro.Level) { promotions++ },
-		OnEvict:   func(f repro.Fragment, from repro.Level) { evictions++ },
+	counter := repro.ObserverFunc(func(e repro.CacheEvent) {
+		switch e.Kind {
+		case repro.EventPromote:
+			promotions++
+		case repro.EventEvict:
+			evictions++
+		}
 	})
+	mgr, err := repro.NewGenerational(repro.BestLayout(128<<10), counter)
 	if err != nil {
 		log.Fatal(err)
 	}

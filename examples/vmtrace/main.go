@@ -97,7 +97,7 @@ func main() {
 	fmt.Printf("guest image: %d blocks, %d bytes across %d modules\n",
 		img.NumBlocks(), img.Footprint(), len(img.Modules))
 
-	mgr := repro.NewUnified(64<<10, repro.Hooks{})
+	mgr := repro.NewUnified(64<<10, nil)
 	engine, err := repro.NewEngine(img, repro.EngineConfig{
 		Manager:      mgr,
 		HotThreshold: 10, // hot quickly, for demonstration

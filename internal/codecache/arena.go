@@ -10,6 +10,9 @@ package codecache
 import (
 	"errors"
 	"fmt"
+	"sort"
+
+	"repro/internal/obs"
 )
 
 // Fragment describes one cached code trace.
@@ -68,6 +71,11 @@ type Arena struct {
 	used     uint64
 	clock    uint64
 	stats    Stats
+
+	// o, when non-nil, receives program-forced deletion events; level names
+	// this arena in them. Managers attach their observer at construction.
+	o     obs.Observer
+	level obs.Level
 }
 
 // New creates an arena with the given capacity in bytes.
@@ -227,8 +235,18 @@ func (a *Arena) Delete(id uint64, force bool) (Fragment, error) {
 	return f, nil
 }
 
+// SetObserver attaches the observer that receives this arena's
+// program-forced deletion events, naming the arena level in them.
+func (a *Arena) SetObserver(o obs.Observer, level obs.Level) {
+	a.o = o
+	a.level = level
+}
+
 // DeleteModule removes every fragment belonging to module m (a
-// program-forced eviction). It returns the removed fragments.
+// program-forced eviction). It returns the removed fragments in address
+// order — a deterministic order, so replay cost accounting (and therefore
+// parallel experiment pipelines) is reproducible — and publishes one
+// KindUnmap event per victim.
 func (a *Arena) DeleteModule(m uint16) []Fragment {
 	var out []Fragment
 	// Collect first: removing mutates the list.
@@ -238,9 +256,11 @@ func (a *Arena) DeleteModule(m uint16) []Fragment {
 			victims = append(victims, n)
 		}
 	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].off < victims[j].off })
 	for _, n := range victims {
 		f, _ := a.remove(n, false)
 		out = append(out, f)
+		obs.Emit(a.o, obs.Event{Kind: obs.KindUnmap, Trace: f.ID, Size: f.Size, Module: f.Module, From: a.level})
 	}
 	return out
 }

@@ -17,41 +17,22 @@ import (
 	"fmt"
 
 	"repro/internal/codecache"
+	"repro/internal/obs"
 	"repro/internal/policy"
 )
 
-// Level identifies one cache within a manager.
-type Level int
+// Level identifies one cache within a manager. It is an alias for obs.Level
+// so manager events and the observer bus share one vocabulary.
+type Level = obs.Level
 
 // Cache levels. Unified managers use LevelUnified only; generational
 // managers use the other three.
 const (
-	LevelUnified Level = iota
-	LevelNursery
-	LevelProbation
-	LevelPersistent
+	LevelUnified    = obs.LevelUnified
+	LevelNursery    = obs.LevelNursery
+	LevelProbation  = obs.LevelProbation
+	LevelPersistent = obs.LevelPersistent
 )
-
-var levelNames = [...]string{"unified", "nursery", "probation", "persistent"}
-
-func (l Level) String() string {
-	if int(l) < len(levelNames) {
-		return levelNames[l]
-	}
-	return fmt.Sprintf("level(%d)", int(l))
-}
-
-// Hooks receive trace movement events. The simulator's cost accounting
-// hangs off these. Either hook may be nil.
-type Hooks struct {
-	// OnEvict fires when a trace leaves the managed caches entirely
-	// (capacity eviction, failed probation, or persistent-cache eviction).
-	// Program-forced deletions (DeleteModule) do NOT fire it; the caller
-	// already knows about those.
-	OnEvict func(f codecache.Fragment, from Level)
-	// OnPromote fires when a trace relocates from one cache to another.
-	OnPromote func(f codecache.Fragment, from, to Level)
-}
 
 // Stats aggregates manager activity.
 type Stats struct {
@@ -68,7 +49,11 @@ type Stats struct {
 	DropTooBig          uint64 // traces that could not fit anywhere
 }
 
-// Manager is a global code-cache management scheme.
+// Manager is a global code-cache management scheme. Every manager publishes
+// its trace lifecycle — insertions, capacity evictions, promotions, and
+// program-forced deletions — to the obs.Observer it was constructed with
+// (see NewUnified, NewGenerational); the simulator's cost accounting and the
+// experiment metrics both subscribe to that bus.
 type Manager interface {
 	// Name identifies the configuration in experiment output.
 	Name() string
@@ -101,17 +86,20 @@ type Manager interface {
 type Unified struct {
 	arena *codecache.Arena
 	local policy.Local
-	hooks Hooks
+	o     obs.Observer
 	stats Stats
 }
 
 // NewUnified creates a unified cache of the given capacity with the given
-// local policy (nil defaults to pseudo-circular).
-func NewUnified(capacity uint64, local policy.Local, hooks Hooks) *Unified {
+// local policy (nil defaults to pseudo-circular). Lifecycle events are
+// published to o (nil for none).
+func NewUnified(capacity uint64, local policy.Local, o obs.Observer) *Unified {
 	if local == nil {
 		local = policy.PseudoCircular{}
 	}
-	return &Unified{arena: codecache.New(capacity), local: local, hooks: hooks}
+	arena := codecache.New(capacity)
+	arena.SetObserver(o, obs.LevelUnified)
+	return &Unified{arena: arena, local: local, o: o}
 }
 
 // Name implements Manager.
@@ -122,9 +110,7 @@ func (u *Unified) Insert(f codecache.Fragment) error {
 	err := u.local.Insert(u.arena, f, func(v codecache.Fragment) {
 		u.stats.Evicted++
 		u.stats.EvictedBytes += v.Size
-		if u.hooks.OnEvict != nil {
-			u.hooks.OnEvict(v, LevelUnified)
-		}
+		obs.Emit(u.o, obs.Event{Kind: obs.KindEvict, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelUnified})
 	})
 	if err != nil {
 		if errors.Is(err, codecache.ErrTooBig) || errors.Is(err, codecache.ErrNoSpace) {
@@ -134,6 +120,7 @@ func (u *Unified) Insert(f codecache.Fragment) error {
 		return err
 	}
 	u.stats.Inserts++
+	obs.Emit(u.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelUnified})
 	return nil
 }
 
@@ -248,12 +235,13 @@ type Generational struct {
 	probation  *codecache.Arena
 	persistent *codecache.Arena
 	local      map[Level]policy.Local
-	hooks      Hooks
+	o          obs.Observer
 	stats      Stats
 }
 
 // NewGenerational creates a generational manager from the configuration.
-func NewGenerational(cfg Config, hooks Hooks) (*Generational, error) {
+// Lifecycle events are published to o (nil for none).
+func NewGenerational(cfg Config, o obs.Observer) (*Generational, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,7 +257,7 @@ func NewGenerational(cfg Config, hooks Hooks) (*Generational, error) {
 		}
 		return policy.PseudoCircular{}
 	}
-	return &Generational{
+	g := &Generational{
 		cfg:        cfg,
 		nursery:    codecache.New(nb),
 		probation:  codecache.New(pb),
@@ -279,8 +267,12 @@ func NewGenerational(cfg Config, hooks Hooks) (*Generational, error) {
 			LevelProbation:  mk(LevelProbation),
 			LevelPersistent: mk(LevelPersistent),
 		},
-		hooks: hooks,
-	}, nil
+		o: o,
+	}
+	g.nursery.SetObserver(o, LevelNursery)
+	g.probation.SetObserver(o, LevelProbation)
+	g.persistent.SetObserver(o, LevelPersistent)
+	return g, nil
 }
 
 // Name implements Manager.
@@ -305,16 +297,14 @@ func (g *Generational) arenaOf(l Level) *codecache.Arena {
 	return nil
 }
 
-// die removes a trace from the system: fire the eviction hook and count it.
+// die removes a trace from the system: publish the eviction and count it.
 func (g *Generational) die(f codecache.Fragment, from Level) {
 	g.stats.Evicted++
 	g.stats.EvictedBytes += f.Size
 	if from == LevelProbation {
 		g.stats.ProbationDeaths++
 	}
-	if g.hooks.OnEvict != nil {
-		g.hooks.OnEvict(f, from)
-	}
+	obs.Emit(g.o, obs.Event{Kind: obs.KindEvict, Trace: f.ID, Size: f.Size, Module: f.Module, From: from})
 }
 
 // Insert implements Manager: the insertNewTrace routine of Figure 8. New
@@ -328,6 +318,7 @@ func (g *Generational) Insert(f codecache.Fragment) error {
 		return err
 	}
 	g.stats.Inserts++
+	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelNursery})
 	return nil
 }
 
@@ -347,9 +338,7 @@ func (g *Generational) promoteToProbation(v codecache.Fragment) {
 		return
 	}
 	g.stats.PromotedToProbation++
-	if g.hooks.OnPromote != nil {
-		g.hooks.OnPromote(v, LevelNursery, LevelProbation)
-	}
+	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelNursery, To: LevelProbation})
 }
 
 // probationVictim decides a probation victim's fate: promotion to the
@@ -373,9 +362,7 @@ func (g *Generational) promoteToPersistent(v codecache.Fragment) {
 		return
 	}
 	g.stats.PromotedToPersist++
-	if g.hooks.OnPromote != nil {
-		g.hooks.OnPromote(v, LevelProbation, LevelPersistent)
-	}
+	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelProbation, To: LevelPersistent})
 }
 
 // Access implements Manager. A hit in the probation cache bumps the trace's
@@ -492,6 +479,7 @@ func (g *Generational) InsertPersistent(f codecache.Fragment) error {
 		return err
 	}
 	g.stats.Inserts++
+	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelPersistent})
 	return nil
 }
 

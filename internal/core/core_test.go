@@ -7,7 +7,9 @@ import (
 	"testing/quick"
 
 	"repro/internal/codecache"
+	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/stats"
 )
 
 func TestLevelString(t *testing.T) {
@@ -23,14 +25,15 @@ func TestLevelString(t *testing.T) {
 
 func TestUnifiedBasics(t *testing.T) {
 	var evicted []uint64
-	u := NewUnified(300, nil, Hooks{
-		OnEvict: func(f codecache.Fragment, from Level) {
-			if from != LevelUnified {
-				t.Errorf("eviction from %s", from)
-			}
-			evicted = append(evicted, f.ID)
-		},
-	})
+	u := NewUnified(300, nil, obs.Func(func(e obs.Event) {
+		if e.Kind != obs.KindEvict {
+			return
+		}
+		if e.From != LevelUnified {
+			t.Errorf("eviction from %s", e.From)
+		}
+		evicted = append(evicted, e.Trace)
+	}))
 	if u.Name() != "unified/pseudo-circular" {
 		t.Errorf("name = %q", u.Name())
 	}
@@ -64,9 +67,11 @@ func TestUnifiedBasics(t *testing.T) {
 }
 
 func TestUnifiedForcedDeletes(t *testing.T) {
-	u := NewUnified(1000, nil, Hooks{
-		OnEvict: func(codecache.Fragment, Level) { t.Error("forced delete fired OnEvict") },
-	})
+	u := NewUnified(1000, nil, obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindEvict {
+			t.Error("forced delete fired an evict event")
+		}
+	}))
 	u.Insert(codecache.Fragment{ID: 1, Size: 100, Module: 5})
 	u.Insert(codecache.Fragment{ID: 2, Size: 100, Module: 6})
 	out := u.DeleteModule(5)
@@ -80,7 +85,7 @@ func TestUnifiedForcedDeletes(t *testing.T) {
 }
 
 func TestUnifiedPinning(t *testing.T) {
-	u := NewUnified(200, nil, Hooks{})
+	u := NewUnified(200, nil, nil)
 	u.Insert(codecache.Fragment{ID: 1, Size: 200})
 	if !u.SetUndeletable(1, true) {
 		t.Fatal("pin failed")
@@ -110,7 +115,7 @@ func TestConfigValidate(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
-		if _, err := NewGenerational(c, Hooks{}); err == nil {
+		if _, err := NewGenerational(c, nil); err == nil {
 			t.Errorf("NewGenerational accepted bad config %d", i)
 		}
 	}
@@ -125,7 +130,7 @@ func TestLayoutPresets(t *testing.T) {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("preset invalid: %v", err)
 		}
-		g, err := NewGenerational(cfg, Hooks{})
+		g, err := NewGenerational(cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +145,7 @@ func TestLayoutPresets(t *testing.T) {
 
 // mkGen builds a small generational manager for behavioural tests:
 // 300-byte nursery, 300-byte probation, 400-byte persistent.
-func mkGen(t *testing.T, threshold uint64, promoteOnAccess bool, hooks Hooks) *Generational {
+func mkGen(t *testing.T, threshold uint64, promoteOnAccess bool, o obs.Observer) *Generational {
 	t.Helper()
 	g, err := NewGenerational(Config{
 		TotalCapacity:    1000,
@@ -149,7 +154,7 @@ func mkGen(t *testing.T, threshold uint64, promoteOnAccess bool, hooks Hooks) *G
 		PersistentFrac:   0.4,
 		PromoteThreshold: threshold,
 		PromoteOnAccess:  promoteOnAccess,
-	}, hooks)
+	}, o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +163,11 @@ func mkGen(t *testing.T, threshold uint64, promoteOnAccess bool, hooks Hooks) *G
 
 func TestGenerationalNurseryToProbation(t *testing.T) {
 	var promotions []string
-	g := mkGen(t, 1, false, Hooks{
-		OnPromote: func(f codecache.Fragment, from, to Level) {
-			promotions = append(promotions, from.String()+">"+to.String())
-		},
-	})
+	g := mkGen(t, 1, false, obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindPromote {
+			promotions = append(promotions, e.From.String()+">"+e.To.String())
+		}
+	}))
 	// Fill the 300-byte nursery, then overflow it: the FIFO victim must be
 	// promoted to probation, not deleted.
 	for id := uint64(1); id <= 3; id++ {
@@ -192,13 +197,11 @@ func TestGenerationalNurseryToProbation(t *testing.T) {
 
 func TestGenerationalProbationDeath(t *testing.T) {
 	var deaths []uint64
-	g := mkGen(t, 1, false, Hooks{
-		OnEvict: func(f codecache.Fragment, from Level) {
-			if from == LevelProbation {
-				deaths = append(deaths, f.ID)
-			}
-		},
-	})
+	g := mkGen(t, 1, false, obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindEvict && e.From == LevelProbation {
+			deaths = append(deaths, e.Trace)
+		}
+	}))
 	// Push 7 traces through: nursery holds 3, probation holds 3; the 7th
 	// insert forces a probation eviction. No trace was ever accessed in
 	// probation, so the victim must die, not promote.
@@ -222,7 +225,7 @@ func TestGenerationalProbationDeath(t *testing.T) {
 }
 
 func TestGenerationalPromotionViaEviction(t *testing.T) {
-	g := mkGen(t, 1, false, Hooks{})
+	g := mkGen(t, 1, false, nil)
 	for id := uint64(1); id <= 4; id++ {
 		g.Insert(codecache.Fragment{ID: id, Size: 100})
 	}
@@ -246,7 +249,7 @@ func TestGenerationalPromotionViaEviction(t *testing.T) {
 }
 
 func TestGenerationalPromoteOnAccess(t *testing.T) {
-	g := mkGen(t, 1, true, Hooks{})
+	g := mkGen(t, 1, true, nil)
 	for id := uint64(1); id <= 4; id++ {
 		g.Insert(codecache.Fragment{ID: id, Size: 100})
 	}
@@ -268,7 +271,7 @@ func TestGenerationalPromoteOnAccess(t *testing.T) {
 }
 
 func TestGenerationalThreshold10NeedsTenHits(t *testing.T) {
-	g := mkGen(t, 10, true, Hooks{})
+	g := mkGen(t, 10, true, nil)
 	for id := uint64(1); id <= 4; id++ {
 		g.Insert(codecache.Fragment{ID: id, Size: 100})
 	}
@@ -286,13 +289,11 @@ func TestGenerationalThreshold10NeedsTenHits(t *testing.T) {
 
 func TestGenerationalPersistentEviction(t *testing.T) {
 	var persistentDeaths int
-	g := mkGen(t, 1, true, Hooks{
-		OnEvict: func(f codecache.Fragment, from Level) {
-			if from == LevelPersistent {
-				persistentDeaths++
-			}
-		},
-	})
+	g := mkGen(t, 1, true, obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindEvict && e.From == LevelPersistent {
+			persistentDeaths++
+		}
+	}))
 	// promoteOne pushes trace id through nursery into probation (by
 	// inserting three 100-byte fillers into the 300-byte nursery) and then
 	// hits it once, which upgrades it to the persistent cache.
@@ -335,7 +336,7 @@ func TestGenerationalPersistentEviction(t *testing.T) {
 }
 
 func TestGenerationalDeleteModuleSpansLevels(t *testing.T) {
-	g := mkGen(t, 1, true, Hooks{})
+	g := mkGen(t, 1, true, nil)
 	for id := uint64(1); id <= 4; id++ {
 		g.Insert(codecache.Fragment{ID: id, Size: 100, Module: 7})
 	}
@@ -353,7 +354,7 @@ func TestGenerationalDeleteModuleSpansLevels(t *testing.T) {
 }
 
 func TestGenerationalSetUndeletable(t *testing.T) {
-	g := mkGen(t, 1, true, Hooks{})
+	g := mkGen(t, 1, true, nil)
 	for id := uint64(1); id <= 4; id++ {
 		g.Insert(codecache.Fragment{ID: id, Size: 100})
 	}
@@ -374,7 +375,7 @@ func TestGenerationalSetUndeletable(t *testing.T) {
 }
 
 func TestGenerationalTooBigTrace(t *testing.T) {
-	g := mkGen(t, 1, true, Hooks{})
+	g := mkGen(t, 1, true, nil)
 	if err := g.Insert(codecache.Fragment{ID: 1, Size: 500}); err == nil {
 		t.Error("trace larger than nursery should be rejected")
 	}
@@ -393,7 +394,7 @@ func TestGenerationalOversizedNurseryVictimDies(t *testing.T) {
 		ProbationFrac:    0.1, // 100
 		PersistentFrac:   0.4, // 400
 		PromoteThreshold: 1,
-	}, Hooks{})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,7 +424,7 @@ func TestGenerationalLocalPolicyOverride(t *testing.T) {
 			}
 			return nil // default
 		},
-	}, Hooks{})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,10 +458,11 @@ func TestGenerationalRandomized(t *testing.T) {
 			PersistentFrac:   0.45,
 			PromoteThreshold: uint64(1 + r.Intn(3)),
 			PromoteOnAccess:  seed%2 == 0,
-		}, Hooks{
-			OnEvict:   func(f codecache.Fragment, _ Level) { liveBytes -= f.Size },
-			OnPromote: func(codecache.Fragment, Level, Level) {},
-		})
+		}, obs.Func(func(e obs.Event) {
+			if e.Kind == obs.KindEvict {
+				liveBytes -= e.Size
+			}
+		}))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -511,5 +513,82 @@ func TestQuickConfigValidate(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestObserverFanOutProperty drives a random workload through both manager
+// shapes with an EventCounter on the bus and checks that every logical
+// event fires exactly once: observer tallies must equal the manager's own
+// Stats counters, and a second observer fanned in through obs.Bus must see
+// the identical stream.
+func TestObserverFanOutProperty(t *testing.T) {
+	for _, seed := range []int64{7, 11, 13} {
+		for _, shape := range []string{"unified", "generational"} {
+			r := rand.New(rand.NewSource(seed))
+			ec := stats.NewEventCounter()
+			ec2 := stats.NewEventCounter()
+			bus := obs.NewBus(ec, ec2)
+
+			var mgr Manager
+			if shape == "unified" {
+				mgr = NewUnified(4096, nil, bus)
+			} else {
+				g, err := NewGenerational(Config{
+					TotalCapacity:    4096,
+					NurseryFrac:      0.45,
+					ProbationFrac:    0.10,
+					PersistentFrac:   0.45,
+					PromoteThreshold: uint64(1 + r.Intn(2)),
+					PromoteOnAccess:  seed%2 == 0,
+				}, bus)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mgr = g
+			}
+
+			var ids []uint64
+			next := uint64(1)
+			for op := 0; op < 3000; op++ {
+				switch k := r.Intn(10); {
+				case k < 4:
+					f := codecache.Fragment{ID: next, Size: uint64(32 + r.Intn(300)), Module: uint16(r.Intn(4))}
+					next++
+					if mgr.Insert(f) == nil {
+						ids = append(ids, f.ID)
+					}
+				case k < 9:
+					if len(ids) > 0 {
+						mgr.Access(ids[r.Intn(len(ids))])
+					}
+				default:
+					mgr.DeleteModule(uint16(r.Intn(4)))
+				}
+			}
+
+			s := mgr.Stats()
+			name := shape
+			check := func(label string, got, want uint64) {
+				t.Helper()
+				if got != want {
+					t.Errorf("seed %d %s: %s = %d, stats say %d", seed, name, label, got, want)
+				}
+			}
+			check("insert events", ec.Count(obs.KindInsert), s.Inserts)
+			check("evict events", ec.Count(obs.KindEvict), s.Evicted)
+			check("evict bytes", ec.Bytes(obs.KindEvict), s.EvictedBytes)
+			check("promote events", ec.Count(obs.KindPromote), s.PromotedToProbation+s.PromotedToPersist)
+			check("unmap events", ec.Count(obs.KindUnmap), s.ForcedDeletes)
+			check("unmap bytes", ec.Bytes(obs.KindUnmap), s.ForcedDeleteBytes)
+			if shape == "unified" {
+				check("promote events (unified never promotes)", ec.Count(obs.KindPromote), 0)
+			}
+			for k := obs.Kind(1); int(k) < obs.NumKinds; k++ {
+				if ec.Count(k) != ec2.Count(k) || ec.Bytes(k) != ec2.Bytes(k) {
+					t.Errorf("seed %d %s: bus observers disagree on %s: %d/%d vs %d/%d",
+						seed, name, k, ec.Count(k), ec.Bytes(k), ec2.Count(k), ec2.Bytes(k))
+				}
+			}
+		}
 	}
 }

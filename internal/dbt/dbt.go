@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/linker"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/program"
 	"repro/internal/stats"
@@ -58,6 +59,10 @@ type Config struct {
 	Model *costmodel.Model
 	// Log, when non-nil, receives the cache event stream.
 	Log *tracelog.Writer
+	// Observer, when non-nil, receives the engine's own lifecycle events
+	// (KindLinkSever, one per direct link broken). Cache-level events come
+	// from the Manager's observer, attached at manager construction.
+	Observer obs.Observer
 	// Lifetimes, when non-nil, records trace first/last access times.
 	Lifetimes *stats.Lifetimes
 	// ExceptionInterval, when non-zero, simulates the paper's §4.2
@@ -387,7 +392,7 @@ func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
 		// severed with it; regenerate the trace and re-insert it.
 		e.stats.Misses++
 		e.stats.Regens++
-		e.stats.LinksBroken += uint64(e.links.Unlink(t.ID))
+		e.severLinks(t.ID)
 		e.acc.ChargeTraceGen(t.Size())
 		_ = e.cfg.Manager.Insert(e.fragmentOf(t))
 	}
@@ -533,6 +538,16 @@ func (e *Engine) materialize() error {
 	return nil
 }
 
+// severLinks breaks every direct link involving trace id, counting the
+// severed links and publishing one KindLinkSever event per link.
+func (e *Engine) severLinks(id uint64) {
+	n := e.links.Unlink(id)
+	e.stats.LinksBroken += uint64(n)
+	for i := 0; i < n; i++ {
+		obs.Emit(e.cfg.Observer, obs.Event{Kind: obs.KindLinkSever, Trace: id})
+	}
+}
+
 func (e *Engine) fragmentOf(t *trace.Trace) codecache.Fragment {
 	return codecache.Fragment{
 		ID:       t.ID,
@@ -583,7 +598,7 @@ func (e *Engine) unloadModule(m program.ModuleID) error {
 		if t, ok := e.traces[id]; ok {
 			e.stats.UnmappedTraces++
 			e.stats.UnmappedBytes += uint64(t.Size())
-			e.stats.LinksBroken += uint64(e.links.Unlink(id))
+			e.severLinks(id)
 			delete(e.traces, id)
 			delete(e.byHead, t.Head)
 		}

@@ -41,7 +41,7 @@ func buildLoopProgram(t *testing.T, iters int64) *program.Image {
 func runUnderEngine(t *testing.T, img *program.Image, cfg Config) (*Engine, *vm.Machine) {
 	t.Helper()
 	if cfg.Manager == nil {
-		cfg.Manager = core.NewUnified(1<<20, nil, core.Hooks{})
+		cfg.Manager = core.NewUnified(1<<20, nil, nil)
 	}
 	e, err := New(img, cfg)
 	if err != nil {
@@ -186,7 +186,7 @@ func TestModuleUnloadForcesEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	lt := stats.NewLifetimes()
-	mgr := core.NewUnified(1<<20, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<20, nil, nil)
 	e, err := New(img, Config{Manager: mgr, HotThreshold: 50, Log: w, Lifetimes: lt})
 	if err != nil {
 		t.Fatal(err)
@@ -280,7 +280,7 @@ func TestConflictMissesWithTinyCache(t *testing.T) {
 	img := buildAlternatingLoops(t)
 
 	// First run unbounded to learn trace sizes.
-	big := core.NewUnified(1<<20, nil, core.Hooks{})
+	big := core.NewUnified(1<<20, nil, nil)
 	e1, _ := runUnderEngine(t, img, Config{Manager: big, HotThreshold: 20})
 	if e1.Stats().Misses != 0 {
 		t.Fatalf("unbounded run missed %d times", e1.Stats().Misses)
@@ -291,7 +291,7 @@ func TestConflictMissesWithTinyCache(t *testing.T) {
 	}
 
 	// Now a cache that holds roughly one of the traces.
-	tiny := core.NewUnified(traceBytes/3, nil, core.Hooks{})
+	tiny := core.NewUnified(traceBytes/3, nil, nil)
 	e2, _ := runUnderEngine(t, img, Config{Manager: tiny, HotThreshold: 20})
 	s := e2.Stats()
 	if s.Misses == 0 {
@@ -310,7 +310,7 @@ func TestEngineErrors(t *testing.T) {
 	if _, err := New(img, Config{}); err == nil {
 		t.Error("engine without manager accepted")
 	}
-	e, err := New(img, Config{Manager: core.NewUnified(1000, nil, core.Hooks{})})
+	e, err := New(img, Config{Manager: core.NewUnified(1000, nil, nil)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +321,7 @@ func TestEngineErrors(t *testing.T) {
 
 func TestMaxBlocksBudget(t *testing.T) {
 	img := buildLoopProgram(t, 1_000_000)
-	mgr := core.NewUnified(1<<20, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<20, nil, nil)
 	e, err := New(img, Config{Manager: mgr, HotThreshold: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -337,7 +337,7 @@ func TestMaxBlocksBudget(t *testing.T) {
 
 func TestFragmentOfMapping(t *testing.T) {
 	img := buildLoopProgram(t, 200)
-	mgr := core.NewUnified(1<<20, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<20, nil, nil)
 	e, _ := runUnderEngine(t, img, Config{Manager: mgr, HotThreshold: 20})
 	entry := img.MustBlock(img.Entry)
 	tr, ok := e.TraceFor(entry.Last().Target)
@@ -361,7 +361,7 @@ func TestExceptionPinning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr := core.NewUnified(1<<20, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<20, nil, nil)
 	e, err := New(img, Config{
 		Manager:              mgr,
 		HotThreshold:         10, // hot quickly
@@ -464,7 +464,7 @@ func TestTraceLinking(t *testing.T) {
 	// With a tiny cache the traces evict each other; each rediscovered
 	// eviction must sever that trace's links.
 	unbounded := e.Stats().TraceBytes
-	tiny := core.NewUnified(unbounded/3, nil, core.Hooks{})
+	tiny := core.NewUnified(unbounded/3, nil, nil)
 	e2, _ := runUnderEngine(t, img, Config{Manager: tiny, HotThreshold: 10})
 	s2 := e2.Stats()
 	if s2.Misses == 0 {
@@ -504,7 +504,7 @@ func TestInterleavedThreads(t *testing.T) {
 	loopBlk := img.MustBlock(loopAddr)
 	exitAddr := loopBlk.FallThrough()
 
-	mgr := core.NewUnified(1<<20, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<20, nil, nil)
 	e, err := New(img, Config{Manager: mgr, HotThreshold: 30})
 	if err != nil {
 		t.Fatal(err)
@@ -572,7 +572,7 @@ func TestEngineDeterminism(t *testing.T) {
 	// Identical guests and configs must produce identical stats.
 	img := buildTwoPhaseProgram(t)
 	run := func() RunStats {
-		mgr := core.NewUnified(4096, nil, core.Hooks{})
+		mgr := core.NewUnified(4096, nil, nil)
 		e, err := New(img, Config{Manager: mgr, HotThreshold: 10})
 		if err != nil {
 			t.Fatal(err)

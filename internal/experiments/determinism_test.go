@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigure9DeterministicAcrossParallelism is the pipeline's regression
+// gate: collection and the Figure 9 replay matrix must produce identical
+// typed rows at parallel=1 (exact sequential behaviour) and parallel=8,
+// because every job owns its own seeded RNG and manager state and results
+// aggregate by job index.
+func TestFigure9DeterministicAcrossParallelism(t *testing.T) {
+	collect := func(parallel int) *Suite {
+		t.Helper()
+		s, err := Collect(Options{
+			Scale:      0.05,
+			Benchmarks: []string{"art", "gzip", "solitaire"},
+			Parallel:   parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	seq := collect(1)
+	par := collect(8)
+
+	if len(seq.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(seq.Runs), len(par.Runs))
+	}
+	for i := range seq.Runs {
+		a, b := seq.Runs[i], par.Runs[i]
+		if a.Profile.Name != b.Profile.Name {
+			t.Fatalf("run %d: order differs (%s vs %s)", i, a.Profile.Name, b.Profile.Name)
+		}
+		if a.Stats != b.Stats {
+			t.Errorf("%s: engine stats differ:\nseq %+v\npar %+v", a.Profile.Name, a.Stats, b.Stats)
+		}
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Errorf("%s: event logs differ (%d vs %d events)", a.Profile.Name, len(a.Events), len(b.Events))
+		}
+	}
+
+	figSeq, err := Figure9(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.Parallel = 8
+	figPar, err := Figure9(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(figSeq, figPar) {
+		t.Errorf("Figure9 rows differ between parallel=1 and parallel=8:\nseq %+v\npar %+v", figSeq, figPar)
+	}
+
+	// Same suite replayed at both levels must agree too (replay-level
+	// determinism, independent of collection).
+	seq.Parallel = 8
+	figSeq8, err := Figure9(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(figSeq, figSeq8) {
+		t.Error("Figure9 on the same suite differs across parallelism levels")
+	}
+}

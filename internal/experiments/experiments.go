@@ -8,11 +8,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/tracelog"
 	"repro/internal/workload"
@@ -30,7 +32,12 @@ type Options struct {
 	SeedOffset int64
 	// Model is the overhead model (zero value = Table 2 defaults).
 	Model *costmodel.Model
-	// Progress, when non-nil, receives one line per completed benchmark.
+	// Parallel bounds the worker pool for collection and for every figure
+	// pipeline derived from the collected suite. 0 means GOMAXPROCS; 1
+	// preserves exact sequential behaviour.
+	Parallel int
+	// Progress, when non-nil, receives one line per completed benchmark,
+	// always in benchmark order.
 	Progress func(string)
 }
 
@@ -68,10 +75,42 @@ func (r *Run) MaxTraceBytes() uint64 { return r.Summary.MaxLiveBytes }
 
 // Suite holds every benchmark's artifacts for one collection pass.
 type Suite struct {
-	Scale  float64
-	Model  costmodel.Model
-	Runs   []*Run
-	byName map[string]*Run
+	Scale float64
+	Model costmodel.Model
+	// Parallel bounds the worker pool of every figure pipeline derived from
+	// this suite (0 = GOMAXPROCS, 1 = sequential). Because every replay job
+	// owns its own manager and accumulator, figure results are identical at
+	// every parallelism level.
+	Parallel int
+	Runs     []*Run
+	byName   map[string]*Run
+
+	// ctx is the collection context; figure pipelines inherit it so a
+	// CLI-level timeout covers the derived replays too. Cancellation is
+	// observed between jobs, not inside a replay.
+	ctx context.Context
+}
+
+func (s *Suite) context() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
+}
+
+// perRun executes fn once per collected benchmark through the experiment
+// pipeline, returning results in run order. It is the shared scaffolding for
+// every per-figure replay matrix.
+func perRun[T any](s *Suite, fn func(r *Run) (T, error)) ([]T, error) {
+	jobs := make([]pipeline.Job[T], len(s.Runs))
+	for i, r := range s.Runs {
+		r := r
+		jobs[i] = pipeline.Job[T]{
+			Name: r.Profile.Name,
+			Run:  func(context.Context) (T, error) { return fn(r) },
+		}
+	}
+	return pipeline.Map(s.context(), pipeline.Options{Parallel: s.Parallel}, jobs)
 }
 
 // Get returns a benchmark's run.
@@ -100,8 +139,18 @@ func (s *Suite) bySuite(spec bool) []*Run {
 // Collect synthesizes and runs every requested benchmark under an unbounded
 // trace cache, capturing the event log, lifetimes, and engine statistics.
 func Collect(opts Options) (*Suite, error) {
+	return CollectContext(context.Background(), opts)
+}
+
+// CollectContext is Collect bounded by a context: collection jobs (one per
+// benchmark, each with its own seeded RNG and engine) run on the pipeline's
+// worker pool, and figure pipelines derived from the suite inherit ctx.
+func CollectContext(ctx context.Context, opts Options) (*Suite, error) {
 	scale := opts.scale()
-	suite := &Suite{Scale: scale, Model: opts.model(), byName: make(map[string]*Run)}
+	suite := &Suite{
+		Scale: scale, Model: opts.model(), Parallel: opts.Parallel,
+		byName: make(map[string]*Run), ctx: ctx,
+	}
 
 	profiles := workload.All()
 	if opts.Benchmarks != nil {
@@ -116,18 +165,40 @@ func Collect(opts Options) (*Suite, error) {
 		profiles = sel
 	}
 
-	for _, p := range profiles {
+	done := make([]*Run, len(profiles)) // each job writes only its own index
+	jobs := make([]pipeline.Job[*Run], len(profiles))
+	for i, p := range profiles {
 		p.Seed += opts.SeedOffset
-		run, err := collectOne(p, scale, suite.Model)
-		if err != nil {
-			return nil, err
+		i, p := i, p
+		jobs[i] = pipeline.Job[*Run]{
+			Name: p.Name,
+			Run: func(context.Context) (*Run, error) {
+				run, err := collectOne(p, scale, suite.Model)
+				if err == nil {
+					done[i] = run
+				}
+				return run, err
+			},
 		}
+	}
+	popts := pipeline.Options{Parallel: opts.Parallel}
+	if opts.Progress != nil {
+		// The pipeline reports completions in benchmark order, so progress
+		// output is identical at every parallelism level.
+		progress := opts.Progress
+		popts.Progress = func(_ string, index, _ int) {
+			run := done[index]
+			progress(fmt.Sprintf("%-12s %9d events, %7s traces",
+				run.Profile.Name, len(run.Events), stats.FmtBytes(run.Stats.TraceBytes)))
+		}
+	}
+	runs, err := pipeline.Map(ctx, popts, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range runs {
 		suite.Runs = append(suite.Runs, run)
-		suite.byName[p.Name] = run
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%-12s %9d events, %7s traces",
-				p.Name, len(run.Events), stats.FmtBytes(run.Stats.TraceBytes)))
-		}
+		suite.byName[run.Profile.Name] = run
 	}
 	return suite, nil
 }
@@ -147,7 +218,7 @@ func collectOne(p workload.Profile, scale float64, model costmodel.Model) (*Run,
 		return nil, err
 	}
 	lt := stats.NewLifetimes()
-	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<40, nil, nil)
 	eng, err := dbt.New(bench.Image, dbt.Config{
 		Manager:   mgr,
 		Model:     &model,

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -319,21 +321,19 @@ type Figure9Result struct {
 // Figure9 reproduces the miss-rate evaluation (§6.1): each benchmark's log
 // replays through a unified pseudo-circular cache sized at half its
 // unbounded footprint, and through the three generational layouts of the
-// same total capacity.
+// same total capacity. Replays run on the suite's pipeline; rows and
+// averages are aggregated in benchmark order regardless of parallelism.
 func Figure9(s *Suite) (Figure9Result, error) {
-	var res Figure9Result
-	var specSums, interSums []float64
-	var nSpec, nInter int
-	for _, r := range s.Runs {
+	rows, err := perRun(s, func(r *Run) (*Figure9Row, error) {
 		capacity := r.MaxTraceBytes() / 2
 		if capacity == 0 {
-			continue
+			return nil, nil
 		}
 		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
-		row := Figure9Row{
+		row := &Figure9Row{
 			Name:            r.Profile.Name,
 			Suite:           r.Profile.Suite,
 			CapacityKB:      float64(capacity) / 1024,
@@ -343,7 +343,7 @@ func Figure9(s *Suite) (Figure9Result, error) {
 		for _, cfg := range figure9Layouts(capacity) {
 			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, cfg, s.Model)
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 			red := 0.0
 			if u.MissRate() > 0 {
@@ -353,6 +353,18 @@ func Figure9(s *Suite) (Figure9Result, error) {
 			row.Eliminated = append(row.Eliminated, int64(u.Misses)-int64(g.Misses))
 			row.Configs = append(row.Configs, configLabel(cfg))
 		}
+		return row, nil
+	})
+	var res Figure9Result
+	if err != nil {
+		return res, err
+	}
+	var specSums, interSums []float64
+	var nSpec, nInter int
+	for _, row := range rows {
+		if row == nil {
+			continue
+		}
 		if res.Configs == nil {
 			res.Configs = row.Configs
 		}
@@ -360,7 +372,7 @@ func Figure9(s *Suite) (Figure9Result, error) {
 			specSums = make([]float64, len(row.Reductions))
 			interSums = make([]float64, len(row.Reductions))
 		}
-		if r.Profile.Suite == workload.SuiteInteractive {
+		if row.Suite == workload.SuiteInteractive {
 			nInter++
 			for i, v := range row.Reductions {
 				interSums[i] += v
@@ -371,7 +383,7 @@ func Figure9(s *Suite) (Figure9Result, error) {
 				specSums[i] += v
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, *row)
 	}
 	for i := range specSums {
 		if nSpec > 0 {
@@ -477,36 +489,46 @@ type Figure11Result struct {
 	Best            string // paper: gzip (51.1%)
 }
 
-// Figure11 reproduces the overhead evaluation (§6.2).
+// Figure11 reproduces the overhead evaluation (§6.2). The per-benchmark
+// comparisons run on the suite's pipeline.
 func Figure11(s *Suite) (Figure11Result, error) {
-	var res Figure11Result
-	var ratios, specRatios, interRatios []float64
-	best, worst := 10.0, 0.0
-	for _, r := range s.Runs {
+	rows, err := perRun(s, func(r *Run) (*Figure11Row, error) {
 		capacity := r.MaxTraceBytes() / 2
 		if capacity == 0 {
-			continue
+			return nil, nil
 		}
 		cmp, err := sim.Compare(r.Profile.Name, r.Events, capacity,
 			core.Layout451045Threshold1(capacity), s.Model)
 		if err != nil {
-			return res, err
+			return nil, err
 		}
-		ratio := cmp.OverheadRatio()
-		res.Rows = append(res.Rows, Figure11Row{Name: r.Profile.Name, Suite: r.Profile.Suite, Ratio: ratio})
+		return &Figure11Row{Name: r.Profile.Name, Suite: r.Profile.Suite, Ratio: cmp.OverheadRatio()}, nil
+	})
+	var res Figure11Result
+	if err != nil {
+		return res, err
+	}
+	var ratios, specRatios, interRatios []float64
+	best, worst := 10.0, 0.0
+	for _, row := range rows {
+		if row == nil {
+			continue
+		}
+		ratio := row.Ratio
+		res.Rows = append(res.Rows, *row)
 		ratios = append(ratios, ratio)
-		if r.Profile.Suite == workload.SuiteInteractive {
+		if row.Suite == workload.SuiteInteractive {
 			interRatios = append(interRatios, ratio)
 		} else {
 			specRatios = append(specRatios, ratio)
 		}
 		if ratio < best {
 			best = ratio
-			res.Best = r.Profile.Name
+			res.Best = row.Name
 		}
 		if ratio > worst {
 			worst = ratio
-			res.Worst = r.Profile.Name
+			res.Worst = row.Name
 		}
 	}
 	res.GeoMean = stats.GeoMean(ratios)
@@ -548,28 +570,44 @@ type CycleImpactRow struct {
 // simulation scales the overhead share — and therefore these percentages —
 // is much larger than the paper's full-length runs would show.
 func CycleImpact(s *Suite, fig9 Figure9Result) ([]CycleImpactRow, error) {
+	jobs := make([]pipeline.Job[*CycleImpactRow], len(fig9.Rows))
+	for i, fr := range fig9.Rows {
+		fr := fr
+		jobs[i] = pipeline.Job[*CycleImpactRow]{
+			Name: fr.Name,
+			Run: func(context.Context) (*CycleImpactRow, error) {
+				r, ok := s.Get(fr.Name)
+				if !ok {
+					return nil, nil
+				}
+				capacity := r.MaxTraceBytes() / 2
+				u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
+				if err != nil {
+					return nil, err
+				}
+				med := stats.Median(sizesOf(r.Summary.TraceSizes))
+				saved := float64(fr.Eliminated[1]) * s.Model.MissCost(int(med))
+				total := float64(r.Stats.GuestInstrs) + u.Overhead.Total()
+				pct := 0.0
+				if total > 0 {
+					pct = saved / total * 100
+				}
+				return &CycleImpactRow{
+					Name: fr.Name, Suite: fr.Suite,
+					Eliminated: fr.Eliminated[1], ReductionPct: pct,
+				}, nil
+			},
+		}
+	}
+	out, err := pipeline.Map(s.context(), pipeline.Options{Parallel: s.Parallel}, jobs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []CycleImpactRow
-	for _, fr := range fig9.Rows {
-		r, ok := s.Get(fr.Name)
-		if !ok {
-			continue
+	for _, row := range out {
+		if row != nil {
+			rows = append(rows, *row)
 		}
-		capacity := r.MaxTraceBytes() / 2
-		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
-		if err != nil {
-			return nil, err
-		}
-		med := stats.Median(sizesOf(r.Summary.TraceSizes))
-		saved := float64(fr.Eliminated[1]) * s.Model.MissCost(int(med))
-		total := float64(r.Stats.GuestInstrs) + u.Overhead.Total()
-		pct := 0.0
-		if total > 0 {
-			pct = saved / total * 100
-		}
-		rows = append(rows, CycleImpactRow{
-			Name: fr.Name, Suite: fr.Suite,
-			Eliminated: fr.Eliminated[1], ReductionPct: pct,
-		})
 	}
 	return rows, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dbt"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -31,56 +33,79 @@ type OptimizerImpactRow struct {
 // OptimizerImpact measures the optimizer on the named benchmarks at the
 // given scale.
 func OptimizerImpact(names []string, scale float64) ([]OptimizerImpactRow, error) {
-	var rows []OptimizerImpactRow
-	for _, name := range names {
-		p, ok := workload.ByName(name)
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
-		}
-		bench, err := workload.Synthesize(p.Scaled(scale))
-		if err != nil {
-			return nil, err
-		}
-		run := func(capacity uint64, optimize bool) (dbt.RunStats, error) {
-			mgr := core.NewUnified(capacity, nil, core.Hooks{})
-			eng, err := dbt.New(bench.Image, dbt.Config{Manager: mgr, Optimize: optimize})
-			if err != nil {
-				return dbt.RunStats{}, err
-			}
-			if err := eng.Run(bench.NewDriver(), 0); err != nil {
-				return dbt.RunStats{}, err
-			}
-			return eng.Stats(), nil
-		}
+	return OptimizerImpactContext(context.Background(), names, scale, 0)
+}
 
-		unbounded, err := run(1<<40, false)
-		if err != nil {
-			return nil, err
+// OptimizerImpactContext is OptimizerImpact on an explicit context and
+// parallelism level: each benchmark's three engine runs (unbounded, bounded
+// plain, bounded optimized) are one pipeline job.
+func OptimizerImpactContext(ctx context.Context, names []string, scale float64, parallel int) ([]OptimizerImpactRow, error) {
+	jobs := make([]pipeline.Job[*OptimizerImpactRow], len(names))
+	for i, name := range names {
+		name := name
+		jobs[i] = pipeline.Job[*OptimizerImpactRow]{
+			Name: name,
+			Run: func(context.Context) (*OptimizerImpactRow, error) {
+				p, ok := workload.ByName(name)
+				if !ok {
+					return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+				}
+				bench, err := workload.Synthesize(p.Scaled(scale))
+				if err != nil {
+					return nil, err
+				}
+				run := func(capacity uint64, optimize bool) (dbt.RunStats, error) {
+					mgr := core.NewUnified(capacity, nil, nil)
+					eng, err := dbt.New(bench.Image, dbt.Config{Manager: mgr, Optimize: optimize})
+					if err != nil {
+						return dbt.RunStats{}, err
+					}
+					if err := eng.Run(bench.NewDriver(), 0); err != nil {
+						return dbt.RunStats{}, err
+					}
+					return eng.Stats(), nil
+				}
+
+				unbounded, err := run(1<<40, false)
+				if err != nil {
+					return nil, err
+				}
+				capacity := unbounded.TraceBytes / 2
+				if capacity == 0 {
+					return nil, nil
+				}
+				plain, err := run(capacity, false)
+				if err != nil {
+					return nil, err
+				}
+				opt, err := run(capacity, true)
+				if err != nil {
+					return nil, err
+				}
+				row := &OptimizerImpactRow{
+					Name:           name,
+					TraceBytes:     plain.TraceBytes,
+					TraceBytesOpt:  opt.TraceBytes,
+					MissRate:       plain.MissRate(),
+					MissRateOpt:    opt.MissRate(),
+					OptimizedInsts: opt.OptimizedInsts,
+				}
+				if plain.TraceBytes > 0 {
+					row.BytesSavedPct = 100 * (1 - float64(opt.TraceBytes)/float64(plain.TraceBytes))
+				}
+				return row, nil
+			},
 		}
-		capacity := unbounded.TraceBytes / 2
-		if capacity == 0 {
-			continue
+	}
+	out, err := pipeline.Map(ctx, pipeline.Options{Parallel: parallel}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []OptimizerImpactRow
+	for _, row := range out {
+		if row != nil {
+			rows = append(rows, *row)
 		}
-		plain, err := run(capacity, false)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := run(capacity, true)
-		if err != nil {
-			return nil, err
-		}
-		row := OptimizerImpactRow{
-			Name:           name,
-			TraceBytes:     plain.TraceBytes,
-			TraceBytesOpt:  opt.TraceBytes,
-			MissRate:       plain.MissRate(),
-			MissRateOpt:    opt.MissRate(),
-			OptimizedInsts: opt.OptimizedInsts,
-		}
-		if plain.TraceBytes > 0 {
-			row.BytesSavedPct = 100 * (1 - float64(opt.TraceBytes)/float64(plain.TraceBytes))
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

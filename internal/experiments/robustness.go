@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -32,36 +33,56 @@ type RobustnessResult struct {
 // Robustness collects the named benchmarks at each seed offset and replays
 // the headline comparison.
 func Robustness(benchmarks []string, scale float64, offsets []int64) (RobustnessResult, error) {
+	return RobustnessContext(context.Background(), benchmarks, scale, offsets, 0)
+}
+
+// RobustnessContext is Robustness on an explicit context and parallelism
+// level. Offsets stay sequential (each builds on a full collection pass);
+// within an offset, collection and the per-benchmark replays run on the
+// pipeline.
+func RobustnessContext(ctx context.Context, benchmarks []string, scale float64, offsets []int64, parallel int) (RobustnessResult, error) {
 	if len(offsets) == 0 {
 		offsets = []int64{0, 1000, 2000}
 	}
 	var res RobustnessResult
 	var avgs []float64
 	for _, off := range offsets {
-		suite, err := Collect(Options{Scale: scale, Benchmarks: benchmarks, SeedOffset: off})
+		suite, err := CollectContext(ctx, Options{
+			Scale: scale, Benchmarks: benchmarks, SeedOffset: off, Parallel: parallel,
+		})
+		if err != nil {
+			return res, err
+		}
+		reds, err := perRun(suite, func(r *Run) (*float64, error) {
+			capacity := r.MaxTraceBytes() / 2
+			if capacity == 0 {
+				return nil, nil
+			}
+			u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, suite.Model)
+			if err != nil {
+				return nil, err
+			}
+			if u.MissRate() == 0 {
+				return nil, nil
+			}
+			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events,
+				core.Layout451045Threshold1(capacity), suite.Model)
+			if err != nil {
+				return nil, err
+			}
+			red := 1 - g.MissRate()/u.MissRate()
+			return &red, nil
+		})
 		if err != nil {
 			return res, err
 		}
 		var sum float64
 		n := 0
-		for _, r := range suite.Runs {
-			capacity := r.MaxTraceBytes() / 2
-			if capacity == 0 {
+		for _, red := range reds {
+			if red == nil {
 				continue
 			}
-			u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, suite.Model)
-			if err != nil {
-				return res, err
-			}
-			if u.MissRate() == 0 {
-				continue
-			}
-			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events,
-				core.Layout451045Threshold1(capacity), suite.Model)
-			if err != nil {
-				return res, err
-			}
-			sum += 1 - g.MissRate()/u.MissRate()
+			sum += *red
 			n++
 		}
 		avg := 0.0

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/pipeline"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -65,31 +67,45 @@ func sweepGrid() []core.Config {
 }
 
 // Sweep replays every benchmark's log through the configuration grid and
-// averages the miss-rate reductions.
+// averages the miss-rate reductions. Each benchmark's 29 replays are one
+// pipeline job; sums aggregate in benchmark order.
 func Sweep(s *Suite) (SweepResult, error) {
 	grid := sweepGrid()
-	sums := make([]float64, len(grid))
-	n := 0
-	for _, r := range s.Runs {
+	perBench, err := perRun(s, func(r *Run) ([]float64, error) {
 		capacity := r.MaxTraceBytes() / 2
 		if capacity == 0 {
-			continue
+			return nil, nil
 		}
 		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
 		if err != nil {
-			return SweepResult{}, err
+			return nil, err
 		}
 		if u.MissRate() == 0 {
-			continue
+			return nil, nil
 		}
-		n++
+		reds := make([]float64, len(grid))
 		for i, cfg := range grid {
 			cfg.TotalCapacity = capacity
 			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, cfg, s.Model)
 			if err != nil {
-				return SweepResult{}, err
+				return nil, err
 			}
-			sums[i] += 1 - g.MissRate()/u.MissRate()
+			reds[i] = 1 - g.MissRate()/u.MissRate()
+		}
+		return reds, nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	sums := make([]float64, len(grid))
+	n := 0
+	for _, reds := range perBench {
+		if reds == nil {
+			continue
+		}
+		n++
+		for i, v := range reds {
+			sums[i] += v
 		}
 	}
 	var res SweepResult
@@ -209,7 +225,7 @@ func Ablations(s *Suite) ([]AblationRow, error) {
 		}},
 		{"flush-unified", func(r *Run, c uint64, u sim.Result) (float64, error) {
 			acc := costmodel.NewAccum(s.Model)
-			mgr := core.NewUnified(c, &policy.FlushWhenFull{}, sim.CostHooks(acc))
+			mgr := core.NewUnified(c, &policy.FlushWhenFull{}, sim.CostObserver(acc))
 			g, err := sim.Replay(r.Profile.Name, r.Events, mgr, acc)
 			if err != nil {
 				return 0, err
@@ -223,7 +239,7 @@ func Ablations(s *Suite) ([]AblationRow, error) {
 			// The §4.3 road not taken: fill program-forced holes before
 			// evicting at the cursor.
 			acc := costmodel.NewAccum(s.Model)
-			mgr := core.NewUnified(c, &policy.CircularFirstFit{}, sim.CostHooks(acc))
+			mgr := core.NewUnified(c, &policy.CircularFirstFit{}, sim.CostObserver(acc))
 			g, err := sim.Replay(r.Profile.Name, r.Events, mgr, acc)
 			if err != nil {
 				return 0, err
@@ -235,27 +251,40 @@ func Ablations(s *Suite) ([]AblationRow, error) {
 		}},
 	}
 
-	sums := make([]float64, len(variants))
-	n := 0
-	for _, r := range s.Runs {
+	perBench, err := perRun(s, func(r *Run) ([]float64, error) {
 		capacity := r.MaxTraceBytes() / 2
 		if capacity == 0 {
-			continue
+			return nil, nil
 		}
 		u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
 		if err != nil {
 			return nil, err
 		}
 		if u.MissRate() == 0 {
-			continue
+			return nil, nil
 		}
-		n++
+		reds := make([]float64, len(variants))
 		for i, v := range variants {
 			red, err := v.run(r, capacity, u)
 			if err != nil {
 				return nil, err
 			}
-			sums[i] += red
+			reds[i] = red
+		}
+		return reds, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]float64, len(variants))
+	n := 0
+	for _, reds := range perBench {
+		if reds == nil {
+			continue
+		}
+		n++
+		for i, v := range reds {
+			sums[i] += v
 		}
 	}
 	var out []AblationRow
@@ -300,28 +329,57 @@ func CapacitySweep(s *Suite, fracs []float64) ([]CapacityPoint, error) {
 	if len(fracs) == 0 {
 		fracs = []float64{0.25, 0.375, 0.5, 0.75, 0.9}
 	}
-	var out []CapacityPoint
+	// Flatten the frac x benchmark matrix into one job list so the worker
+	// pool stays busy across point boundaries; aggregation below walks the
+	// results in (frac, benchmark) order.
+	type cell struct {
+		u, g, red float64
+		ok        bool
+	}
+	var jobs []pipeline.Job[cell]
 	for _, frac := range fracs {
+		for _, r := range s.Runs {
+			frac, r := frac, r
+			jobs = append(jobs, pipeline.Job[cell]{
+				Name: fmt.Sprintf("%s@%.0f%%", r.Profile.Name, frac*100),
+				Run: func(context.Context) (cell, error) {
+					capacity := uint64(float64(r.MaxTraceBytes()) * frac)
+					if capacity == 0 {
+						return cell{}, nil
+					}
+					u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
+					if err != nil {
+						return cell{}, err
+					}
+					g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, core.Layout451045Threshold1(capacity), s.Model)
+					if err != nil {
+						return cell{}, err
+					}
+					c := cell{u: u.MissRate(), g: g.MissRate(), ok: true}
+					if c.u > 0 {
+						c.red = 1 - c.g/c.u
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	cells, err := pipeline.Map(s.context(), pipeline.Options{Parallel: s.Parallel}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	var out []CapacityPoint
+	for fi, frac := range fracs {
 		var uSum, gSum, redSum float64
 		n := 0
-		for _, r := range s.Runs {
-			capacity := uint64(float64(r.MaxTraceBytes()) * frac)
-			if capacity == 0 {
+		for ri := range s.Runs {
+			c := cells[fi*len(s.Runs)+ri]
+			if !c.ok {
 				continue
 			}
-			u, err := sim.ReplayUnified(r.Profile.Name, r.Events, capacity, s.Model)
-			if err != nil {
-				return nil, err
-			}
-			g, err := sim.ReplayGenerational(r.Profile.Name, r.Events, core.Layout451045Threshold1(capacity), s.Model)
-			if err != nil {
-				return nil, err
-			}
-			uSum += u.MissRate()
-			gSum += g.MissRate()
-			if u.MissRate() > 0 {
-				redSum += 1 - g.MissRate()/u.MissRate()
-			}
+			uSum += c.u
+			gSum += c.g
+			redSum += c.red
 			n++
 		}
 		if n == 0 {

@@ -1,0 +1,148 @@
+// Package obs is the observer/metrics bus shared by every cache layer. The
+// managers in internal/core, the arenas in internal/codecache, the flush
+// policies in internal/policy, the engine in internal/dbt, and the replay
+// simulator in internal/sim all publish their lifecycle events — trace
+// insertion, eviction, promotion, program-forced deletion, link severing,
+// cache flushes, and replay progress — through one Observer interface
+// instead of package-private hook structs and ad-hoc counters.
+//
+// The package sits below every other cache package (it imports nothing from
+// the repo), so any layer can publish and any consumer can subscribe.
+// internal/stats provides the standard metrics consumer (EventCounter);
+// cmd/ccsim can dump the raw stream.
+package obs
+
+import "fmt"
+
+// Kind enumerates observable event types.
+type Kind uint8
+
+const (
+	// KindInsert fires when a new trace is accepted into a managed cache.
+	KindInsert Kind = iota + 1
+	// KindEvict fires when a trace leaves the system from capacity
+	// pressure (including probation deaths and persistent-cache evictions).
+	KindEvict
+	// KindPromote fires when a trace relocates from one cache level to
+	// another (nursery→probation, probation→persistent).
+	KindPromote
+	// KindUnmap fires once per trace force-deleted because its module was
+	// unmapped (program-forced eviction).
+	KindUnmap
+	// KindLinkSever fires once per direct trace-to-trace link broken by an
+	// eviction or unmap.
+	KindLinkSever
+	// KindFlush fires when a local policy flushes a whole cache
+	// (flush-when-full, preemptive flushing).
+	KindFlush
+	// KindProgress reports replay progress: Done events of Total processed.
+	KindProgress
+
+	// NumKinds bounds the Kind space; counting consumers size arrays with it.
+	NumKinds = int(KindProgress) + 1
+)
+
+var kindNames = [...]string{
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Level identifies one cache within a manager. It lives here (rather than in
+// internal/core) so events can name their source and destination caches
+// without the bus depending on the managers; internal/core aliases it.
+type Level int
+
+// Cache levels. Unified managers use LevelUnified only; generational
+// managers use the other three.
+const (
+	LevelUnified Level = iota
+	LevelNursery
+	LevelProbation
+	LevelPersistent
+)
+
+var levelNames = [...]string{"unified", "nursery", "probation", "persistent"}
+
+func (l Level) String() string {
+	if l >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Event is one observable cache-lifecycle event. Only the fields relevant to
+// the Kind are set.
+type Event struct {
+	Kind   Kind
+	Trace  uint64 // KindInsert, KindEvict, KindPromote, KindUnmap, KindLinkSever
+	Size   uint64 // trace size in bytes, where known
+	Module uint16 // owning module (KindUnmap, KindInsert)
+	From   Level  // KindEvict, KindPromote, KindUnmap, KindFlush
+	To     Level  // KindInsert, KindPromote
+
+	// Replay progress (KindProgress only).
+	Benchmark string
+	Done      uint64
+	Total     uint64
+}
+
+// Observer receives events. Implementations must be safe for use from the
+// single goroutine that owns the publishing manager; observers shared across
+// concurrently replaying managers (e.g. one counter attached to every job of
+// a parallel pipeline) must be internally synchronized, as stats.EventCounter
+// is.
+type Observer interface {
+	Observe(Event)
+}
+
+// Func adapts a plain function to an Observer.
+type Func func(Event)
+
+// Observe implements Observer.
+func (f Func) Observe(e Event) { f(e) }
+
+// Emit publishes e to o if o is non-nil. Publishers use it so a nil observer
+// costs one branch.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// Bus fans one event stream out to several observers, in attach order.
+type Bus struct {
+	subs []Observer
+}
+
+// NewBus creates a bus over the given observers; nil entries are skipped.
+func NewBus(subs ...Observer) *Bus {
+	b := &Bus{}
+	for _, s := range subs {
+		b.Attach(s)
+	}
+	return b
+}
+
+// Attach subscribes an observer. Attach is not safe to call concurrently
+// with Observe.
+func (b *Bus) Attach(o Observer) {
+	if o != nil {
+		b.subs = append(b.subs, o)
+	}
+}
+
+// Observe implements Observer by forwarding to every subscriber.
+func (b *Bus) Observe(e Event) {
+	for _, s := range b.subs {
+		s.Observe(e)
+	}
+}
+
+// Len returns the number of subscribers.
+func (b *Bus) Len() int { return len(b.subs) }

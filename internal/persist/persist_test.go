@@ -24,7 +24,7 @@ func populated(t *testing.T) *core.Generational {
 		PersistentFrac:   0.4,
 		PromoteThreshold: 1,
 		PromoteOnAccess:  true,
-	}, core.Hooks{})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestWarmRestoresTraces(t *testing.T) {
 	img := Snapshot("b", g, nil)
 	persisted := len(img.Records)
 
-	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), core.Hooks{})
+	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestWarmRestoresTraces(t *testing.T) {
 func TestWarmValidatorRejects(t *testing.T) {
 	g := populated(t)
 	img := Snapshot("b", g, nil)
-	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), core.Hooks{})
+	fresh, err := core.NewGenerational(core.Layout451045Threshold1(3000), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestWarmOverflowRejects(t *testing.T) {
 		ProbationFrac:    0.33,
 		PersistentFrac:   0.33,
 		PromoteThreshold: 1,
-	}, core.Hooks{})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestWarmStartEndToEnd(t *testing.T) {
 	capacity := uint64(256 << 10)
 
 	runOnce := func(preloaded []*trace.Trace) (dbt.RunStats, *core.Generational, *dbt.Engine) {
-		g, err := core.NewGenerational(core.Layout451045Threshold1(capacity), core.Hooks{})
+		g, err := core.NewGenerational(core.Layout451045Threshold1(capacity), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,7 +258,7 @@ func TestRebuildRejectsStaleImage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	g, err := core.NewGenerational(core.Layout451045Threshold1(128<<10), core.Hooks{})
+	g, err := core.NewGenerational(core.Layout451045Threshold1(128<<10), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

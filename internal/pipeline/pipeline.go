@@ -1,0 +1,180 @@
+// Package pipeline runs the experiment matrix concurrently. The paper's
+// methodology is embarrassingly parallel — one unbounded DBT run per
+// benchmark, then many independent log replays per cache configuration — and
+// every experiment expresses it as a list of Jobs executed by a bounded
+// worker pool with deterministic, ordered aggregation: results (and the
+// first error, and progress reporting) are identical to a sequential run
+// regardless of the parallelism level, because each job owns its own seeded
+// RNG and manager state and results are collected by job index.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one independent unit of work: typically synthesize → engine run →
+// tracelog for a collection pass, or one benchmark's N replays for a figure.
+// Run must be self-contained (no shared mutable state with other jobs) so
+// parallel execution is bit-for-bit identical to sequential execution.
+type Job[T any] struct {
+	// Name labels the job in progress reporting.
+	Name string
+	// Run produces the job's result. It should honor ctx cancellation for
+	// long work, returning ctx.Err().
+	Run func(ctx context.Context) (T, error)
+}
+
+// Options configures an execution pass.
+type Options struct {
+	// Parallel bounds concurrently running jobs. 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 preserves exact sequential behaviour (jobs
+	// run in order on the calling goroutine, stopping at the first error).
+	Parallel int
+	// Progress, when non-nil, is called once per completed job, always in
+	// job-index order regardless of completion order.
+	Progress func(name string, index, total int)
+}
+
+func (o Options) parallel() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
+// Map executes every job and returns their results in job order. On error it
+// returns the error of the lowest-index failing job — the same error a
+// sequential run would surface — and cancels the remaining jobs. A nil or
+// empty job list returns (nil, nil).
+func Map[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if opts.parallel() == 1 {
+		return mapSequential(ctx, opts, jobs)
+	}
+	return mapParallel(ctx, opts, jobs)
+}
+
+func mapSequential[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
+	out := make([]T, len(jobs))
+	for i, j := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		v, err := j.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+		if opts.Progress != nil {
+			opts.Progress(j.Name, i, len(jobs))
+		}
+	}
+	return out, nil
+}
+
+func mapParallel[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := opts.parallel()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	out := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	idx := make(chan int)
+	done := make(chan int, len(jobs))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					done <- i
+					continue
+				}
+				v, err := jobs[i].Run(ctx)
+				if err != nil {
+					errs[i] = err
+					cancel() // stop scheduling work we will throw away
+				} else {
+					out[i] = v
+				}
+				done <- i
+			}
+		}()
+	}
+
+	go func() {
+		defer close(idx)
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				// Drain remaining indices as cancelled so the completion
+				// loop below still sees every job exactly once.
+				for j := i; j < len(jobs); j++ {
+					errs[j] = context.Cause(ctx)
+					done <- j
+				}
+				return
+			}
+		}
+	}()
+
+	// Ordered aggregation: report progress (and pick the first error) in job
+	// order, so parallel output is indistinguishable from sequential output.
+	completed := make([]bool, len(jobs))
+	next := 0
+	for range jobs {
+		i := <-done
+		completed[i] = true
+		for next < len(jobs) && completed[next] {
+			if errs[next] == nil && opts.Progress != nil {
+				opts.Progress(jobs[next].Name, next, len(jobs))
+			}
+			next++
+		}
+	}
+	wg.Wait()
+
+	// Prefer the lowest-index real failure; cancellation errors only matter
+	// when nothing else failed (parent context cancelled or timed out).
+	var cancelled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if cancelled == nil {
+			cancelled = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return out, nil
+}
+
+// Validate sanity-checks a parallelism level coming from a CLI flag.
+func Validate(parallel int) error {
+	if parallel < 0 {
+		return fmt.Errorf("pipeline: parallel must be >= 0, got %d", parallel)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// squareJobs builds n jobs whose results depend only on their index.
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Name: fmt.Sprintf("job%d", i),
+			Run:  func(context.Context) (int, error) { return i * i, nil },
+		}
+	}
+	return jobs
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map[int](context.Background(), Options{}, nil)
+	if out != nil || err != nil {
+		t.Fatalf("Map(nil) = %v, %v", out, err)
+	}
+}
+
+// TestMapParallelMatchesSequential is the core determinism contract: results
+// and the progress callback sequence must be identical at every parallelism
+// level.
+func TestMapParallelMatchesSequential(t *testing.T) {
+	const n = 37
+	type trace struct {
+		out      []int
+		progress []string
+	}
+	run := func(parallel int) trace {
+		var tr trace
+		var mu sync.Mutex
+		out, err := Map(context.Background(), Options{
+			Parallel: parallel,
+			Progress: func(name string, index, total int) {
+				mu.Lock()
+				tr.progress = append(tr.progress, fmt.Sprintf("%s:%d/%d", name, index, total))
+				mu.Unlock()
+			},
+		}, squareJobs(n))
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		tr.out = out
+		return tr
+	}
+	want := run(1)
+	for _, p := range []int{2, 4, 8, n + 5} {
+		got := run(p)
+		if !reflect.DeepEqual(got.out, want.out) {
+			t.Errorf("parallel=%d results differ: %v vs %v", p, got.out, want.out)
+		}
+		if !reflect.DeepEqual(got.progress, want.progress) {
+			t.Errorf("parallel=%d progress differs: %v vs %v", p, got.progress, want.progress)
+		}
+	}
+}
+
+// TestMapProgressOrdered forces out-of-order completion (later jobs finish
+// first) and checks progress still fires in index order.
+func TestMapProgressOrdered(t *testing.T) {
+	const n = 8
+	release := make(chan struct{})
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			if i == 0 {
+				<-release // job 0 finishes last
+			} else if i == n-1 {
+				close(release)
+			}
+			return i, nil
+		}}
+	}
+	var order []int
+	_, err := Map(context.Background(), Options{
+		Parallel: n,
+		Progress: func(_ string, index, _ int) { order = append(order, index) },
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("progress order %v, want 0..%d ascending", order, n-1)
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("progress fired %d times, want %d", len(order), n)
+	}
+}
+
+// TestMapFirstErrorWins holds every job at a barrier so all of them run to
+// completion, then checks Map surfaces the lowest-index failure — the error
+// a sequential run would have returned.
+func TestMapFirstErrorWins(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	var barrier sync.WaitGroup
+	barrier.Add(4)
+	mk := func(i int, fail error) Job[int] {
+		return Job[int]{Name: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			barrier.Done()
+			barrier.Wait()
+			return i, fail
+		}}
+	}
+	jobs := []Job[int]{mk(0, nil), mk(1, errA), mk(2, nil), mk(3, errB)}
+	_, err := Map(context.Background(), Options{Parallel: 4}, jobs)
+	if !errors.Is(err, errA) {
+		t.Fatalf("error = %v, want %v (lowest failing index)", err, errA)
+	}
+}
+
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	jobs := []Job[int]{
+		{Name: "ok", Run: func(context.Context) (int, error) { ran++; return 0, nil }},
+		{Name: "bad", Run: func(context.Context) (int, error) { ran++; return 0, boom }},
+		{Name: "never", Run: func(context.Context) (int, error) { ran++; return 0, nil }},
+	}
+	_, err := Map(context.Background(), Options{Parallel: 1}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d jobs, want 2 (stop at first error)", ran)
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		if _, err := Map(ctx, Options{Parallel: p}, squareJobs(3)); !errors.Is(err, context.Canceled) {
+			t.Errorf("parallel=%d: error = %v, want Canceled", p, err)
+		}
+	}
+}
+
+func TestMapTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: "stall", Run: func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}}
+	}
+	_, err := Map(ctx, Options{Parallel: 2}, jobs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(-1); err == nil {
+		t.Error("Validate(-1) accepted")
+	}
+	for _, p := range []int{0, 1, 64} {
+		if err := Validate(p); err != nil {
+			t.Errorf("Validate(%d) = %v", p, err)
+		}
+	}
+}

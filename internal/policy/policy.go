@@ -10,6 +10,7 @@ import (
 	"errors"
 
 	"repro/internal/codecache"
+	"repro/internal/obs"
 )
 
 // Local is a replacement policy for one code-cache arena. Implementations
@@ -149,6 +150,8 @@ func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
 type FlushWhenFull struct {
 	// Flushes counts how many whole-cache flushes have occurred.
 	Flushes uint64
+	// Obs, when non-nil, receives one KindFlush event per whole-cache flush.
+	Obs obs.Observer
 }
 
 // Name implements Local.
@@ -168,6 +171,7 @@ func (p *FlushWhenFull) Insert(a *codecache.Arena, f codecache.Fragment, onEvict
 		return err
 	}
 	p.Flushes++
+	obs.Emit(p.Obs, obs.Event{Kind: obs.KindFlush})
 	a.Flush(onEvict)
 	return a.PlaceFirstFit(f)
 }
@@ -187,6 +191,9 @@ type PreemptiveFlush struct {
 	// forced by a failed insertion.
 	Flushes     uint64
 	FullFlushes uint64
+	// Obs, when non-nil, receives one KindFlush event per flush of either
+	// kind.
+	Obs obs.Observer
 
 	recent  []uint64 // clock values of the last Window inserts
 	inserts uint64
@@ -223,6 +230,7 @@ func (p *PreemptiveFlush) Insert(a *codecache.Arena, f codecache.Fragment, onEvi
 	}
 	if p.phaseChange(now) {
 		p.Flushes++
+		obs.Emit(p.Obs, obs.Event{Kind: obs.KindFlush})
 		a.Flush(onEvict)
 		p.recent = p.recent[:0]
 	}
@@ -232,6 +240,7 @@ func (p *PreemptiveFlush) Insert(a *codecache.Arena, f codecache.Fragment, onEvi
 		return err
 	}
 	p.FullFlushes++
+	obs.Emit(p.Obs, obs.Event{Kind: obs.KindFlush})
 	a.Flush(onEvict)
 	return a.PlaceFirstFit(f)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/tracelog"
 )
 
@@ -46,10 +47,21 @@ func (r Result) MissRate() float64 {
 }
 
 // Replay drives every event in the log through the manager. The manager
-// must be freshly constructed; Replay does not reset it. The hooks wired at
-// manager construction time must be the ones returned by CostHooks (or
-// equivalent) so evictions and promotions are charged to acc.
+// must be freshly constructed; Replay does not reset it. The observer wired
+// at manager construction time must be (or fan out to) the one returned by
+// CostObserver so evictions and promotions are charged to acc.
 func Replay(benchmark string, events []tracelog.Event, mgr core.Manager, acc *costmodel.Accum) (Result, error) {
+	return ReplayObserved(benchmark, events, mgr, acc, nil)
+}
+
+// ProgressStride is how many log events pass between KindProgress emissions
+// during an observed replay (a final event always fires at completion).
+const ProgressStride = 1 << 14
+
+// ReplayObserved is Replay plus a progress stream: every ProgressStride log
+// events (and once at the end) it publishes a KindProgress event to o. Cache
+// lifecycle events are published by the manager's own observer, not o.
+func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager, acc *costmodel.Accum, o obs.Observer) (Result, error) {
 	res := Result{
 		Config:    mgr.Name(),
 		Benchmark: benchmark,
@@ -64,7 +76,11 @@ func Replay(benchmark string, events []tracelog.Event, mgr core.Manager, acc *co
 	traces := make(map[uint64]meta)
 	byModule := make(map[uint16][]uint64)
 
-	for _, e := range events {
+	total := uint64(len(events))
+	for i, e := range events {
+		if o != nil && i > 0 && i%ProgressStride == 0 {
+			o.Observe(obs.Event{Kind: obs.KindProgress, Benchmark: benchmark, Done: uint64(i), Total: total})
+		}
 		switch e.Kind {
 		case tracelog.KindCreate:
 			if _, dup := traces[e.Trace]; dup {
@@ -128,40 +144,55 @@ func Replay(benchmark string, events []tracelog.Event, mgr core.Manager, acc *co
 			return res, fmt.Errorf("sim: unknown event kind %d", e.Kind)
 		}
 	}
+	obs.Emit(o, obs.Event{Kind: obs.KindProgress, Benchmark: benchmark, Done: total, Total: total})
 	res.Manager = mgr.Stats()
 	return res, nil
 }
 
-// CostHooks returns manager hooks that charge evictions and promotions to
-// the accumulator.
-func CostHooks(acc *costmodel.Accum) core.Hooks {
-	return core.Hooks{
-		OnEvict: func(f codecache.Fragment, _ core.Level) {
-			acc.ChargeEviction(int(f.Size))
-		},
-		OnPromote: func(f codecache.Fragment, _, _ core.Level) {
-			acc.ChargePromotion(int(f.Size))
-		},
-	}
+// CostObserver returns an observer that charges capacity evictions and
+// promotions to the accumulator. Program-forced deletions (KindUnmap) are
+// deliberately not charged here: Replay charges their eviction labor itself,
+// keeping unified and generational configurations on the same footing.
+func CostObserver(acc *costmodel.Accum) obs.Observer {
+	return obs.Func(func(e obs.Event) {
+		switch e.Kind {
+		case obs.KindEvict:
+			acc.ChargeEviction(int(e.Size))
+		case obs.KindPromote:
+			acc.ChargePromotion(int(e.Size))
+		}
+	})
 }
 
 // ReplayUnified is a convenience: replay under a single pseudo-circular
 // cache of the given capacity.
 func ReplayUnified(benchmark string, events []tracelog.Event, capacity uint64, model costmodel.Model) (Result, error) {
+	return ReplayUnifiedObserved(benchmark, events, capacity, model, nil)
+}
+
+// ReplayUnifiedObserved is ReplayUnified with the manager's full event
+// stream (and replay progress) additionally fanned out to o.
+func ReplayUnifiedObserved(benchmark string, events []tracelog.Event, capacity uint64, model costmodel.Model, o obs.Observer) (Result, error) {
 	acc := costmodel.NewAccum(model)
-	mgr := core.NewUnified(capacity, nil, CostHooks(acc))
-	return Replay(benchmark, events, mgr, acc)
+	mgr := core.NewUnified(capacity, nil, obs.NewBus(CostObserver(acc), o))
+	return ReplayObserved(benchmark, events, mgr, acc, o)
 }
 
 // ReplayGenerational is a convenience: replay under a generational manager
 // with the given configuration.
 func ReplayGenerational(benchmark string, events []tracelog.Event, cfg core.Config, model costmodel.Model) (Result, error) {
+	return ReplayGenerationalObserved(benchmark, events, cfg, model, nil)
+}
+
+// ReplayGenerationalObserved is ReplayGenerational with the manager's full
+// event stream (and replay progress) additionally fanned out to o.
+func ReplayGenerationalObserved(benchmark string, events []tracelog.Event, cfg core.Config, model costmodel.Model, o obs.Observer) (Result, error) {
 	acc := costmodel.NewAccum(model)
-	mgr, err := core.NewGenerational(cfg, CostHooks(acc))
+	mgr, err := core.NewGenerational(cfg, obs.NewBus(CostObserver(acc), o))
 	if err != nil {
 		return Result{}, err
 	}
-	return Replay(benchmark, events, mgr, acc)
+	return ReplayObserved(benchmark, events, mgr, acc, o)
 }
 
 // Comparison pairs a unified baseline with a generational configuration on

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// EventCounter is the standard metrics consumer for the obs bus: it tallies
+// events (and their trace bytes) per kind. All methods are safe for
+// concurrent use, so one counter can subscribe to every job of a parallel
+// experiment pipeline.
+type EventCounter struct {
+	counts [obs.NumKinds]atomic.Uint64
+	bytes  [obs.NumKinds]atomic.Uint64
+}
+
+// NewEventCounter returns a zeroed counter.
+func NewEventCounter() *EventCounter { return &EventCounter{} }
+
+// Observe implements obs.Observer. Progress events are not counted: they
+// report position, not a cache-lifecycle occurrence.
+func (c *EventCounter) Observe(e obs.Event) {
+	if e.Kind == obs.KindProgress || int(e.Kind) >= obs.NumKinds {
+		return
+	}
+	c.counts[e.Kind].Add(1)
+	c.bytes[e.Kind].Add(e.Size)
+}
+
+// Count returns how many events of kind k have been observed.
+func (c *EventCounter) Count(k obs.Kind) uint64 {
+	if int(k) >= obs.NumKinds {
+		return 0
+	}
+	return c.counts[k].Load()
+}
+
+// Bytes returns the total trace bytes carried by events of kind k.
+func (c *EventCounter) Bytes(k obs.Kind) uint64 {
+	if int(k) >= obs.NumKinds {
+		return 0
+	}
+	return c.bytes[k].Load()
+}
+
+// Table renders the non-zero counts as a plain-text table.
+func (c *EventCounter) Table() *Table {
+	t := NewTable("event", "count", "bytes")
+	for k := obs.KindInsert; int(k) < obs.NumKinds; k++ {
+		if k == obs.KindProgress {
+			continue
+		}
+		if n := c.Count(k); n > 0 {
+			t.AddRow(k.String(), FmtCount(n), FmtBytes(c.Bytes(k)))
+		}
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package tracelog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// mkLog builds an in-memory log with n create+access pairs.
+func mkLog(tb testing.TB, n int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "bench", DurationMicros: uint64(n)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		t := uint64(i)
+		if err := w.Write(Event{Kind: KindCreate, Time: t, Trace: uint64(i + 1), Size: 64, Module: uint16(i % 8), Head: uint64(i) * 64}); err != nil {
+			tb.Fatal(err)
+		}
+		if err := w.Write(Event{Kind: KindAccess, Time: t, Trace: uint64(i + 1)}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Write(Event{Kind: KindEnd, Time: uint64(n)}); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// countingReader counts calls into the underlying stream — a stand-in for
+// syscalls against an unbuffered file. It deliberately does not implement
+// io.ByteReader, so NewReaderSize must wrap it.
+type countingReader struct {
+	r     io.Reader
+	reads int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	c.reads++
+	return c.r.Read(p)
+}
+
+// countingWriter is the write-side twin.
+type countingWriter struct {
+	writes int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	return len(p), nil
+}
+
+// BenchmarkReaderBufferSize decodes the same log through the old 4 KiB
+// buffer and the current DefaultBufSize, reporting how many reads hit the
+// underlying stream. The 64 KiB default issues ~16x fewer.
+func BenchmarkReaderBufferSize(b *testing.B) {
+	raw := mkLog(b, 50_000)
+	for _, bc := range []struct {
+		name string
+		size int
+	}{
+		{"4KiB", 4 << 10},
+		{"64KiB", DefaultBufSize},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			var reads int
+			for i := 0; i < b.N; i++ {
+				cr := &countingReader{r: bytes.NewReader(raw)}
+				rd, err := NewReaderSize(cr, bc.size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := rd.Next(); err != nil {
+						if err == io.EOF {
+							break
+						}
+						b.Fatal(err)
+					}
+				}
+				reads = cr.reads
+			}
+			b.ReportMetric(float64(reads), "stream-reads/op")
+		})
+	}
+}
+
+// BenchmarkWriterBufferSize is the encode-side counterpart.
+func BenchmarkWriterBufferSize(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		size int
+	}{
+		{"4KiB", 4 << 10},
+		{"64KiB", DefaultBufSize},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var writes int
+			for i := 0; i < b.N; i++ {
+				cw := &countingWriter{}
+				w, err := NewWriterSize(cw, Header{Benchmark: "bench"}, bc.size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := 0; j < 50_000; j++ {
+					w.Write(Event{Kind: KindCreate, Time: uint64(j), Trace: uint64(j + 1), Size: 64})
+					w.Write(Event{Kind: KindAccess, Time: uint64(j), Trace: uint64(j + 1)})
+				}
+				w.Write(Event{Kind: KindEnd, Time: 50_000})
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				writes = cw.writes
+			}
+			b.ReportMetric(float64(writes), "stream-writes/op")
+		})
+	}
+}
+
+// TestReaderFastPathNoOverread: a source that already supports byte reads is
+// used directly, so decoding stops exactly at the KindEnd marker and a
+// second log concatenated after the first remains readable.
+func TestReaderFastPathNoOverread(t *testing.T) {
+	one := mkLog(t, 10)
+	stream := bytes.NewReader(append(append([]byte{}, one...), one...))
+	for i := 0; i < 2; i++ {
+		h, events, err := ReadAll(stream)
+		if err != nil {
+			t.Fatalf("log %d: %v", i, err)
+		}
+		if h.Benchmark != "bench" || len(events) != 21 {
+			t.Fatalf("log %d: benchmark %q, %d events", i, h.Benchmark, len(events))
+		}
+	}
+	if stream.Len() != 0 {
+		t.Errorf("%d bytes left unread", stream.Len())
+	}
+}

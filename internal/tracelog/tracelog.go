@@ -61,6 +61,12 @@ type Event struct {
 
 const magic = "CCLOG1\n"
 
+// DefaultBufSize is the buffer size NewWriter and NewReader use. Replay
+// pipelines stream logs tens of megabytes long; 64 KiB keeps the underlying
+// reads and writes far off the hot path (the old 4 KiB default made
+// replay-heavy runs syscall-bound when logs lived on disk).
+const DefaultBufSize = 64 << 10
+
 // Header carries run metadata.
 type Header struct {
 	Benchmark string
@@ -76,9 +82,15 @@ type Writer struct {
 	closed   bool
 }
 
-// NewWriter writes the header and returns a Writer.
+// NewWriter writes the header and returns a Writer buffered at
+// DefaultBufSize.
 func NewWriter(w io.Writer, h Header) (*Writer, error) {
-	bw := bufio.NewWriter(w)
+	return NewWriterSize(w, h, DefaultBufSize)
+}
+
+// NewWriterSize is NewWriter with an explicit buffer size.
+func NewWriterSize(w io.Writer, h Header, size int) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, size)
 	if _, err := bw.WriteString(magic); err != nil {
 		return nil, err
 	}
@@ -161,17 +173,37 @@ func (w *Writer) Events() uint64 { return w.events }
 // underlying stream.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// byteSource is what the decoder actually needs: buffered byte-at-a-time
+// access plus bulk reads for the name.
+type byteSource interface {
+	io.Reader
+	io.ByteReader
+}
+
 // Reader decodes a log stream.
 type Reader struct {
-	r        *bufio.Reader
+	r        byteSource
 	h        Header
 	lastTime uint64
 	done     bool
 }
 
-// NewReader parses the header and returns a Reader.
+// NewReader parses the header and returns a Reader. Sources that do not
+// already support byte-at-a-time reads (plain *os.File, network streams) are
+// wrapped in a DefaultBufSize bufio.Reader; sources that do (*bytes.Reader,
+// *bufio.Reader, strings.Reader) are used directly, so no bytes past the
+// KindEnd marker are consumed and concatenated streams stay readable.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
+	return NewReaderSize(r, DefaultBufSize)
+}
+
+// NewReaderSize is NewReader with an explicit buffer size for sources that
+// need wrapping.
+func NewReaderSize(r io.Reader, size int) (*Reader, error) {
+	br, ok := r.(byteSource)
+	if !ok {
+		br = bufio.NewReaderSize(r, size)
+	}
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("tracelog: reading magic: %w", err)

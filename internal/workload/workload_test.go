@@ -308,7 +308,7 @@ func TestEndToEndShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	lt := stats.NewLifetimes()
-	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<40, nil, nil)
 	e, err := dbt.New(b.Image, dbt.Config{Manager: mgr, Lifetimes: lt})
 	if err != nil {
 		t.Fatal(err)
@@ -406,7 +406,7 @@ func TestMultithreadedEngineRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mgr := core.NewUnified(1<<40, nil, core.Hooks{})
+	mgr := core.NewUnified(1<<40, nil, nil)
 	e, err := dbt.New(b.Image, dbt.Config{Manager: mgr})
 	if err != nil {
 		t.Fatal(err)

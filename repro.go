@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/policy"
 	"repro/internal/program"
@@ -24,8 +25,17 @@ type (
 	// Manager is a global code-cache management scheme (unified or
 	// generational).
 	Manager = core.Manager
-	// Hooks receives trace eviction and promotion events.
-	Hooks = core.Hooks
+	// Observer receives cache-lifecycle events (inserts, evictions,
+	// promotions, unmaps, link severs, flushes, replay progress).
+	Observer = obs.Observer
+	// ObserverFunc adapts a plain function to an Observer.
+	ObserverFunc = obs.Func
+	// EventBus fans one event stream out to several observers.
+	EventBus = obs.Bus
+	// CacheEvent is one observable cache-lifecycle event.
+	CacheEvent = obs.Event
+	// EventKind enumerates observable event types.
+	EventKind = obs.Kind
 	// GenerationalConfig describes a nursery/probation/persistent layout.
 	GenerationalConfig = core.Config
 	// Level identifies a cache within a manager.
@@ -70,19 +80,30 @@ const (
 	LevelPersistent = core.LevelPersistent
 )
 
+// Observable event kinds.
+const (
+	EventInsert    = obs.KindInsert
+	EventEvict     = obs.KindEvict
+	EventPromote   = obs.KindPromote
+	EventUnmap     = obs.KindUnmap
+	EventLinkSever = obs.KindLinkSever
+	EventFlush     = obs.KindFlush
+	EventProgress  = obs.KindProgress
+)
+
 // DefaultCostModel is Table 2 of the paper.
 var DefaultCostModel = costmodel.DefaultModel
 
 // NewUnified creates a single trace cache of the given capacity managed by
-// the §4.3 pseudo-circular policy (the paper's baseline).
-func NewUnified(capacity uint64, hooks Hooks) *core.Unified {
-	return core.NewUnified(capacity, nil, hooks)
+// the §4.3 pseudo-circular policy (the paper's baseline). o may be nil.
+func NewUnified(capacity uint64, o Observer) *core.Unified {
+	return core.NewUnified(capacity, nil, o)
 }
 
 // NewUnifiedWithPolicy creates a unified cache with an explicit local
-// replacement policy.
-func NewUnifiedWithPolicy(capacity uint64, local LocalPolicy, hooks Hooks) *core.Unified {
-	return core.NewUnified(capacity, local, hooks)
+// replacement policy. o may be nil.
+func NewUnifiedWithPolicy(capacity uint64, local LocalPolicy, o Observer) *core.Unified {
+	return core.NewUnified(capacity, local, o)
 }
 
 // Local replacement policies (§4).
@@ -91,9 +112,9 @@ func LRUPolicy() LocalPolicy             { return policy.NewLRU() }
 func FlushWhenFullPolicy() LocalPolicy   { return &policy.FlushWhenFull{} }
 func PreemptiveFlushPolicy() LocalPolicy { return policy.NewPreemptiveFlush() }
 
-// NewGenerational creates the paper's generational manager.
-func NewGenerational(cfg GenerationalConfig, hooks Hooks) (*core.Generational, error) {
-	return core.NewGenerational(cfg, hooks)
+// NewGenerational creates the paper's generational manager. o may be nil.
+func NewGenerational(cfg GenerationalConfig, o Observer) (*core.Generational, error) {
+	return core.NewGenerational(cfg, o)
 }
 
 // BestLayout returns the paper's best-overall configuration: 45% nursery,
@@ -151,11 +172,12 @@ func ReplayGenerational(benchmark string, events []Event, cfg GenerationalConfig
 }
 
 // ReplayWith replays a log under an arbitrary manager. mk receives the
-// hooks that charge evictions and promotions to the replay's cost
-// accumulator and must return a freshly constructed manager using them.
-func ReplayWith(benchmark string, events []Event, mk func(Hooks) Manager) (ReplayResult, error) {
+// observer that charges evictions and promotions to the replay's cost
+// accumulator and must return a freshly constructed manager wired to it
+// (fan additional observers in with an EventBus).
+func ReplayWith(benchmark string, events []Event, mk func(Observer) Manager) (ReplayResult, error) {
 	acc := costmodel.NewAccum(costmodel.DefaultModel)
-	mgr := mk(sim.CostHooks(acc))
+	mgr := mk(sim.CostObserver(acc))
 	return sim.Replay(benchmark, events, mgr, acc)
 }
 

@@ -27,7 +27,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	lt := repro.NewLifetimes()
 	engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-		Manager:   repro.NewUnified(1<<40, repro.Hooks{}),
+		Manager:   repro.NewUnified(1<<40, nil),
 		Log:       w,
 		Lifetimes: lt,
 	})
@@ -78,7 +78,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 // TestPublicAPIManagers covers the manager constructors and policies.
 func TestPublicAPIManagers(t *testing.T) {
-	u := repro.NewUnified(1000, repro.Hooks{})
+	u := repro.NewUnified(1000, nil)
 	if err := u.Insert(repro.Fragment{ID: 1, Size: 100}); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestPublicAPIManagers(t *testing.T) {
 		repro.FlushWhenFullPolicy(),
 		repro.PreemptiveFlushPolicy(),
 	} {
-		m := repro.NewUnifiedWithPolicy(500, p, repro.Hooks{})
+		m := repro.NewUnifiedWithPolicy(500, p, nil)
 		for id := uint64(1); id <= 10; id++ {
 			if err := m.Insert(repro.Fragment{ID: id, Size: 100}); err != nil {
 				t.Fatalf("%s: %v", p.Name(), err)
@@ -103,14 +103,14 @@ func TestPublicAPIManagers(t *testing.T) {
 		}
 	}
 
-	g, err := repro.NewGenerational(repro.BestLayout(1000), repro.Hooks{})
+	g, err := repro.NewGenerational(repro.BestLayout(1000), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if g.Capacity() != 1000 {
 		t.Errorf("capacity = %d", g.Capacity())
 	}
-	if _, err := repro.NewGenerational(repro.GenerationalConfig{}, repro.Hooks{}); err == nil {
+	if _, err := repro.NewGenerational(repro.GenerationalConfig{}, nil); err == nil {
 		t.Error("zero config accepted")
 	}
 }
@@ -155,7 +155,7 @@ func TestReplayWith(t *testing.T) {
 		{Kind: 2, Time: 2, Trace: 1},
 		{Kind: 6, Time: 3},
 	}
-	res, err := repro.ReplayWith("x", events, func(h repro.Hooks) repro.Manager {
+	res, err := repro.ReplayWith("x", events, func(h repro.Observer) repro.Manager {
 		return repro.NewUnified(1000, h)
 	})
 	if err != nil {
