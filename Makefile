@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench bench-smoke
 
-ci: vet build race
+ci: vet build race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,5 +20,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full benchmark run, recorded in BENCH_hotpath.json.
 bench:
-	$(GO) test -bench=. -benchmem
+	scripts/bench.sh
+
+# One iteration of every benchmark so they cannot bit-rot; part of ci.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

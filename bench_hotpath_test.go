@@ -1,0 +1,263 @@
+// Hot-path benchmarks and allocation guards for the dispatch loop, the
+// arena's insert/evict churn, and the observer emit path. scripts/bench.sh
+// runs the benchmarks and records them in BENCH_hotpath.json; the Test*
+// ZeroAlloc guards run in every `go test` so the zero-allocation property of
+// the steady-state paths cannot regress silently.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/codecache"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dbt"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracelog"
+)
+
+// hotLoops is how many independent two-block loops the dispatch benchmarks
+// cycle through. Each becomes its own trace, so the steady-state sequence
+// alternates between trace bodies and dispatcher entries — the mixed
+// in-trace/dispatch regime a real hot guest produces — while keeping the
+// head and trace tables at a realistic size (hundreds of hot traces, as in
+// the paper's workloads) so map-vs-slice lookup differences show.
+const hotLoops = 256
+
+// buildHotLoopImage assembles hotLoops small loops: block A (Add; Jcc exit)
+// falling through to block B (Add; Jmp A). Driving A,B,A,B,... makes A a
+// backward-branch trace head and records the two-block trace [A,B].
+func buildHotLoopImage(tb testing.TB) *program.Image {
+	tb.Helper()
+	b := program.NewBuilder()
+	m := b.Module("hot", false)
+	for i := 0; i < hotLoops; i++ {
+		f, _ := m.Function(fmt.Sprintf("loop%d", i))
+		exit := f.NewBlock()
+		a := f.Block()
+		f.I(isa.Inst{Op: isa.OpAdd})
+		f.Jcc(isa.CondEQ, exit)
+		f.Block()
+		f.I(isa.Inst{Op: isa.OpAdd})
+		f.Jmp(a)
+		f.StartBlock(exit)
+		f.Halt()
+	}
+	img, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// hotLoopSteps returns the warmup sequence (each loop iterated past the hot
+// threshold so every trace materializes, then two full steady cycles to
+// settle heads and links) and one steady cycle: A0,B0,A1,B1,... — per pair,
+// one in-trace step and one dispatcher entry into the next loop's trace.
+func hotLoopSteps(img *program.Image) (warm, steady []dbt.Step) {
+	fns := img.Modules[0].Functions
+	for i := 0; i < hotLoops; i++ {
+		a, b := fns[i].Blocks[0].Addr, fns[i].Blocks[1].Addr
+		for j := 0; j < 60; j++ {
+			warm = append(warm, dbt.Step{Block: a}, dbt.Step{Block: b})
+		}
+	}
+	for i := 0; i < hotLoops; i++ {
+		a, b := fns[i].Blocks[0].Addr, fns[i].Blocks[1].Addr
+		steady = append(steady, dbt.Step{Block: a}, dbt.Step{Block: b})
+	}
+	warm = append(warm, steady...)
+	warm = append(warm, steady...)
+	return warm, steady
+}
+
+// newHotEngine builds an engine over the loop image, warmed to steady state:
+// every loop's trace exists and every cross-loop link is in place.
+func newHotEngine(tb testing.TB, img *program.Image, warm []dbt.Step, slow bool) *dbt.Engine {
+	tb.Helper()
+	eng, err := dbt.New(img, dbt.Config{
+		Manager:      core.NewUnified(1<<30, nil, nil),
+		SlowDispatch: slow,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, s := range warm {
+		if err := eng.Observe(s); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// BenchmarkDispatchSteadyState measures the per-step cost of the warmed
+// engine's fast path: dense block lookup, inline-cache/trace-table dispatch,
+// in-trace stepping.
+func BenchmarkDispatchSteadyState(b *testing.B) {
+	img := buildHotLoopImage(b)
+	warm, steady := hotLoopSteps(img)
+	eng := newHotEngine(b, img, warm, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Observe(steady[i%len(steady)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDispatchSteadyStateSlow is the same workload with SlowDispatch
+// forcing the original map-based lookups — the pre-optimization baseline,
+// kept measurable so the speedup stays tracked.
+func BenchmarkDispatchSteadyStateSlow(b *testing.B) {
+	img := buildHotLoopImage(b)
+	warm, steady := hotLoopSteps(img)
+	eng := newHotEngine(b, img, warm, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Observe(steady[i%len(steady)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArenaChurn measures steady insert/evict churn with recycled trace
+// IDs: the node pool and dense ID index make this allocation-free.
+func BenchmarkArenaChurn(b *testing.B) {
+	a := codecache.New(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f := codecache.Fragment{ID: uint64(i%4096) + 1, Size: 1024}
+		if err := a.Insert(f, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// churnLog builds a replay log with enough accesses that observer cost is
+// visible next to replay bookkeeping.
+func churnLog() []tracelog.Event {
+	var events []tracelog.Event
+	t := uint64(0)
+	for id := uint64(1); id <= 256; id++ {
+		t++
+		events = append(events, tracelog.Event{Kind: tracelog.KindCreate, Time: t, Trace: id, Size: 256})
+	}
+	for round := 0; round < 40; round++ {
+		for id := uint64(1); id <= 256; id++ {
+			t++
+			events = append(events, tracelog.Event{Kind: tracelog.KindAccess, Time: t, Trace: id})
+		}
+	}
+	return events
+}
+
+// BenchmarkReplayObserverDetached replays with no observer attached.
+func BenchmarkReplayObserverDetached(b *testing.B) {
+	events := churnLog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReplayUnified("bench", events, 32<<10, costmodel.DefaultModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(events)))
+}
+
+// BenchmarkReplayObserverAttached is the same replay with an EventCounter
+// subscribed to the full manager event stream; the zero-allocation emit path
+// should keep it near the detached cost.
+func BenchmarkReplayObserverAttached(b *testing.B) {
+	events := churnLog()
+	c := stats.NewEventCounter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ReplayUnifiedObserved("bench", events, 32<<10, costmodel.DefaultModel, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(events)))
+}
+
+// BenchmarkObserverEmit measures one event through a bus into the standard
+// counting consumer.
+func BenchmarkObserverEmit(b *testing.B) {
+	bus := obs.NewBus(stats.NewEventCounter())
+	ev := obs.Event{Kind: obs.KindInsert, Trace: 7, Size: 512, To: obs.LevelNursery}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.Emit(bus, ev)
+	}
+}
+
+// BenchmarkObserverEmitDetached measures the nobody-listening cost: a nil
+// observer is one branch.
+func BenchmarkObserverEmitDetached(b *testing.B) {
+	var o obs.Observer
+	ev := obs.Event{Kind: obs.KindInsert, Trace: 7, Size: 512, To: obs.LevelNursery}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.Emit(o, ev)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Allocation regression guards. These are tests, not benchmarks, so `go
+// test ./...` fails if the steady-state paths start allocating again.
+
+func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
+	img := buildHotLoopImage(t)
+	warm, steady := hotLoopSteps(img)
+	eng := newHotEngine(t, img, warm, false)
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, s := range steady {
+			if err := eng.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dispatch allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func TestArenaChurnZeroAlloc(t *testing.T) {
+	a := codecache.New(1 << 20)
+	// Warm: fill the arena and size the dense ID index.
+	next := 0
+	insert := func() {
+		f := codecache.Fragment{ID: uint64(next%4096) + 1, Size: 1024}
+		next++
+		if err := a.Insert(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8192; i++ {
+		insert()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			insert()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("arena churn allocated %.1f times per 64 inserts, want 0", allocs)
+	}
+}
+
+func TestObserverEmitZeroAlloc(t *testing.T) {
+	bus := obs.NewBus(stats.NewEventCounter(), stats.NewEventCounter())
+	ev := obs.Event{Kind: obs.KindEvict, Trace: 3, Size: 128, From: obs.LevelProbation}
+	allocs := testing.AllocsPerRun(100, func() {
+		obs.Emit(bus, ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("observer emit allocated %.1f times per event, want 0", allocs)
+	}
+}

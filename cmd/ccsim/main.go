@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ccsim -log word.cclog [-capfrac 0.5] [-layout 45-10-45] [-threshold 1] [-parallel n] [-timeout d]
+//	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	ccsim -log word.cclog -unified
 //	ccsim -log word.cclog -events events.jsonl
 package main
@@ -23,6 +24,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracelog"
@@ -37,11 +39,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size for the replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	eventsPath := flag.String("events", "", `dump the observer event stream as JSON lines to this file ("-" = stdout); forces -parallel 1 so the stream stays ordered`)
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if err := pipeline.Validate(*parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "ccsim: invalid -parallel value: %v\n", err)
+		os.Exit(2)
+	}
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fatal(err)
 	}
+	stopProfiles = stop
+	defer stopProfiles()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -211,7 +222,12 @@ func parseLayout(s string) ([3]float64, error) {
 	return res, nil
 }
 
+// stopProfiles flushes any active pprof profiles; fatal must call it
+// explicitly because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	stopProfiles()
 	os.Exit(1)
 }

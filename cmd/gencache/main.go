@@ -3,6 +3,7 @@
 // Usage:
 //
 //	gencache [-scale f] [-bench a,b,c] [-run table1,fig1,...|all] [-parallel n] [-timeout d]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Each experiment prints the same rows/series the paper reports, derived
 // from one unbounded-cache run per benchmark followed by log replays
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/profiling"
 )
 
 var experimentOrder = []string{
@@ -34,12 +36,21 @@ func main() {
 	seedOffset := flag.Int64("seedoffset", 0, "shift every benchmark's RNG seed (robustness checks)")
 	parallel := flag.Int("parallel", 0, "worker pool size for collection and replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 10m (0 = no limit)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if err := pipeline.Validate(*parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "gencache: invalid -parallel value: %v\n", err)
+		os.Exit(2)
+	}
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "gencache:", err)
 		os.Exit(2)
 	}
+	stopProfiles = stop
+	defer stopProfiles()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -100,8 +111,7 @@ func main() {
 		var err error
 		suite, err = experiments.CollectContext(ctx, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "collected %d benchmarks at scale %g in %v\n",
 			len(suite.Runs), *scale, time.Since(start).Round(time.Millisecond))
@@ -133,8 +143,7 @@ func main() {
 		var err error
 		fig9, err = experiments.Figure9(suite)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 	if want["fig9"] {
@@ -153,8 +162,7 @@ func main() {
 		section("Figure 11: instruction-overhead ratio (Equation 3), 45-10-45 @1")
 		res, err := experiments.Figure11(suite)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderFigure11(res))
 	}
@@ -162,8 +170,7 @@ func main() {
 		section("Section 6.2: estimated cycle impact of eliminated misses (45-10-45 @1)")
 		rows, err := experiments.CycleImpact(suite, fig9)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderCycleImpact(rows))
 	}
@@ -171,8 +178,7 @@ func main() {
 		section("Section 6.1: configuration sweep (proportions x promotion threshold)")
 		res, err := experiments.Sweep(suite)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderSweep(res))
 		fmt.Println()
@@ -186,8 +192,7 @@ func main() {
 		section("Extension: capacity sensitivity (miss rate vs cache size)")
 		points, err := experiments.CapacitySweep(suite, nil)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderCapacitySweep(points))
 	}
@@ -199,8 +204,7 @@ func main() {
 		}
 		rows, err := experiments.OptimizerImpactContext(ctx, names, *scale, *parallel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderOptimizerImpact(rows))
 	}
@@ -212,8 +216,7 @@ func main() {
 		}
 		res, err := experiments.RobustnessContext(ctx, names, *scale, []int64{0, 1000, 2000}, *parallel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderRobustness(res))
 	}
@@ -221,8 +224,7 @@ func main() {
 		section("Ablations: design variants vs the paper's 45-10-45 @1")
 		rows, err := experiments.Ablations(suite)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gencache:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(experiments.RenderAblations(rows))
 	}
@@ -230,4 +232,14 @@ func main() {
 
 func section(title string) {
 	fmt.Printf("\n=== %s ===\n\n", title)
+}
+
+// stopProfiles flushes any active pprof profiles; fatal must call it
+// explicitly because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencache:", err)
+	stopProfiles()
+	os.Exit(1)
 }

@@ -10,7 +10,6 @@ package codecache
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/obs"
 )
@@ -42,11 +41,15 @@ var (
 
 // node is one segment of the arena's address range. Nodes tile [0, capacity)
 // exactly: every byte belongs to exactly one node, either a fragment or free
-// space.
+// space. The fragment lives inside the node (fragVal); frag points at it
+// when the node is occupied and is nil for free space. Nodes removed by
+// merging go onto the arena's free list and are reused, so steady-state
+// insert/evict churn allocates nothing.
 type node struct {
 	prev, next *node
 	off, size  uint64
-	frag       *Fragment // nil for free space
+	frag       *Fragment // nil for free space, &fragVal otherwise
+	fragVal    Fragment
 }
 
 // Stats aggregates arena activity since construction.
@@ -60,17 +63,36 @@ type Stats struct {
 	PeakUsed      uint64
 }
 
+// maxDenseID bounds the dense fragment-ID index. Trace IDs are assigned
+// sequentially by the engine, so in practice every ID lands in the dense
+// slice; IDs at or above the bound spill into a map so arbitrary IDs still
+// work.
+const maxDenseID = 1 << 21
+
 // Arena is a single code cache. It is not safe for concurrent use; the
 // dynamic optimizer serializes cache operations per thread, as DynamoRIO
 // does.
+//
+// Fragment pointers returned by Lookup and Fragments are valid until the
+// next mutating call (Insert, Delete, DeleteModule, Flush); copy the value
+// to keep it longer. Every in-repo consumer copies immediately.
 type Arena struct {
 	capacity uint64
 	head     *node
 	cursor   *node // pseudo-circular insertion/eviction point
-	index    map[uint64]*node
-	used     uint64
-	clock    uint64
-	stats    Stats
+
+	// byID is the dense fragment index (IDs below maxDenseID, i.e. all of
+	// them in practice); spill holds the rest. count tracks residents.
+	byID  []*node
+	spill map[uint64]*node
+	count int
+
+	used  uint64
+	clock uint64
+	stats Stats
+
+	// pool is the free list of recycled nodes, linked through next.
+	pool *node
 
 	// o, when non-nil, receives program-forced deletion events; level names
 	// this arena in them. Managers attach their observer at construction.
@@ -88,8 +110,76 @@ func New(capacity uint64) *Arena {
 		capacity: capacity,
 		head:     n,
 		cursor:   n,
-		index:    make(map[uint64]*node),
 	}
+}
+
+// lookupNode returns the resident node for an ID, or nil.
+func (a *Arena) lookupNode(id uint64) *node {
+	if id < uint64(len(a.byID)) {
+		return a.byID[id]
+	}
+	return a.spill[id]
+}
+
+// indexNode records n as the resident node for an ID.
+func (a *Arena) indexNode(id uint64, n *node) {
+	if id < maxDenseID {
+		if id >= uint64(len(a.byID)) {
+			grown := make([]*node, growTo(len(a.byID), id))
+			copy(grown, a.byID)
+			a.byID = grown
+		}
+		a.byID[id] = n
+	} else {
+		if a.spill == nil {
+			a.spill = make(map[uint64]*node)
+		}
+		a.spill[id] = n
+	}
+	a.count++
+}
+
+// growTo picks the new dense-index length for an ID: doubling, clamped to
+// the dense bound, and at least id+1.
+func growTo(cur int, id uint64) int {
+	n := cur * 2
+	if n < 64 {
+		n = 64
+	}
+	if uint64(n) <= id {
+		n = int(id) + 1
+	}
+	if n > maxDenseID {
+		n = maxDenseID
+	}
+	return n
+}
+
+// unindexNode forgets the resident node for an ID.
+func (a *Arena) unindexNode(id uint64) {
+	if id < uint64(len(a.byID)) {
+		a.byID[id] = nil
+	} else {
+		delete(a.spill, id)
+	}
+	a.count--
+}
+
+// allocNode takes a node from the free list, or the heap when it is empty.
+func (a *Arena) allocNode() *node {
+	if n := a.pool; n != nil {
+		a.pool = n.next
+		*n = node{}
+		return n
+	}
+	return &node{}
+}
+
+// recycleNode pushes a merged-away node onto the free list.
+func (a *Arena) recycleNode(n *node) {
+	n.prev, n.frag = nil, nil
+	n.next = a.pool
+	a.pool = n
 }
 
 // UnboundedCapacity is the capacity used to emulate an unbounded cache.
@@ -108,7 +198,7 @@ func (a *Arena) Used() uint64 { return a.used }
 func (a *Arena) Free() uint64 { return a.capacity - a.used }
 
 // Len returns the number of fragments resident.
-func (a *Arena) Len() int { return len(a.index) }
+func (a *Arena) Len() int { return a.count }
 
 // Stats returns a copy of the arena's counters.
 func (a *Arena) Stats() Stats { return a.stats }
@@ -116,10 +206,11 @@ func (a *Arena) Stats() Stats { return a.stats }
 // Clock returns the arena's logical time (advances on insert and access).
 func (a *Arena) Clock() uint64 { return a.clock }
 
-// Lookup returns the resident fragment with the given ID.
+// Lookup returns the resident fragment with the given ID. The pointer is
+// valid until the arena's next mutating call.
 func (a *Arena) Lookup(id uint64) (*Fragment, bool) {
-	n, ok := a.index[id]
-	if !ok {
+	n := a.lookupNode(id)
+	if n == nil {
 		return nil, false
 	}
 	return n.frag, true
@@ -127,14 +218,13 @@ func (a *Arena) Lookup(id uint64) (*Fragment, bool) {
 
 // Contains reports whether the fragment with the given ID is resident.
 func (a *Arena) Contains(id uint64) bool {
-	_, ok := a.index[id]
-	return ok
+	return a.lookupNode(id) != nil
 }
 
 // Offset returns the arena offset of the fragment with the given ID.
 func (a *Arena) Offset(id uint64) (uint64, bool) {
-	n, ok := a.index[id]
-	if !ok {
+	n := a.lookupNode(id)
+	if n == nil {
 		return 0, false
 	}
 	return n.off, true
@@ -142,9 +232,20 @@ func (a *Arena) Offset(id uint64) (uint64, bool) {
 
 // Access records an execution of the fragment with the given ID, bumping
 // its access count and recency. It reports whether the fragment is resident.
+// This is the dispatcher's steady-state path: for the sequentially assigned
+// IDs the engine produces, it is one bounds check and one slice load.
 func (a *Arena) Access(id uint64) bool {
-	n, ok := a.index[id]
-	if !ok {
+	if id < uint64(len(a.byID)) {
+		if n := a.byID[id]; n != nil {
+			a.clock++
+			n.frag.AccessCount++
+			n.frag.LastAccess = a.clock
+			return true
+		}
+		return false
+	}
+	n := a.spill[id]
+	if n == nil {
 		return false
 	}
 	a.clock++
@@ -155,8 +256,8 @@ func (a *Arena) Access(id uint64) bool {
 
 // SetUndeletable pins or unpins a resident fragment.
 func (a *Arena) SetUndeletable(id uint64, pinned bool) bool {
-	n, ok := a.index[id]
-	if !ok {
+	n := a.lookupNode(id)
+	if n == nil {
 		return false
 	}
 	n.frag.Undeletable = pinned
@@ -186,6 +287,7 @@ func (a *Arena) freeNode(n *node) *node {
 		if a.cursor == nx {
 			a.cursor = n
 		}
+		a.recycleNode(nx)
 	}
 	// Merge with prev.
 	if pv := n.prev; pv != nil && pv.frag == nil {
@@ -197,6 +299,7 @@ func (a *Arena) freeNode(n *node) *node {
 		if a.cursor == n {
 			a.cursor = pv
 		}
+		a.recycleNode(n)
 		n = pv
 	}
 	return n
@@ -207,7 +310,7 @@ func (a *Arena) freeNode(n *node) *node {
 // fragment and the merged free node now covering its bytes.
 func (a *Arena) remove(n *node, evicted bool) (Fragment, *node) {
 	f := *n.frag
-	delete(a.index, f.ID)
+	a.unindexNode(f.ID)
 	a.used -= n.size
 	if evicted {
 		a.stats.Evictions++
@@ -224,8 +327,8 @@ func (a *Arena) remove(n *node, evicted bool) (Fragment, *node) {
 // removes even undeletable fragments; policy-driven deletions use
 // force=false and fail on pinned fragments.
 func (a *Arena) Delete(id uint64, force bool) (Fragment, error) {
-	n, ok := a.index[id]
-	if !ok {
+	n := a.lookupNode(id)
+	if n == nil {
 		return Fragment{}, fmt.Errorf("codecache: delete: fragment %d not resident", id)
 	}
 	if n.frag.Undeletable && !force {
@@ -249,14 +352,14 @@ func (a *Arena) SetObserver(o obs.Observer, level obs.Level) {
 // KindUnmap event per victim.
 func (a *Arena) DeleteModule(m uint16) []Fragment {
 	var out []Fragment
-	// Collect first: removing mutates the list.
+	// Collect first: removing mutates the list. Walking the node list visits
+	// fragments in address order directly.
 	var victims []*node
-	for _, n := range a.index {
-		if n.frag.Module == m {
+	for n := a.head; n != nil; n = n.next {
+		if n.frag != nil && n.frag.Module == m {
 			victims = append(victims, n)
 		}
 	}
-	sort.Slice(victims, func(i, j int) bool { return victims[i].off < victims[j].off })
 	for _, n := range victims {
 		f, _ := a.remove(n, false)
 		out = append(out, f)
@@ -279,7 +382,7 @@ func (a *Arena) Insert(f Fragment, onEvict func(Fragment)) error {
 	if f.Size > a.capacity {
 		return ErrTooBig
 	}
-	if _, dup := a.index[f.ID]; dup {
+	if a.lookupNode(f.ID) != nil {
 		return ErrDup
 	}
 
@@ -343,33 +446,33 @@ func (a *Arena) place(n *node, f Fragment) {
 		panic(fmt.Sprintf("codecache: place on unsuitable node (free=%v size=%d need=%d)", n.frag == nil, n.size, f.Size))
 	}
 	a.clock++
-	frag := f
-	frag.InsertSeq = a.clock
-	frag.LastAccess = a.clock
-	frag.AccessCount = 0
+	n.fragVal = f
+	n.fragVal.InsertSeq = a.clock
+	n.fragVal.LastAccess = a.clock
+	n.fragVal.AccessCount = 0
+	size := f.Size
 
-	if n.size == frag.Size {
-		n.frag = &frag
+	if n.size == size {
+		n.frag = &n.fragVal
 		a.cursor = a.wrap(n.next)
 	} else {
-		rest := &node{
-			prev: n,
-			next: n.next,
-			off:  n.off + frag.Size,
-			size: n.size - frag.Size,
-		}
+		rest := a.allocNode()
+		rest.prev = n
+		rest.next = n.next
+		rest.off = n.off + size
+		rest.size = n.size - size
 		if n.next != nil {
 			n.next.prev = rest
 		}
 		n.next = rest
-		n.size = frag.Size
-		n.frag = &frag
+		n.size = size
+		n.frag = &n.fragVal
 		a.cursor = rest
 	}
-	a.index[frag.ID] = n
-	a.used += frag.Size
+	a.indexNode(f.ID, n)
+	a.used += size
 	a.stats.Inserts++
-	a.stats.InsertedBytes += frag.Size
+	a.stats.InsertedBytes += size
 	if a.used > a.stats.PeakUsed {
 		a.stats.PeakUsed = a.used
 	}
@@ -385,7 +488,7 @@ func (a *Arena) PlaceFirstFit(f Fragment) error {
 	if f.Size > a.capacity {
 		return ErrTooBig
 	}
-	if _, dup := a.index[f.ID]; dup {
+	if a.lookupNode(f.ID) != nil {
 		return ErrDup
 	}
 	for n := a.head; n != nil; n = n.next {
@@ -468,7 +571,10 @@ func (a *Arena) CheckInvariants() error {
 				return fmt.Errorf("codecache: fragment %d appears twice", n.frag.ID)
 			}
 			seen[n.frag.ID] = true
-			if idx, ok := a.index[n.frag.ID]; !ok || idx != n {
+			if n.frag != &n.fragVal {
+				return fmt.Errorf("codecache: fragment %d not stored in its node", n.frag.ID)
+			}
+			if idx := a.lookupNode(n.frag.ID); idx != n {
 				return fmt.Errorf("codecache: fragment %d not indexed correctly", n.frag.ID)
 			}
 		}
@@ -481,8 +587,17 @@ func (a *Arena) CheckInvariants() error {
 	if used != a.used {
 		return fmt.Errorf("codecache: used %d, accounted %d", a.used, used)
 	}
-	if len(seen) != len(a.index) {
-		return fmt.Errorf("codecache: index has %d entries, list has %d fragments", len(a.index), len(seen))
+	indexed := len(a.spill)
+	for _, n := range a.byID {
+		if n != nil {
+			indexed++
+		}
+	}
+	if indexed != a.count {
+		return fmt.Errorf("codecache: index has %d entries, count says %d", indexed, a.count)
+	}
+	if len(seen) != a.count {
+		return fmt.Errorf("codecache: index has %d entries, list has %d fragments", a.count, len(seen))
 	}
 	if a.cursor == nil {
 		return fmt.Errorf("codecache: nil cursor")
@@ -505,8 +620,8 @@ func (a *Arena) CheckInvariants() error {
 // nil), and returns the number removed. Undeletable fragments stay.
 func (a *Arena) Flush(onDelete func(Fragment)) int {
 	var victims []*node
-	for _, n := range a.index {
-		if !n.frag.Undeletable {
+	for n := a.head; n != nil; n = n.next {
+		if n.frag != nil && !n.frag.Undeletable {
 			victims = append(victims, n)
 		}
 	}

@@ -78,6 +78,10 @@ type Config struct {
 	// every materialized superblock, shrinking trace bodies before they
 	// enter the cache.
 	Optimize bool
+	// SlowDispatch forces the engine's original map-based dispatch path
+	// instead of the dense-index fast path. The two must produce identical
+	// run statistics and event streams; equivalence tests flip this flag.
+	SlowDispatch bool
 }
 
 // RunStats aggregates one engine run.
@@ -133,11 +137,28 @@ type Engine struct {
 	byHead map[uint64]*trace.Trace // generated trace for each head address
 	byMod  map[program.ModuleID][]uint64
 
+	// Dense dispatch tables, indexed by program.Block.Index. They mirror the
+	// maps above (which stay authoritative and always maintained, so the
+	// SlowDispatch path and the preload/unload slow paths keep working):
+	// traceAt[i] is the generated trace whose head is block i, headAt[i] is
+	// block i's trace-head entry, bbIn[i] reports bb-cache residency. slow
+	// selects which side the per-step reads use.
+	slow    bool
+	traceAt []*trace.Trace
+	headAt  []*bbcache.Head
+	bbIn    []bool
+
+	// isHeadFn is the recorder's head-stop predicate, hoisted here so record
+	// does not allocate a closure per recorded block.
+	isHeadFn func(uint64) bool
+
 	// threads holds each guest thread's execution context; caches are
 	// shared (the engine is single-goroutine: guest threads interleave,
-	// they do not run in parallel here).
-	threads map[int]*threadCtx
-	cur     *threadCtx
+	// they do not run in parallel here). threadList is the dense fast path
+	// for the small thread IDs guests actually use.
+	threads    map[int]*threadCtx
+	threadList []*threadCtx
+	cur        *threadCtx
 
 	nextTraceID uint64
 	now         uint64
@@ -162,6 +183,11 @@ type threadCtx struct {
 	// exitedTrace is the trace whose body execution just left, eligible to
 	// be direct-linked to the next trace this thread enters.
 	exitedTrace uint64
+	// Inline cache: the last head this thread dispatched to and the trace it
+	// entered there. Steady-state loops re-dispatch to the same head, so this
+	// turns the common dispatch into one compare. Invalidated on unload.
+	icHead  uint64
+	icTrace *trace.Trace
 }
 
 // New creates an engine for the guest's image.
@@ -179,7 +205,8 @@ func New(img *program.Image, cfg Config) (*Engine, error) {
 	if cfg.Model != nil {
 		model = *cfg.Model
 	}
-	return &Engine{
+	n := img.NumBlocks()
+	e := &Engine{
 		cfg:         cfg,
 		model:       model,
 		acc:         costmodel.NewAccum(model),
@@ -192,7 +219,16 @@ func New(img *program.Image, cfg Config) (*Engine, error) {
 		threads:     make(map[int]*threadCtx),
 		links:       linker.New(),
 		nextTraceID: 1,
-	}, nil
+		slow:        cfg.SlowDispatch,
+		traceAt:     make([]*trace.Trace, n),
+		headAt:      make([]*bbcache.Head, n),
+		bbIn:        make([]bool, n),
+	}
+	e.isHeadFn = func(addr uint64) bool {
+		_, ok := e.byHead[addr]
+		return ok
+	}
+	return e, nil
 }
 
 // Overhead returns the engine's cost accumulator.
@@ -250,13 +286,69 @@ func (e *Engine) Preload(ts []*trace.Trace) error {
 		e.traces[t.ID] = t
 		e.byHead[t.Head] = t
 		e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
-		e.heads.Mark(t.Head, t.Module).TraceID = t.ID
+		h := e.heads.Mark(t.Head, t.Module)
+		h.TraceID = t.ID
+		if hb, ok := e.img.Block(t.Head); ok {
+			e.headAt[hb.Index] = h
+			e.traceAt[hb.Index] = t
+		}
 		if t.ID >= e.nextTraceID {
 			e.nextTraceID = t.ID + 1
 		}
 	}
 	e.trackPeak()
 	return nil
+}
+
+// threadFor returns the context for a guest thread, creating it on first
+// use. Small thread IDs — all of them in practice — resolve through a dense
+// slice; the map stays authoritative for arbitrary IDs.
+func (e *Engine) threadFor(id int) *threadCtx {
+	if id >= 0 && id < len(e.threadList) {
+		if c := e.threadList[id]; c != nil {
+			return c
+		}
+	}
+	c, ok := e.threads[id]
+	if !ok {
+		c = &threadCtx{}
+		e.threads[id] = c
+	}
+	const maxDenseThreads = 1 << 16
+	if id >= 0 && id < maxDenseThreads {
+		for len(e.threadList) <= id {
+			e.threadList = append(e.threadList, nil)
+		}
+		e.threadList[id] = c
+	}
+	return c
+}
+
+// lookupBlock resolves an executing guest address to its block, or nil. The
+// fast path touches no maps; SlowDispatch forces the original map lookup.
+func (e *Engine) lookupBlock(addr uint64) *program.Block {
+	if e.slow {
+		b, ok := e.img.Block(addr)
+		if !ok {
+			return nil
+		}
+		return b
+	}
+	return e.img.BlockFast(addr)
+}
+
+// markHead marks blk as a trace head in the table and the dense mirror. On
+// the fast path an already-marked head is answered from the mirror without
+// touching the map (the mirror holds exactly the marked heads).
+func (e *Engine) markHead(blk *program.Block) *bbcache.Head {
+	if !e.slow {
+		if h := e.headAt[blk.Index]; h != nil {
+			return h
+		}
+	}
+	h := e.heads.Mark(blk.Addr, blk.Module)
+	e.headAt[blk.Index] = h
+	return h
 }
 
 // Run drives the guest to completion (or until maxBlocks guest blocks have
@@ -291,15 +383,11 @@ func (e *Engine) Observe(step Step) error {
 	}
 	// Loads need no engine action: code is rediscovered on execution.
 
-	c, ok := e.threads[step.Thread]
-	if !ok {
-		c = &threadCtx{}
-		e.threads[step.Thread] = c
-	}
+	c := e.threadFor(step.Thread)
 	e.cur = c
 
-	blk, ok := e.img.Block(step.Block)
-	if !ok {
+	blk := e.lookupBlock(step.Block)
+	if blk == nil {
 		return fmt.Errorf("dbt: guest executed unknown block %#x", step.Block)
 	}
 	e.stats.Blocks++
@@ -327,13 +415,16 @@ func (e *Engine) Observe(step Step) error {
 		// linking candidate if the very next dispatch enters another trace.
 		c.exitedTrace = c.inTrace.ID
 		c.inTrace = nil
-		e.heads.Mark(blk.Addr, blk.Module)
+		e.markHead(blk)
 	}
 
 	return e.dispatch(blk)
 }
 
-// dispatch handles a block executed outside any trace body.
+// dispatch handles a block executed outside any trace body. The fast path
+// resolves the head table and trace-by-head map through dense slices indexed
+// by blk.Index, with a per-thread inline cache short-circuiting the common
+// same-head re-dispatch; SlowDispatch forces the original map lookups.
 func (e *Engine) dispatch(blk *program.Block) error {
 	e.stats.Dispatches++
 	c := e.cur
@@ -342,7 +433,7 @@ func (e *Engine) dispatch(blk *program.Block) error {
 	if c.prev != nil {
 		last := c.prev.Last()
 		if last.IsDirect() && !last.IsCall() && last.Target == blk.Addr && blk.Addr <= c.prev.Addr {
-			e.heads.Mark(blk.Addr, blk.Module)
+			e.markHead(blk)
 		}
 	}
 
@@ -350,11 +441,27 @@ func (e *Engine) dispatch(blk *program.Block) error {
 		return e.record(blk)
 	}
 
-	if t, ok := e.byHead[blk.Addr]; ok {
-		return e.enterTrace(t, blk)
+	if e.slow {
+		if t, ok := e.byHead[blk.Addr]; ok {
+			return e.enterTrace(t, blk)
+		}
+	} else {
+		if c.icHead == blk.Addr && c.icTrace != nil {
+			return e.enterTrace(c.icTrace, blk)
+		}
+		if t := e.traceAt[blk.Index]; t != nil {
+			c.icHead, c.icTrace = blk.Addr, t
+			return e.enterTrace(t, blk)
+		}
 	}
 
-	if h, ok := e.heads.Lookup(blk.Addr); ok {
+	var h *bbcache.Head
+	if e.slow {
+		h, _ = e.heads.Lookup(blk.Addr)
+	} else {
+		h = e.headAt[blk.Index]
+	}
+	if h != nil {
 		h.Count++
 		if h.Count >= e.cfg.HotThreshold {
 			// Enter trace generation mode starting at this block.
@@ -395,6 +502,9 @@ func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
 		e.severLinks(t.ID)
 		e.acc.ChargeTraceGen(t.Size())
 		_ = e.cfg.Manager.Insert(e.fragmentOf(t))
+		// Only the miss path can move the occupancy peak: the hit path
+		// changes no cache state, so it skips the peak probe entirely.
+		e.trackPeak()
 	}
 	c := e.cur
 	if c.exitedTrace != 0 && e.links.Link(c.exitedTrace, t.ID) {
@@ -407,7 +517,6 @@ func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
 	c.inTrace = t
 	c.traceIdx = 1
 	c.prev = blk
-	e.trackPeak()
 	return nil
 }
 
@@ -449,10 +558,7 @@ func (e *Engine) exceptionTick(enteredTrace uint64) error {
 // record extends the current recording with the next executed block.
 func (e *Engine) record(blk *program.Block) error {
 	c := e.cur
-	stopped := c.recording.Observe(blk, func(addr uint64) bool {
-		_, ok := e.byHead[addr]
-		return ok
-	})
+	stopped := c.recording.Observe(blk, e.isHeadFn)
 	if !stopped {
 		e.bbExecute(blk)
 		c.prev = blk
@@ -502,6 +608,7 @@ func (e *Engine) materialize() error {
 	e.traces[t.ID] = t
 	e.byHead[t.Head] = t
 	e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
+	e.traceAt[rec.Blocks()[0].Index] = t
 	if h, ok := e.heads.Lookup(t.Head); ok {
 		h.TraceID = t.ID
 	}
@@ -509,7 +616,7 @@ func (e *Engine) materialize() error {
 	// them; mark the statically known ones now.
 	for _, target := range t.ExitTargets {
 		if tb, ok := e.img.Block(target); ok {
-			e.heads.Mark(tb.Addr, tb.Module)
+			e.markHead(tb)
 		}
 	}
 
@@ -558,11 +665,16 @@ func (e *Engine) fragmentOf(t *trace.Trace) codecache.Fragment {
 }
 
 // bbExecute runs a block from the basic-block cache, copying it in first if
-// needed.
+// needed. Residency is checked through the dense mirror on the fast path.
 func (e *Engine) bbExecute(blk *program.Block) {
 	e.cur.exitedTrace = 0 // untranslated code intervened; no direct link
-	if !e.bb.Has(blk.Addr) {
+	resident := e.bbIn[blk.Index]
+	if e.slow {
+		resident = e.bb.Has(blk.Addr)
+	}
+	if !resident {
 		e.bb.CopyIn(blk)
+		e.bbIn[blk.Index] = true
 		e.stats.BBCopied++
 		e.trackPeak()
 	}
@@ -606,6 +718,22 @@ func (e *Engine) unloadModule(m program.ModuleID) error {
 	delete(e.byMod, m)
 	e.bb.DeleteModule(m)
 	e.heads.DeleteModule(m)
+
+	// Clear the dense mirrors for every block of the module (all forgotten
+	// traces, heads, and bb-cache entries live at module-m block indices) and
+	// drop every thread's inline cache, which may point at a deleted trace.
+	if mod := e.img.Module(m); mod != nil {
+		for _, fn := range mod.Functions {
+			for _, b := range fn.Blocks {
+				e.traceAt[b.Index] = nil
+				e.headAt[b.Index] = nil
+				e.bbIn[b.Index] = false
+			}
+		}
+	}
+	for _, c := range e.threads {
+		c.icHead, c.icTrace = 0, nil
+	}
 
 	if e.cfg.Log != nil {
 		return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnmap, Time: e.now, Module: uint16(m)})

@@ -34,8 +34,13 @@ type Options struct {
 	Model *costmodel.Model
 	// Parallel bounds the worker pool for collection and for every figure
 	// pipeline derived from the collected suite. 0 means GOMAXPROCS; 1
-	// preserves exact sequential behaviour.
+	// preserves exact sequential behaviour. Negative values are rejected.
 	Parallel int
+	// SlowDispatch forces every collection engine onto the original
+	// map-based dispatch path. The fast dense-index path must produce
+	// bit-for-bit identical statistics, so this exists only for the
+	// equivalence tests that prove it.
+	SlowDispatch bool
 	// Progress, when non-nil, receives one line per completed benchmark,
 	// always in benchmark order.
 	Progress func(string)
@@ -146,6 +151,9 @@ func Collect(opts Options) (*Suite, error) {
 // benchmark, each with its own seeded RNG and engine) run on the pipeline's
 // worker pool, and figure pipelines derived from the suite inherit ctx.
 func CollectContext(ctx context.Context, opts Options) (*Suite, error) {
+	if err := pipeline.Validate(opts.Parallel); err != nil {
+		return nil, err
+	}
 	scale := opts.scale()
 	suite := &Suite{
 		Scale: scale, Model: opts.model(), Parallel: opts.Parallel,
@@ -173,7 +181,7 @@ func CollectContext(ctx context.Context, opts Options) (*Suite, error) {
 		jobs[i] = pipeline.Job[*Run]{
 			Name: p.Name,
 			Run: func(context.Context) (*Run, error) {
-				run, err := collectOne(p, scale, suite.Model)
+				run, err := collectOne(p, scale, suite.Model, opts.SlowDispatch)
 				if err == nil {
 					done[i] = run
 				}
@@ -203,7 +211,7 @@ func CollectContext(ctx context.Context, opts Options) (*Suite, error) {
 	return suite, nil
 }
 
-func collectOne(p workload.Profile, scale float64, model costmodel.Model) (*Run, error) {
+func collectOne(p workload.Profile, scale float64, model costmodel.Model, slow bool) (*Run, error) {
 	scaled := p.Scaled(scale)
 	bench, err := workload.Synthesize(scaled)
 	if err != nil {
@@ -220,10 +228,11 @@ func collectOne(p workload.Profile, scale float64, model costmodel.Model) (*Run,
 	lt := stats.NewLifetimes()
 	mgr := core.NewUnified(1<<40, nil, nil)
 	eng, err := dbt.New(bench.Image, dbt.Config{
-		Manager:   mgr,
-		Model:     &model,
-		Log:       w,
-		Lifetimes: lt,
+		Manager:      mgr,
+		Model:        &model,
+		Log:          w,
+		Lifetimes:    lt,
+		SlowDispatch: slow,
 	})
 	if err != nil {
 		return nil, err

@@ -40,6 +40,9 @@ func OptimizerImpact(names []string, scale float64) ([]OptimizerImpactRow, error
 // parallelism level: each benchmark's three engine runs (unbounded, bounded
 // plain, bounded optimized) are one pipeline job.
 func OptimizerImpactContext(ctx context.Context, names []string, scale float64, parallel int) ([]OptimizerImpactRow, error) {
+	if err := pipeline.Validate(parallel); err != nil {
+		return nil, err
+	}
 	jobs := make([]pipeline.Job[*OptimizerImpactRow], len(names))
 	for i, name := range names {
 		name := name

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -41,6 +42,9 @@ func Robustness(benchmarks []string, scale float64, offsets []int64) (Robustness
 // within an offset, collection and the per-benchmark replays run on the
 // pipeline.
 func RobustnessContext(ctx context.Context, benchmarks []string, scale float64, offsets []int64, parallel int) (RobustnessResult, error) {
+	if err := pipeline.Validate(parallel); err != nil {
+		return RobustnessResult{}, err
+	}
 	if len(offsets) == 0 {
 		offsets = []int64{0, 1000, 2000}
 	}

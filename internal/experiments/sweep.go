@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -150,15 +151,22 @@ type ProbationLink struct {
 }
 
 // ProbationThresholdLink derives the interaction from a completed sweep.
+// Links are returned in ascending probation-fraction order so the rendered
+// report is deterministic (map iteration order is not).
 func ProbationThresholdLink(res SweepResult) []ProbationLink {
 	byProb := map[float64][]SweepPoint{}
+	var fracs []float64
 	for _, p := range res.Points {
+		if _, seen := byProb[p.Probation]; !seen {
+			fracs = append(fracs, p.Probation)
+		}
 		byProb[p.Probation] = append(byProb[p.Probation], p)
 	}
+	sort.Float64s(fracs)
 	var out []ProbationLink
-	for frac, pts := range byProb {
+	for _, frac := range fracs {
 		link := ProbationLink{ProbationFrac: frac}
-		for i, p := range pts {
+		for i, p := range byProb[frac] {
 			if i == 0 || p.AvgReduction > link.AvgAtBest {
 				link.AvgAtBest = p.AvgReduction
 				link.BestThreshold = p.Threshold

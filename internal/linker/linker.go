@@ -31,7 +31,18 @@ type Table struct {
 	in    map[uint64]map[uint64]bool // To -> set of From
 	live  int
 	stats Stats
+
+	// lastTo caches, per from-trace (dense by the engine's sequential IDs),
+	// the target of its most recently created outgoing link. A hot trace's
+	// exit almost always re-links to the same successor, so the dispatcher's
+	// per-entry Link call usually resolves with one slice load instead of
+	// two map lookups. Entries are cleared when the cached link is severed.
+	lastTo []uint64
 }
+
+// maxDenseLink bounds the lastTo cache; links between traces with larger IDs
+// just skip the cache.
+const maxDenseLink = 1 << 21
 
 // New returns an empty link table.
 func New() *Table {
@@ -41,6 +52,25 @@ func New() *Table {
 	}
 }
 
+func (t *Table) cacheSet(from, to uint64) {
+	if from >= maxDenseLink {
+		return
+	}
+	if from >= uint64(len(t.lastTo)) {
+		n := len(t.lastTo) * 2
+		if n < 64 {
+			n = 64
+		}
+		if uint64(n) <= from {
+			n = int(from) + 1
+		}
+		grown := make([]uint64, n)
+		copy(grown, t.lastTo)
+		t.lastTo = grown
+	}
+	t.lastTo[from] = to
+}
+
 // Link records a direct link from one trace to another. Self-links (a
 // trace's back edge to its own head) are the trace's own business and are
 // ignored. It reports whether a new link was created.
@@ -48,7 +78,11 @@ func (t *Table) Link(from, to uint64) bool {
 	if from == to || from == 0 || to == 0 {
 		return false
 	}
+	if from < uint64(len(t.lastTo)) && t.lastTo[from] == to {
+		return false // cached: link already live
+	}
 	if t.out[from][to] {
+		t.cacheSet(from, to)
 		return false
 	}
 	if t.out[from] == nil {
@@ -59,6 +93,7 @@ func (t *Table) Link(from, to uint64) bool {
 	}
 	t.out[from][to] = true
 	t.in[to][from] = true
+	t.cacheSet(from, to)
 	t.live++
 	t.stats.Created++
 	if t.live > t.stats.MaxLinks {
@@ -91,6 +126,9 @@ func (t *Table) Unlink(id uint64) int {
 		if len(t.out[from]) == 0 {
 			delete(t.out, from)
 		}
+		if from < uint64(len(t.lastTo)) && t.lastTo[from] == id {
+			t.lastTo[from] = 0
+		}
 		removed++
 	}
 	delete(t.in, id)
@@ -102,6 +140,9 @@ func (t *Table) Unlink(id uint64) int {
 		removed++
 	}
 	delete(t.out, id)
+	if id < uint64(len(t.lastTo)) {
+		t.lastTo[id] = 0
+	}
 	if removed > 0 {
 		t.live -= removed
 		t.stats.Removed += uint64(removed)
@@ -128,6 +169,11 @@ func (t *Table) CheckInvariants() error {
 	}
 	if count != inCount || count != t.live {
 		return errCount(count, inCount, t.live)
+	}
+	for from, to := range t.lastTo {
+		if to != 0 && !t.out[uint64(from)][to] {
+			return linkError("linker: lastTo cache names a dead link")
+		}
 	}
 	return nil
 }

@@ -67,7 +67,12 @@ const (
 	LevelPersistent
 )
 
-var levelNames = [...]string{"unified", "nursery", "probation", "persistent"}
+// NumLevels bounds the Level space; counting consumers size arrays with it.
+const NumLevels = int(LevelPersistent) + 1
+
+// levelNames is preallocated so Level.String never builds a string on the
+// emit path for valid levels.
+var levelNames = [NumLevels]string{"unified", "nursery", "probation", "persistent"}
 
 func (l Level) String() string {
 	if l >= 0 && int(l) < len(levelNames) {
@@ -137,12 +142,45 @@ func (b *Bus) Attach(o Observer) {
 	}
 }
 
-// Observe implements Observer by forwarding to every subscriber.
+// Observe implements Observer by forwarding to every subscriber. A nil or
+// empty bus returns immediately, so publishers can hold a *Bus
+// unconditionally and pay one branch when nobody is listening.
 func (b *Bus) Observe(e Event) {
+	if b == nil || len(b.subs) == 0 {
+		return
+	}
 	for _, s := range b.subs {
 		s.Observe(e)
 	}
 }
 
 // Len returns the number of subscribers.
-func (b *Bus) Len() int { return len(b.subs) }
+func (b *Bus) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.subs)
+}
+
+// Combine merges observers into one, skipping nils: it returns nil when none
+// remain (so Emit's nil check short-circuits the whole emit), the observer
+// itself when exactly one remains (no fan-out indirection), and a Bus
+// otherwise. Use it instead of NewBus when subscribers may be nil.
+func Combine(subs ...Observer) Observer {
+	var only Observer
+	n := 0
+	for _, s := range subs {
+		if s != nil {
+			only = s
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return nil
+	case 1:
+		return only
+	default:
+		return NewBus(subs...)
+	}
+}

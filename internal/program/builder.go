@@ -7,9 +7,13 @@ import (
 )
 
 // moduleStride is the address-space spacing between module bases. Modules
-// are given widely separated bases so address ranges never collide and so
-// ModuleOf lookups behave like a real loader's VM map.
-const moduleStride = 1 << 28
+// are given widely separated bases so address ranges never collide, so
+// ModuleOf lookups behave like a real loader's VM map, and so BlockFast can
+// recover the module of an address with a single shift.
+const (
+	moduleStrideShift = 28
+	moduleStride      = 1 << moduleStrideShift
+)
 
 // Builder assembles an Image in two phases: callers describe modules,
 // functions, blocks, and symbolic control flow; Build lays everything out in
@@ -296,6 +300,7 @@ func (b *Builder) Build() (*Image, error) {
 	if err := img.Validate(); err != nil {
 		return nil, err
 	}
+	img.buildIndex()
 	return img, nil
 }
 

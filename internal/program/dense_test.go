@@ -1,0 +1,105 @@
+package program
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildTwoModuleImage assembles a small image with two modules, several
+// functions, and both loop and call structure, exercising the index builder.
+func buildTwoModuleImage(t *testing.T) *Image {
+	t.Helper()
+	b := NewBuilder()
+
+	m1 := b.Module("main", false)
+	f1, sym1 := m1.Function("main")
+	loop := f1.Block()
+	f1.I(isa.Inst{Op: isa.OpAdd})
+	f1.I(isa.Inst{Op: isa.OpAdd})
+	exit := f1.NewBlock()
+	f1.Jcc(isa.CondEQ, exit)
+	f1.Block()
+	f1.I(isa.Inst{Op: isa.OpMul})
+	f1.Jmp(loop)
+	f1.StartBlock(exit)
+	f1.Halt()
+	b.SetEntry(sym1)
+
+	m2 := b.Module("dll", true)
+	f2, _ := m2.Function("helper")
+	f2.Block()
+	f2.I(isa.Inst{Op: isa.OpAdd})
+	f2.Ret()
+
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestDenseIndexMatchesMap asserts that BlockFast and the map path agree on
+// every block address and on misses, and that indices are dense and sorted.
+func TestDenseIndexMatchesMap(t *testing.T) {
+	img := buildTwoModuleImage(t)
+
+	seen := make(map[int32]bool)
+	var prevAddr uint64
+	for i := 0; i < img.NumBlocks(); i++ {
+		blk := img.BlockByIndex(int32(i))
+		if blk == nil {
+			t.Fatalf("BlockByIndex(%d) = nil, want a block (NumBlocks=%d)", i, img.NumBlocks())
+		}
+		if blk.Index != int32(i) {
+			t.Fatalf("block at %#x has Index %d, want %d", blk.Addr, blk.Index, i)
+		}
+		if seen[blk.Index] {
+			t.Fatalf("duplicate index %d", blk.Index)
+		}
+		seen[blk.Index] = true
+		if i > 0 && blk.Addr <= prevAddr {
+			t.Fatalf("indices not sorted by address: %#x after %#x", blk.Addr, prevAddr)
+		}
+		prevAddr = blk.Addr
+
+		fromMap, ok := img.Block(blk.Addr)
+		if !ok || fromMap != blk {
+			t.Fatalf("map and dense index disagree at %#x", blk.Addr)
+		}
+		if fast := img.BlockFast(blk.Addr); fast != blk {
+			t.Fatalf("BlockFast(%#x) = %v, want %v", blk.Addr, fast, blk)
+		}
+	}
+
+	// Misses: interior addresses, inter-module gaps, and addresses outside
+	// any module must return nil from both paths.
+	for _, m := range img.Modules {
+		for a := m.Base; a < m.End(); a++ {
+			_, inMap := img.Block(a)
+			fast := img.BlockFast(a)
+			if inMap != (fast != nil) {
+				t.Fatalf("BlockFast(%#x) disagrees with Block: map=%v fast=%v", a, inMap, fast != nil)
+			}
+		}
+		if fast := img.BlockFast(m.End() + 17); fast != nil {
+			t.Fatalf("BlockFast past module end returned %v", fast)
+		}
+	}
+	for _, a := range []uint64{0, 1, 1 << 27, 1 << 40, ^uint64(0)} {
+		if img.BlockFast(a) != nil {
+			t.Fatalf("BlockFast(%#x) = non-nil for out-of-image address", a)
+		}
+	}
+}
+
+// TestBlockByIndexBounds checks the out-of-range contract.
+func TestBlockByIndexBounds(t *testing.T) {
+	img := buildTwoModuleImage(t)
+	if img.BlockByIndex(-1) != nil {
+		t.Fatal("BlockByIndex(-1) != nil")
+	}
+	if img.BlockByIndex(int32(img.NumBlocks())) != nil {
+		t.Fatal("BlockByIndex(NumBlocks) != nil")
+	}
+}

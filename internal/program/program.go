@@ -28,6 +28,13 @@ type Block struct {
 	Module ModuleID
 	Code   []isa.Inst
 
+	// Index is the block's dense image-wide index, assigned at Build time in
+	// address order. It is the key into every slice-indexed side table the
+	// dynamic optimizer keeps (trace-by-head, head counters, bb-cache
+	// residency), which is what lets the steady-state dispatch loop avoid
+	// map lookups entirely.
+	Index int32
+
 	size int
 }
 
@@ -93,6 +100,13 @@ type Module struct {
 	Functions  []*Function
 
 	size uint64
+
+	// blockIdx is the module's dense block-lookup table: blockIdx[addr-Base]
+	// holds the image-wide block index of the block starting at addr, or -1.
+	// It is nil for modules larger than denseModuleLimit (those fall back to
+	// the map) and is only built when the module base follows the builder's
+	// stride layout, so BlockFast can locate the module with a shift.
+	blockIdx []int32
 }
 
 // Size returns the module's code footprint in bytes.
@@ -110,12 +124,82 @@ type Image struct {
 	Entry   uint64 // address of the first instruction to execute
 
 	blocks map[uint64]*Block
+
+	// list is the dense block index built by Build: list[b.Index] == b for
+	// every block, sorted by address.
+	list []*Block
 }
+
+// denseModuleLimit bounds the per-module block-lookup tables (one int32 per
+// code byte). Modules above it fall back to the map path; at the scales the
+// experiments run, essentially every module is below it.
+const denseModuleLimit = 8 << 20
 
 // Block returns the basic block starting at addr.
 func (img *Image) Block(addr uint64) (*Block, bool) {
 	b, ok := img.blocks[addr]
 	return b, ok
+}
+
+// BlockFast returns the block starting at addr, or nil. It is the dispatch
+// hot path's lookup: for images laid out by the Builder it resolves the
+// module with a shift and the block with one dense-table load, touching no
+// maps. Addresses outside any dense table fall back to the map, so it agrees
+// with Block on every input.
+func (img *Image) BlockFast(addr uint64) *Block {
+	mi := int(addr>>moduleStrideShift) - 1
+	if mi >= 0 && mi < len(img.Modules) {
+		if t := img.Modules[mi].blockIdx; t != nil {
+			off := addr - img.Modules[mi].Base
+			if off < uint64(len(t)) {
+				if i := t[off]; i >= 0 {
+					return img.list[i]
+				}
+			}
+			return nil
+		}
+	}
+	return img.blocks[addr]
+}
+
+// BlockByIndex returns the block with the given dense index.
+func (img *Image) BlockByIndex(i int32) *Block {
+	if i < 0 || int(i) >= len(img.list) {
+		return nil
+	}
+	return img.list[i]
+}
+
+// buildIndex assigns every block its dense Index (in address order) and
+// builds the per-module O(1) lookup tables BlockFast uses. Build calls it
+// once the block map is final.
+func (img *Image) buildIndex() {
+	img.list = make([]*Block, 0, len(img.blocks))
+	for _, b := range img.blocks {
+		img.list = append(img.list, b)
+	}
+	sort.Slice(img.list, func(i, j int) bool { return img.list[i].Addr < img.list[j].Addr })
+	for i, b := range img.list {
+		b.Index = int32(i)
+	}
+	for i, m := range img.Modules {
+		// The shift in BlockFast is only valid under the builder's stride
+		// layout; any module breaking it keeps a nil table (map fallback).
+		if m.Base != uint64(i+1)<<moduleStrideShift || m.size == 0 || m.size > denseModuleLimit {
+			m.blockIdx = nil
+			continue
+		}
+		t := make([]int32, m.size)
+		for j := range t {
+			t[j] = -1
+		}
+		m.blockIdx = t
+	}
+	for _, b := range img.list {
+		if m := img.Module(b.Module); m != nil && m.blockIdx != nil && b.Addr >= m.Base && b.Addr-m.Base < uint64(len(m.blockIdx)) {
+			m.blockIdx[b.Addr-m.Base] = b.Index
+		}
+	}
 }
 
 // MustBlock returns the block at addr or panics; for tests and internal use.

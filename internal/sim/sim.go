@@ -71,9 +71,36 @@ func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager,
 		size   uint32
 		module uint16
 		head   uint64
+		known  bool
 		dead   bool // module unmapped; must never be accessed again
 	}
-	traces := make(map[uint64]meta)
+	// Trace IDs are assigned sequentially by the engine, so the per-access
+	// metadata lookup is a dense slice load; arbitrary IDs spill into a map.
+	const maxDenseTrace = 1 << 22
+	dense := make([]meta, 0, 1024)
+	var spill map[uint64]meta
+	lookup := func(id uint64) (meta, bool) {
+		if id < uint64(len(dense)) {
+			m := dense[id]
+			return m, m.known
+		}
+		m, ok := spill[id]
+		return m, ok
+	}
+	store := func(id uint64, m meta) {
+		m.known = true
+		if id < maxDenseTrace {
+			for uint64(len(dense)) <= id {
+				dense = append(dense, meta{})
+			}
+			dense[id] = m
+			return
+		}
+		if spill == nil {
+			spill = make(map[uint64]meta)
+		}
+		spill[id] = m
+	}
 	byModule := make(map[uint16][]uint64)
 
 	total := uint64(len(events))
@@ -83,10 +110,10 @@ func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager,
 		}
 		switch e.Kind {
 		case tracelog.KindCreate:
-			if _, dup := traces[e.Trace]; dup {
+			if _, dup := lookup(e.Trace); dup {
 				return res, fmt.Errorf("sim: duplicate create of trace %d", e.Trace)
 			}
-			traces[e.Trace] = meta{size: e.Size, module: e.Module, head: e.Head}
+			store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
 			byModule[e.Module] = append(byModule[e.Module], e.Trace)
 			res.ColdCreates++
 			acc.ChargeTraceGen(int(e.Size))
@@ -97,7 +124,7 @@ func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager,
 			})
 
 		case tracelog.KindAccess:
-			m, ok := traces[e.Trace]
+			m, ok := lookup(e.Trace)
 			if !ok {
 				return res, fmt.Errorf("sim: access to unknown trace %d", e.Trace)
 			}
@@ -127,9 +154,9 @@ func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager,
 				acc.ChargeEviction(int(v.Size))
 			}
 			for _, id := range byModule[e.Module] {
-				if m, ok := traces[id]; ok && !m.dead {
+				if m, ok := lookup(id); ok && !m.dead {
 					m.dead = true
-					traces[id] = m
+					store(id, m)
 				}
 			}
 			byModule[e.Module] = byModule[e.Module][:0]
@@ -174,7 +201,7 @@ func ReplayUnified(benchmark string, events []tracelog.Event, capacity uint64, m
 // stream (and replay progress) additionally fanned out to o.
 func ReplayUnifiedObserved(benchmark string, events []tracelog.Event, capacity uint64, model costmodel.Model, o obs.Observer) (Result, error) {
 	acc := costmodel.NewAccum(model)
-	mgr := core.NewUnified(capacity, nil, obs.NewBus(CostObserver(acc), o))
+	mgr := core.NewUnified(capacity, nil, obs.Combine(CostObserver(acc), o))
 	return ReplayObserved(benchmark, events, mgr, acc, o)
 }
 
@@ -188,7 +215,7 @@ func ReplayGenerational(benchmark string, events []tracelog.Event, cfg core.Conf
 // event stream (and replay progress) additionally fanned out to o.
 func ReplayGenerationalObserved(benchmark string, events []tracelog.Event, cfg core.Config, model costmodel.Model, o obs.Observer) (Result, error) {
 	acc := costmodel.NewAccum(model)
-	mgr, err := core.NewGenerational(cfg, obs.NewBus(CostObserver(acc), o))
+	mgr, err := core.NewGenerational(cfg, obs.Combine(CostObserver(acc), o))
 	if err != nil {
 		return Result{}, err
 	}

@@ -13,6 +13,12 @@ import (
 type EventCounter struct {
 	counts [obs.NumKinds]atomic.Uint64
 	bytes  [obs.NumKinds]atomic.Uint64
+
+	// levels tallies per-kind, per-cache-level counts. Events that leave a
+	// level (evict, unmap, flush) are attributed to From; events that land in
+	// one (insert, promote) to To. Fixed-size atomics keep Observe
+	// allocation-free.
+	levels [obs.NumKinds][obs.NumLevels]atomic.Uint64
 }
 
 // NewEventCounter returns a zeroed counter.
@@ -26,6 +32,23 @@ func (c *EventCounter) Observe(e obs.Event) {
 	}
 	c.counts[e.Kind].Add(1)
 	c.bytes[e.Kind].Add(e.Size)
+	lvl := e.From
+	if e.Kind == obs.KindInsert || e.Kind == obs.KindPromote {
+		lvl = e.To
+	}
+	if lvl >= 0 && int(lvl) < obs.NumLevels {
+		c.levels[e.Kind][lvl].Add(1)
+	}
+}
+
+// CountAtLevel returns how many events of kind k touched cache level l:
+// inserts and promotes landing in l, and evicts, unmaps, and flushes leaving
+// it.
+func (c *EventCounter) CountAtLevel(k obs.Kind, l obs.Level) uint64 {
+	if int(k) >= obs.NumKinds || l < 0 || int(l) >= obs.NumLevels {
+		return 0
+	}
+	return c.levels[k][l].Load()
 }
 
 // Count returns how many events of kind k have been observed.

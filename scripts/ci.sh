@@ -7,3 +7,5 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+# Benchmark smoke run: one iteration of everything, so benchmarks can't rot.
+go test -run '^$' -bench . -benchtime 1x .
