@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke
 
-ci: vet build race bench-smoke
+ci: fmt vet build race bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -27,3 +31,10 @@ bench:
 # One iteration of every benchmark so they cannot bit-rot; part of ci.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Multi-process smoke: generate a tiny log and replay it as four processes
+# over one shared persistent tier, under the race detector.
+procs-smoke:
+	$(GO) run ./cmd/tracegen -bench gzip -scale 0.03125 -o /tmp/procs-smoke.cclog
+	$(GO) run -race ./cmd/ccsim -log /tmp/procs-smoke.cclog -procs 4
+	rm -f /tmp/procs-smoke.cclog

@@ -8,6 +8,7 @@
 //	      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	ccsim -log word.cclog -unified
 //	ccsim -log word.cclog -events events.jsonl
+//	ccsim -log word.cclog -procs 4
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 	layout := flag.String("layout", "45-10-45", "nursery-probation-persistent percentages")
 	threshold := flag.Uint64("threshold", 1, "probation promotion threshold")
 	unified := flag.Bool("unified", false, "simulate only the unified baseline")
+	procs := flag.Int("procs", 1, "replay as this many processes over one shared persistent tier (1 = classic single-process replay)")
+	stagger := flag.Int("stagger", 0, "with -procs > 1: admit process p after p*stagger total events (0 = auto)")
 	parallel := flag.Int("parallel", 0, "worker pool size for the replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (0 = no limit)")
 	eventsPath := flag.String("events", "", `dump the observer event stream as JSON lines to this file ("-" = stdout); forces -parallel 1 so the stream stays ordered`)
@@ -108,6 +111,17 @@ func main() {
 		PromoteOnAccess:  *threshold <= 1,
 	}
 
+	if *procs > 1 {
+		if err := runShared(h.Benchmark, events, cfg, *procs, *stagger, dump); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *procs < 1 {
+		fmt.Fprintln(os.Stderr, "ccsim: -procs must be at least 1")
+		os.Exit(2)
+	}
+
 	jobs := []pipeline.Job[sim.Result]{{
 		Name: "unified",
 		Run: func(context.Context) (sim.Result, error) {
@@ -144,6 +158,47 @@ func main() {
 		costmodel.OverheadRatio(g.Overhead, u.Overhead)*100)
 }
 
+// runShared is the -procs N>1 mode: the log is replayed once per simulated
+// process over one shared persistent tier (later processes adopt published
+// traces instead of regenerating them), and compared against the isolated
+// aggregate — N independent replays, which all pay identical costs, so one
+// replay scaled by N is exact.
+func runShared(benchmark string, events []tracelog.Event, cfg core.Config, procs, stagger int, dump *eventDumper) error {
+	iso, err := sim.ReplayGenerational(benchmark, events, cfg, costmodel.DefaultModel)
+	if err != nil {
+		return err
+	}
+	sh, err := sim.ReplayShared(benchmark, events, cfg, costmodel.DefaultModel, procs, stagger, dump.forConfig("shared"))
+	if err != nil {
+		return err
+	}
+	n := uint64(procs)
+	isoGens := n * (iso.ColdCreates + iso.Regenerations)
+	isoOverhead := float64(procs) * iso.Overhead.Total()
+
+	fmt.Fprintf(out, "\nisolated aggregate (%d x %s)\n", procs, iso.Config)
+	fmt.Fprintf(out, "  accesses %s   misses %s   miss rate %.3f%%\n",
+		stats.FmtCount(n*iso.Accesses), stats.FmtCount(n*iso.Misses), 100*iso.MissRate())
+	fmt.Fprintf(out, "  trace generations %s   overhead %.0f instructions   cache memory %s\n",
+		stats.FmtCount(isoGens), isoOverhead, stats.FmtBytes(n*cfg.TotalCapacity))
+
+	fmt.Fprintf(out, "\n%s (%d procs over one shared persistent tier)\n", sh.Config, sh.Procs)
+	fmt.Fprintf(out, "  accesses %s   misses %s   miss rate %.3f%%\n",
+		stats.FmtCount(sh.Accesses), stats.FmtCount(sh.Misses), 100*sh.MissRate())
+	fmt.Fprintf(out, "  trace generations %s   adoptions %s   overhead %.0f instructions   cache memory %s\n",
+		stats.FmtCount(sh.Generations()), stats.FmtCount(sh.Adoptions), sh.Overhead.Total(), stats.FmtBytes(sh.CapacityBytes))
+	fmt.Fprintf(out, "  shared tier: %s promotions, %s merged, %s adoptions, %s evicted, %s drained\n",
+		stats.FmtCount(sh.Shared.Promotions), stats.FmtCount(sh.Shared.Merged), stats.FmtCount(sh.Shared.Adoptions),
+		stats.FmtCount(sh.Shared.Evicted), stats.FmtCount(sh.Shared.Drained))
+
+	saved := 0.0
+	if isoGens > 0 {
+		saved = 1 - float64(sh.Generations())/float64(isoGens)
+	}
+	fmt.Fprintf(out, "\ngenerations saved by sharing: %+.1f%% (equal aggregate memory)\n", saved*100)
+	return nil
+}
+
 // out is where human-readable reporting goes; stderr when the JSON event
 // stream owns stdout.
 var out io.Writer = os.Stdout
@@ -157,6 +212,7 @@ type eventDumper struct {
 type eventRecord struct {
 	Config string `json:"config"`
 	Kind   string `json:"kind"`
+	Proc   int    `json:"proc,omitempty"`
 	Trace  uint64 `json:"trace,omitempty"`
 	Size   uint64 `json:"size,omitempty"`
 	Module uint16 `json:"module,omitempty"`
@@ -173,7 +229,7 @@ func (d *eventDumper) forConfig(config string) obs.Observer {
 		return nil
 	}
 	return obs.Func(func(e obs.Event) {
-		rec := eventRecord{Config: config, Kind: e.Kind.String(), Trace: e.Trace, Size: e.Size, Module: e.Module}
+		rec := eventRecord{Config: config, Kind: e.Kind.String(), Proc: e.Proc, Trace: e.Trace, Size: e.Size, Module: e.Module}
 		switch e.Kind {
 		case obs.KindEvict, obs.KindUnmap, obs.KindFlush:
 			rec.From = e.From.String()

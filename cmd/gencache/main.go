@@ -25,7 +25,7 @@ import (
 
 var experimentOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig6",
-	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "optimpact", "robustness",
+	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "optimpact", "robustness", "shared",
 }
 
 func main() {
@@ -33,6 +33,7 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 32)")
 	run := flag.String("run", "all", "experiments to run: all, or a comma list of "+strings.Join(experimentOrder, ","))
 	verbose := flag.Bool("v", false, "print per-benchmark collection progress")
+	procs := flag.Int("procs", 4, "process count for the shared-vs-isolated experiment")
 	seedOffset := flag.Int64("seedoffset", 0, "shift every benchmark's RNG seed (robustness checks)")
 	parallel := flag.Int("parallel", 0, "worker pool size for collection and replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 10m (0 = no limit)")
@@ -219,6 +220,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(experiments.RenderRobustness(res))
+	}
+	if want["shared"] {
+		section(fmt.Sprintf("Extension: %d isolated engines vs %d processes over one shared persistent tier", *procs, *procs))
+		rows, err := experiments.SharedVsIsolated(suite, *procs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderSharedVsIsolated(rows))
 	}
 	if want["ablations"] {
 		section("Ablations: design variants vs the paper's 45-10-45 @1")

@@ -22,6 +22,13 @@ type Fragment struct {
 	HeadAddr    uint64 // original address of the trace head
 	Undeletable bool   // pinned (e.g. suspended in an exception handler)
 
+	// Refs counts the front-end processes currently referencing the fragment
+	// in a shared back-end tier. 0 means the fragment is process-private.
+	// Policy-driven Delete refuses referenced fragments (like pins);
+	// capacity-driven eviction still removes them — capacity pressure wins,
+	// and the referencing processes rediscover the loss as a conflict miss.
+	Refs uint32
+
 	// AccessCount counts Access calls since the fragment entered this
 	// arena; it resets on every relocation, which is what the probation
 	// cache's promotion test wants.
@@ -95,9 +102,11 @@ type Arena struct {
 	pool *node
 
 	// o, when non-nil, receives program-forced deletion events; level names
-	// this arena in them. Managers attach their observer at construction.
+	// this arena in them, proc the owning front-end process. Managers attach
+	// their observer at construction.
 	o     obs.Observer
 	level obs.Level
+	proc  int
 }
 
 // New creates an arena with the given capacity in bytes.
@@ -264,6 +273,29 @@ func (a *Arena) SetUndeletable(id uint64, pinned bool) bool {
 	return true
 }
 
+// Retain adds one process reference to a resident fragment. It reports
+// whether the fragment was resident.
+func (a *Arena) Retain(id uint64) bool {
+	n := a.lookupNode(id)
+	if n == nil {
+		return false
+	}
+	n.frag.Refs++
+	return true
+}
+
+// Release drops one process reference from a resident fragment, returning
+// the remaining count. Releasing an unreferenced or non-resident fragment
+// reports ok=false.
+func (a *Arena) Release(id uint64) (remaining uint32, ok bool) {
+	n := a.lookupNode(id)
+	if n == nil || n.frag.Refs == 0 {
+		return 0, false
+	}
+	n.frag.Refs--
+	return n.frag.Refs, true
+}
+
 // wrap returns n, or the head of the list when n is nil.
 func (a *Arena) wrap(n *node) *node {
 	if n == nil {
@@ -334,6 +366,9 @@ func (a *Arena) Delete(id uint64, force bool) (Fragment, error) {
 	if n.frag.Undeletable && !force {
 		return Fragment{}, fmt.Errorf("codecache: delete: fragment %d is undeletable", id)
 	}
+	if n.frag.Refs > 0 && !force {
+		return Fragment{}, fmt.Errorf("codecache: delete: fragment %d still referenced by %d process(es)", id, n.frag.Refs)
+	}
 	f, _ := a.remove(n, false)
 	return f, nil
 }
@@ -344,6 +379,11 @@ func (a *Arena) SetObserver(o obs.Observer, level obs.Level) {
 	a.o = o
 	a.level = level
 }
+
+// SetProcID names the front-end process that owns this arena; the ID is
+// stamped on the arena's own events so shared-system consumers can attribute
+// them. Single-process systems leave it 0.
+func (a *Arena) SetProcID(proc int) { a.proc = proc }
 
 // DeleteModule removes every fragment belonging to module m (a
 // program-forced eviction). It returns the removed fragments in address
@@ -363,7 +403,7 @@ func (a *Arena) DeleteModule(m uint16) []Fragment {
 	for _, n := range victims {
 		f, _ := a.remove(n, false)
 		out = append(out, f)
-		obs.Emit(a.o, obs.Event{Kind: obs.KindUnmap, Trace: f.ID, Size: f.Size, Module: f.Module, From: a.level})
+		obs.Emit(a.o, obs.Event{Kind: obs.KindUnmap, Trace: f.ID, Size: f.Size, Module: f.Module, From: a.level, Proc: a.proc})
 	}
 	return out
 }

@@ -87,7 +87,15 @@ type Unified struct {
 	arena *codecache.Arena
 	local policy.Local
 	o     obs.Observer
+	proc  int
 	stats Stats
+}
+
+// SetProcID names the front-end process that owns this manager; the ID is
+// stamped on every event it publishes. Single-process systems leave it 0.
+func (u *Unified) SetProcID(proc int) {
+	u.proc = proc
+	u.arena.SetProcID(proc)
 }
 
 // NewUnified creates a unified cache of the given capacity with the given
@@ -110,7 +118,7 @@ func (u *Unified) Insert(f codecache.Fragment) error {
 	err := u.local.Insert(u.arena, f, func(v codecache.Fragment) {
 		u.stats.Evicted++
 		u.stats.EvictedBytes += v.Size
-		obs.Emit(u.o, obs.Event{Kind: obs.KindEvict, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelUnified})
+		obs.Emit(u.o, obs.Event{Kind: obs.KindEvict, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelUnified, Proc: u.proc})
 	})
 	if err != nil {
 		if errors.Is(err, codecache.ErrTooBig) || errors.Is(err, codecache.ErrNoSpace) {
@@ -120,7 +128,7 @@ func (u *Unified) Insert(f codecache.Fragment) error {
 		return err
 	}
 	u.stats.Inserts++
-	obs.Emit(u.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelUnified})
+	obs.Emit(u.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelUnified, Proc: u.proc})
 	return nil
 }
 
@@ -228,12 +236,17 @@ func (c Config) Validate() error {
 }
 
 // Generational is the three-cache design of §5 driven by the Figure 8
-// algorithm.
+// algorithm. In shared mode (NewGenerationalShared) the nursery and
+// probation stay process-private while the persistent tier is a
+// SharedPersistent serving every front-end process of a dbt.System; then
+// persistent is nil and all persistent-tier operations delegate to shared.
 type Generational struct {
 	cfg        Config
 	nursery    *codecache.Arena
 	probation  *codecache.Arena
-	persistent *codecache.Arena
+	persistent *codecache.Arena  // nil in shared mode
+	shared     *SharedPersistent // nil in single-process mode
+	proc       int
 	local      map[Level]policy.Local
 	o          obs.Observer
 	stats      Stats
@@ -275,10 +288,72 @@ func NewGenerational(cfg Config, o obs.Observer) (*Generational, error) {
 	return g, nil
 }
 
+// NewGenerationalShared creates the per-process half of a shared
+// generational manager for front-end process proc: a private nursery and
+// probation sized by the configuration's fractions, with the persistent tier
+// delegated to the given SharedPersistent. The configuration's
+// PersistentFrac describes the shared tier's share of a notional
+// per-process total; the shared tier itself is sized once at construction
+// by its creator.
+func NewGenerationalShared(cfg Config, shared *SharedPersistent, proc int, o obs.Observer) (*Generational, error) {
+	if shared == nil {
+		return nil, fmt.Errorf("core: shared generational manager needs a shared persistent tier")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nb := uint64(float64(cfg.TotalCapacity) * cfg.NurseryFrac)
+	pb := uint64(float64(cfg.TotalCapacity) * cfg.ProbationFrac)
+	mk := func(l Level) policy.Local {
+		if cfg.Local == nil {
+			return policy.PseudoCircular{}
+		}
+		if p := cfg.Local(l); p != nil {
+			return p
+		}
+		return policy.PseudoCircular{}
+	}
+	g := &Generational{
+		cfg:       cfg,
+		nursery:   codecache.New(nb),
+		probation: codecache.New(pb),
+		shared:    shared,
+		proc:      proc,
+		local: map[Level]policy.Local{
+			LevelNursery:   mk(LevelNursery),
+			LevelProbation: mk(LevelProbation),
+		},
+		o: o,
+	}
+	g.nursery.SetObserver(o, LevelNursery)
+	g.probation.SetObserver(o, LevelProbation)
+	g.nursery.SetProcID(proc)
+	g.probation.SetProcID(proc)
+	return g, nil
+}
+
+// SetProcID names the front-end process that owns this manager; the ID is
+// stamped on every event it publishes. Single-process systems leave it 0.
+func (g *Generational) SetProcID(proc int) {
+	g.proc = proc
+	g.nursery.SetProcID(proc)
+	g.probation.SetProcID(proc)
+	if g.persistent != nil {
+		g.persistent.SetProcID(proc)
+	}
+}
+
+// Shared returns the shared persistent tier, or nil in single-process mode.
+func (g *Generational) Shared() *SharedPersistent { return g.shared }
+
 // Name implements Manager.
 func (g *Generational) Name() string {
-	return fmt.Sprintf("generational/%.0f-%.0f-%.0f@%d",
-		g.cfg.NurseryFrac*100, g.cfg.ProbationFrac*100, g.cfg.PersistentFrac*100, g.cfg.PromoteThreshold)
+	kind := "generational"
+	if g.shared != nil {
+		kind = "generational-shared"
+	}
+	return fmt.Sprintf("%s/%.0f-%.0f-%.0f@%d",
+		kind, g.cfg.NurseryFrac*100, g.cfg.ProbationFrac*100, g.cfg.PersistentFrac*100, g.cfg.PromoteThreshold)
 }
 
 // Config returns the manager's configuration.
@@ -304,7 +379,7 @@ func (g *Generational) die(f codecache.Fragment, from Level) {
 	if from == LevelProbation {
 		g.stats.ProbationDeaths++
 	}
-	obs.Emit(g.o, obs.Event{Kind: obs.KindEvict, Trace: f.ID, Size: f.Size, Module: f.Module, From: from})
+	obs.Emit(g.o, obs.Event{Kind: obs.KindEvict, Trace: f.ID, Size: f.Size, Module: f.Module, From: from, Proc: g.proc})
 }
 
 // Insert implements Manager: the insertNewTrace routine of Figure 8. New
@@ -318,7 +393,7 @@ func (g *Generational) Insert(f codecache.Fragment) error {
 		return err
 	}
 	g.stats.Inserts++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelNursery})
+	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelNursery, Proc: g.proc})
 	return nil
 }
 
@@ -338,7 +413,7 @@ func (g *Generational) promoteToProbation(v codecache.Fragment) {
 		return
 	}
 	g.stats.PromotedToProbation++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelNursery, To: LevelProbation})
+	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelNursery, To: LevelProbation, Proc: g.proc})
 }
 
 // probationVictim decides a probation victim's fate: promotion to the
@@ -352,17 +427,24 @@ func (g *Generational) probationVictim(v codecache.Fragment) {
 }
 
 // promoteToPersistent relocates a trace into the persistent cache, evicting
-// persistent residents circularly as needed.
+// persistent residents circularly as needed. In shared mode the trace enters
+// the shared tier owned by this process (or merges with an already-resident
+// copy another process re-promoted first).
 func (g *Generational) promoteToPersistent(v codecache.Fragment) {
-	err := g.local[LevelPersistent].Insert(g.persistent, v, func(x codecache.Fragment) {
-		g.die(x, LevelPersistent)
-	})
+	var err error
+	if g.shared != nil {
+		err = g.shared.Promote(g.proc, v)
+	} else {
+		err = g.local[LevelPersistent].Insert(g.persistent, v, func(x codecache.Fragment) {
+			g.die(x, LevelPersistent)
+		})
+	}
 	if err != nil {
 		g.die(v, LevelProbation)
 		return
 	}
 	g.stats.PromotedToPersist++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelProbation, To: LevelPersistent})
+	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelProbation, To: LevelPersistent, Proc: g.proc})
 }
 
 // Access implements Manager. A hit in the probation cache bumps the trace's
@@ -387,6 +469,13 @@ func (g *Generational) Access(id uint64) bool {
 		}
 		return true
 	}
+	if g.shared != nil {
+		if g.shared.Access(g.proc, id) {
+			g.stats.Hits++
+			return true
+		}
+		return false
+	}
 	if g.persistent.Access(id) {
 		g.stats.Hits++
 		g.local[LevelPersistent].OnAccess(g.persistent, id)
@@ -395,9 +484,17 @@ func (g *Generational) Access(id uint64) bool {
 	return false
 }
 
+// persistentContains reports persistent-tier residency in either mode.
+func (g *Generational) persistentContains(id uint64) bool {
+	if g.shared != nil {
+		return g.shared.Contains(id)
+	}
+	return g.persistent.Contains(id)
+}
+
 // Contains implements Manager.
 func (g *Generational) Contains(id uint64) bool {
-	return g.nursery.Contains(id) || g.probation.Contains(id) || g.persistent.Contains(id)
+	return g.nursery.Contains(id) || g.probation.Contains(id) || g.persistentContains(id)
 }
 
 // Where returns the level currently holding the trace.
@@ -407,18 +504,25 @@ func (g *Generational) Where(id uint64) (Level, bool) {
 		return LevelNursery, true
 	case g.probation.Contains(id):
 		return LevelProbation, true
-	case g.persistent.Contains(id):
+	case g.persistentContains(id):
 		return LevelPersistent, true
 	}
 	return 0, false
 }
 
-// DeleteModule implements Manager.
+// DeleteModule implements Manager. In shared mode the private tiers drop
+// their copies unconditionally, while the shared tier only drops this
+// process's references: victims returned from there are the traces whose
+// last reference drained.
 func (g *Generational) DeleteModule(m uint16) []codecache.Fragment {
 	var out []codecache.Fragment
 	out = append(out, g.nursery.DeleteModule(m)...)
 	out = append(out, g.probation.DeleteModule(m)...)
-	out = append(out, g.persistent.DeleteModule(m)...)
+	if g.shared != nil {
+		out = append(out, g.shared.UnmapModule(g.proc, m)...)
+	} else {
+		out = append(out, g.persistent.DeleteModule(m)...)
+	}
 	g.stats.ForcedDeletes += uint64(len(out))
 	for _, f := range out {
 		g.stats.ForcedDeleteBytes += f.Size
@@ -428,19 +532,33 @@ func (g *Generational) DeleteModule(m uint16) []codecache.Fragment {
 
 // SetUndeletable implements Manager.
 func (g *Generational) SetUndeletable(id uint64, pinned bool) bool {
-	return g.nursery.SetUndeletable(id, pinned) ||
-		g.probation.SetUndeletable(id, pinned) ||
-		g.persistent.SetUndeletable(id, pinned)
+	if g.nursery.SetUndeletable(id, pinned) || g.probation.SetUndeletable(id, pinned) {
+		return true
+	}
+	if g.shared != nil {
+		return g.shared.SetUndeletable(id, pinned)
+	}
+	return g.persistent.SetUndeletable(id, pinned)
 }
 
-// Capacity implements Manager.
+// Capacity implements Manager. In shared mode the shared tier's full
+// capacity is included (it is one system-wide arena, not a per-process
+// slice).
 func (g *Generational) Capacity() uint64 {
-	return g.nursery.Capacity() + g.probation.Capacity() + g.persistent.Capacity()
+	c := g.nursery.Capacity() + g.probation.Capacity()
+	if g.shared != nil {
+		return c + g.shared.Capacity()
+	}
+	return c + g.persistent.Capacity()
 }
 
 // Used implements Manager.
 func (g *Generational) Used() uint64 {
-	return g.nursery.Used() + g.probation.Used() + g.persistent.Used()
+	u := g.nursery.Used() + g.probation.Used()
+	if g.shared != nil {
+		return u + g.shared.Used()
+	}
+	return u + g.persistent.Used()
 }
 
 // Stats implements Manager.
@@ -448,10 +566,16 @@ func (g *Generational) Stats() Stats { return g.stats }
 
 // Levels implements Manager.
 func (g *Generational) Levels() map[Level]codecache.Stats {
+	p := codecache.Stats{}
+	if g.shared != nil {
+		p = g.shared.ArenaStats()
+	} else {
+		p = g.persistent.Stats()
+	}
 	return map[Level]codecache.Stats{
 		LevelNursery:    g.nursery.Stats(),
 		LevelProbation:  g.probation.Stats(),
-		LevelPersistent: g.persistent.Stats(),
+		LevelPersistent: p,
 	}
 }
 
@@ -459,6 +583,9 @@ func (g *Generational) Levels() map[Level]codecache.Stats {
 // the persistent cache, in address order. Cross-run cache persistence
 // snapshots these.
 func (g *Generational) PersistentFragments() []codecache.Fragment {
+	if g.shared != nil {
+		return g.shared.Fragments()
+	}
 	frags := g.persistent.Fragments()
 	out := make([]codecache.Fragment, 0, len(frags))
 	for _, f := range frags {
@@ -470,38 +597,61 @@ func (g *Generational) PersistentFragments() []codecache.Fragment {
 // InsertPersistent places a trace directly into the persistent cache,
 // bypassing the nursery and probation. It exists for warm-starting a fresh
 // manager from a persisted snapshot; normal insertion must go through
-// Insert (Figure 8).
+// Insert (Figure 8). In shared mode the warm trace enters the shared tier
+// owned by this process.
 func (g *Generational) InsertPersistent(f codecache.Fragment) error {
-	err := g.local[LevelPersistent].Insert(g.persistent, f, func(x codecache.Fragment) {
-		g.die(x, LevelPersistent)
-	})
+	var err error
+	if g.shared != nil {
+		err = g.shared.InsertWarm([]int{g.proc}, f)
+	} else {
+		err = g.local[LevelPersistent].Insert(g.persistent, f, func(x codecache.Fragment) {
+			g.die(x, LevelPersistent)
+		})
+		if err == nil {
+			obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelPersistent, Proc: g.proc})
+		}
+	}
 	if err != nil {
 		return err
 	}
 	g.stats.Inserts++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelPersistent})
 	return nil
 }
 
 // CheckInvariants validates that no trace is resident in two caches and all
-// arenas are structurally sound. Tests call this.
+// arenas are structurally sound. In shared mode only the private tiers are
+// checked against each other (a trace may legitimately be resident in the
+// shared tier and in another process's private tiers); the shared tier has
+// its own CheckInvariants. Tests call this.
 func (g *Generational) CheckInvariants() error {
-	for _, a := range []*codecache.Arena{g.nursery, g.probation, g.persistent} {
+	arenas := []*codecache.Arena{g.nursery, g.probation}
+	pairs := []struct {
+		l Level
+		a *codecache.Arena
+	}{{LevelNursery, g.nursery}, {LevelProbation, g.probation}}
+	if g.shared == nil {
+		arenas = append(arenas, g.persistent)
+		pairs = append(pairs, struct {
+			l Level
+			a *codecache.Arena
+		}{LevelPersistent, g.persistent})
+	}
+	for _, a := range arenas {
 		if err := a.CheckInvariants(); err != nil {
 			return err
 		}
 	}
 	seen := make(map[uint64]Level)
-	for _, pair := range []struct {
-		l Level
-		a *codecache.Arena
-	}{{LevelNursery, g.nursery}, {LevelProbation, g.probation}, {LevelPersistent, g.persistent}} {
+	for _, pair := range pairs {
 		for _, f := range pair.a.Fragments() {
 			if prev, dup := seen[f.ID]; dup {
 				return fmt.Errorf("core: trace %d resident in both %s and %s", f.ID, prev, pair.l)
 			}
 			seen[f.ID] = pair.l
 		}
+	}
+	if g.shared != nil {
+		return g.shared.CheckInvariants()
 	}
 	return nil
 }

@@ -103,6 +103,7 @@ type RunStats struct {
 	LinksBroken  uint64 // links severed by evictions and unmaps
 
 	TracesCreated    uint64
+	SharedAdopted    uint64 // traces adopted from the shared persistent tier instead of generated
 	TraceBytes       uint64 // bytes of traces created (first generations only)
 	Accesses         uint64 // dispatcher entries into generated traces
 	Hits             uint64
@@ -124,8 +125,16 @@ func (s RunStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// Engine drives a guest under dynamic optimization.
-type Engine struct {
+// Process is the per-process front-end of a dbt.System: it owns one guest's
+// execution state — basic-block cache, head counters, NET recording, link
+// table, inline dispatch caches, and (under a generational manager) the
+// process-private nursery and probation tiers — while trace identity and the
+// shared persistent tier live in the System behind it. A single-process
+// system (dbt.New) is one Process over a System with no shared tier.
+type Process struct {
+	id  int
+	sys *System
+
 	cfg   Config
 	model costmodel.Model
 	acc   *costmodel.Accum
@@ -160,9 +169,8 @@ type Engine struct {
 	threadList []*threadCtx
 	cur        *threadCtx
 
-	nextTraceID uint64
-	now         uint64
-	stats       RunStats
+	now   uint64
+	stats RunStats
 
 	// Exception simulation: the currently pinned trace and the access
 	// count at which it unpins.
@@ -171,6 +179,11 @@ type Engine struct {
 
 	links *linker.Table
 }
+
+// Engine is the historical name for the single-process front-end; existing
+// callers and tests keep using it. New multi-process code should say
+// Process.
+type Engine = Process
 
 // threadCtx is one guest thread's translation state: where it is inside a
 // trace, what it is recording, and its linking candidate.
@@ -190,52 +203,18 @@ type threadCtx struct {
 	icTrace *trace.Trace
 }
 
-// New creates an engine for the guest's image.
+// New creates a single-process engine for the guest's image: one Process
+// over a fresh System with no shared persistent tier. Multi-process systems
+// construct a System explicitly and call NewProcess on it.
 func New(img *program.Image, cfg Config) (*Engine, error) {
-	if cfg.Manager == nil {
-		return nil, fmt.Errorf("dbt: config requires a Manager")
-	}
-	if cfg.HotThreshold == 0 {
-		cfg.HotThreshold = 50
-	}
-	if cfg.MaxTraceBlocks == 0 {
-		cfg.MaxTraceBlocks = trace.DefaultMaxBlocks
-	}
-	model := costmodel.DefaultModel
-	if cfg.Model != nil {
-		model = *cfg.Model
-	}
-	n := img.NumBlocks()
-	e := &Engine{
-		cfg:         cfg,
-		model:       model,
-		acc:         costmodel.NewAccum(model),
-		img:         img,
-		bb:          bbcache.New(),
-		heads:       bbcache.NewHeadTable(),
-		traces:      make(map[uint64]*trace.Trace),
-		byHead:      make(map[uint64]*trace.Trace),
-		byMod:       make(map[program.ModuleID][]uint64),
-		threads:     make(map[int]*threadCtx),
-		links:       linker.New(),
-		nextTraceID: 1,
-		slow:        cfg.SlowDispatch,
-		traceAt:     make([]*trace.Trace, n),
-		headAt:      make([]*bbcache.Head, n),
-		bbIn:        make([]bool, n),
-	}
-	e.isHeadFn = func(addr uint64) bool {
-		_, ok := e.byHead[addr]
-		return ok
-	}
-	return e, nil
+	return NewSystem(nil).NewProcess(0, img, cfg)
 }
 
 // Overhead returns the engine's cost accumulator.
-func (e *Engine) Overhead() *costmodel.Accum { return e.acc }
+func (e *Process) Overhead() *costmodel.Accum { return e.acc }
 
 // Stats returns the current run statistics.
-func (e *Engine) Stats() RunStats {
+func (e *Process) Stats() RunStats {
 	s := e.stats
 	s.BBBytes = e.bb.Bytes()
 	s.FinalCacheBytes = e.bb.Bytes() + e.cfg.Manager.Used()
@@ -244,19 +223,19 @@ func (e *Engine) Stats() RunStats {
 }
 
 // TraceFor returns the generated trace for a head address, if any.
-func (e *Engine) TraceFor(head uint64) (*trace.Trace, bool) {
+func (e *Process) TraceFor(head uint64) (*trace.Trace, bool) {
 	t, ok := e.byHead[head]
 	return t, ok
 }
 
 // Heads returns the head table (for tests and tools).
-func (e *Engine) Heads() *bbcache.HeadTable { return e.heads }
+func (e *Process) Heads() *bbcache.HeadTable { return e.heads }
 
 // Links returns the trace link table (for tests and tools).
-func (e *Engine) Links() *linker.Table { return e.links }
+func (e *Process) Links() *linker.Table { return e.links }
 
 // TraceByID returns a materialized trace by its ID.
-func (e *Engine) TraceByID(id uint64) (*trace.Trace, bool) {
+func (e *Process) TraceByID(id uint64) (*trace.Trace, bool) {
 	t, ok := e.traces[id]
 	return t, ok
 }
@@ -266,7 +245,7 @@ func (e *Engine) TraceByID(id uint64) (*trace.Trace, bool) {
 // the persistent cache when the manager is generational, and through the
 // normal insertion path otherwise. Preloaded trace IDs must not collide;
 // the engine's own IDs continue above the highest preloaded ID.
-func (e *Engine) Preload(ts []*trace.Trace) error {
+func (e *Process) Preload(ts []*trace.Trace) error {
 	for _, t := range ts {
 		if _, dup := e.traces[t.ID]; dup {
 			return fmt.Errorf("dbt: preload: duplicate trace ID %d", t.ID)
@@ -292,9 +271,8 @@ func (e *Engine) Preload(ts []*trace.Trace) error {
 			e.headAt[hb.Index] = h
 			e.traceAt[hb.Index] = t
 		}
-		if t.ID >= e.nextTraceID {
-			e.nextTraceID = t.ID + 1
-		}
+		e.sys.ensureIDAbove(t.ID)
+		e.sys.register(t)
 	}
 	e.trackPeak()
 	return nil
@@ -303,7 +281,7 @@ func (e *Engine) Preload(ts []*trace.Trace) error {
 // threadFor returns the context for a guest thread, creating it on first
 // use. Small thread IDs — all of them in practice — resolve through a dense
 // slice; the map stays authoritative for arbitrary IDs.
-func (e *Engine) threadFor(id int) *threadCtx {
+func (e *Process) threadFor(id int) *threadCtx {
 	if id >= 0 && id < len(e.threadList) {
 		if c := e.threadList[id]; c != nil {
 			return c
@@ -326,7 +304,7 @@ func (e *Engine) threadFor(id int) *threadCtx {
 
 // lookupBlock resolves an executing guest address to its block, or nil. The
 // fast path touches no maps; SlowDispatch forces the original map lookup.
-func (e *Engine) lookupBlock(addr uint64) *program.Block {
+func (e *Process) lookupBlock(addr uint64) *program.Block {
 	if e.slow {
 		b, ok := e.img.Block(addr)
 		if !ok {
@@ -340,7 +318,7 @@ func (e *Engine) lookupBlock(addr uint64) *program.Block {
 // markHead marks blk as a trace head in the table and the dense mirror. On
 // the fast path an already-marked head is answered from the mirror without
 // touching the map (the mirror holds exactly the marked heads).
-func (e *Engine) markHead(blk *program.Block) *bbcache.Head {
+func (e *Process) markHead(blk *program.Block) *bbcache.Head {
 	if !e.slow {
 		if h := e.headAt[blk.Index]; h != nil {
 			return h
@@ -353,7 +331,7 @@ func (e *Engine) markHead(blk *program.Block) *bbcache.Head {
 
 // Run drives the guest to completion (or until maxBlocks guest blocks have
 // executed; 0 means no limit).
-func (e *Engine) Run(g Guest, maxBlocks uint64) error {
+func (e *Process) Run(g Guest, maxBlocks uint64) error {
 	for {
 		if maxBlocks != 0 && e.stats.Blocks >= maxBlocks {
 			return nil
@@ -372,7 +350,7 @@ func (e *Engine) Run(g Guest, maxBlocks uint64) error {
 }
 
 // Observe processes one guest step.
-func (e *Engine) Observe(step Step) error {
+func (e *Process) Observe(step Step) error {
 	if step.Time > e.now {
 		e.now = step.Time
 	}
@@ -425,7 +403,7 @@ func (e *Engine) Observe(step Step) error {
 // resolves the head table and trace-by-head map through dense slices indexed
 // by blk.Index, with a per-thread inline cache short-circuiting the common
 // same-head re-dispatch; SlowDispatch forces the original map lookups.
-func (e *Engine) dispatch(blk *program.Block) error {
+func (e *Process) dispatch(blk *program.Block) error {
 	e.stats.Dispatches++
 	c := e.cur
 
@@ -464,6 +442,16 @@ func (e *Engine) dispatch(blk *program.Block) error {
 	if h != nil {
 		h.Count++
 		if h.Count >= e.cfg.HotThreshold {
+			// Adoption: another process of this System may already have
+			// published a trace for this head in the shared persistent tier.
+			// Attaching to it skips trace generation entirely — the
+			// ShareJIT-style amortization the shared back-end exists for.
+			if t, ok := e.sys.adopt(e.id, uint16(blk.Module), blk.Addr); ok {
+				if err := e.adoptTrace(t, blk); err != nil {
+					return err
+				}
+				return e.enterTrace(t, blk)
+			}
 			// Enter trace generation mode starting at this block.
 			c.recording = trace.NewRecorder(blk, e.cfg.MaxTraceBlocks)
 			c.recHead = blk.Addr
@@ -482,13 +470,13 @@ func (e *Engine) dispatch(blk *program.Block) error {
 }
 
 // enterTrace handles dispatch to a generated trace's head.
-func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
+func (e *Process) enterTrace(t *trace.Trace, blk *program.Block) error {
 	e.stats.Accesses++
 	if e.cfg.Lifetimes != nil {
 		e.cfg.Lifetimes.Touch(t.ID, float64(e.now))
 	}
 	if e.cfg.Log != nil {
-		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindAccess, Time: e.now, Trace: t.ID}); err != nil {
+		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindAccess, Time: e.now, Trace: t.ID, Proc: e.id}); err != nil {
 			return err
 		}
 	}
@@ -524,14 +512,14 @@ func (e *Engine) enterTrace(t *trace.Trace, blk *program.Block) error {
 // an exception is raised inside the trace being entered, pinning it until
 // the handler finishes some accesses later. Pins and unpins are logged so
 // replays reproduce them.
-func (e *Engine) exceptionTick(enteredTrace uint64) error {
+func (e *Process) exceptionTick(enteredTrace uint64) error {
 	if e.cfg.ExceptionInterval == 0 {
 		return nil
 	}
 	if e.pinnedTrace != 0 && e.stats.Accesses >= e.unpinAt {
 		e.cfg.Manager.SetUndeletable(e.pinnedTrace, false)
 		if e.cfg.Log != nil {
-			if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnpin, Time: e.now, Trace: e.pinnedTrace}); err != nil {
+			if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnpin, Time: e.now, Trace: e.pinnedTrace, Proc: e.id}); err != nil {
 				return err
 			}
 		}
@@ -549,14 +537,14 @@ func (e *Engine) exceptionTick(enteredTrace uint64) error {
 		e.unpinAt = e.stats.Accesses + pin
 		e.stats.Exceptions++
 		if e.cfg.Log != nil {
-			return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindPin, Time: e.now, Trace: enteredTrace})
+			return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindPin, Time: e.now, Trace: enteredTrace, Proc: e.id})
 		}
 	}
 	return nil
 }
 
 // record extends the current recording with the next executed block.
-func (e *Engine) record(blk *program.Block) error {
+func (e *Process) record(blk *program.Block) error {
 	c := e.cur
 	stopped := c.recording.Observe(blk, e.isHeadFn)
 	if !stopped {
@@ -580,7 +568,7 @@ func (e *Engine) record(blk *program.Block) error {
 
 // materialize builds the recorded trace, inserts it into the trace cache,
 // and logs its creation.
-func (e *Engine) materialize() error {
+func (e *Process) materialize() error {
 	c := e.cur
 	rec := c.recording
 	c.recording = nil
@@ -594,7 +582,7 @@ func (e *Engine) materialize() error {
 		e.stats.RecordingAborted++
 		return nil
 	}
-	t, err := trace.Build(e.nextTraceID, rec.Blocks())
+	t, err := trace.Build(e.sys.nextTraceID(), rec.Blocks())
 	if err != nil {
 		return fmt.Errorf("dbt: materializing trace at %#x: %w", c.recHead, err)
 	}
@@ -604,7 +592,7 @@ func (e *Engine) materialize() error {
 		e.stats.OptimizedInsts += uint64(r.Removed + r.Folded)
 		e.stats.OptimizedBytes += uint64(r.Saved())
 	}
-	e.nextTraceID++
+	e.sys.register(t)
 	e.traces[t.ID] = t
 	e.byHead[t.Head] = t
 	e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
@@ -634,6 +622,7 @@ func (e *Engine) materialize() error {
 			Size:   uint32(t.Size()),
 			Module: uint16(t.Module),
 			Head:   t.Head,
+			Proc:   e.id,
 		})
 		if err != nil {
 			return err
@@ -645,17 +634,49 @@ func (e *Engine) materialize() error {
 	return nil
 }
 
+// adoptTrace registers a shared-tier trace in this process's local tables —
+// the front-end half of an adoption; the back-end half (owner attachment)
+// already happened in System.adopt. The adoption is logged so replays can
+// tell amortized attachments from paid generations.
+func (e *Process) adoptTrace(t *trace.Trace, blk *program.Block) error {
+	e.traces[t.ID] = t
+	e.byHead[t.Head] = t
+	e.byMod[t.Module] = append(e.byMod[t.Module], t.ID)
+	e.traceAt[blk.Index] = t
+	if h, ok := e.heads.Lookup(t.Head); ok {
+		h.TraceID = t.ID
+	}
+	for _, target := range t.ExitTargets {
+		if tb, ok := e.img.Block(target); ok {
+			e.markHead(tb)
+		}
+	}
+	e.stats.SharedAdopted++
+	if e.cfg.Log != nil {
+		return e.cfg.Log.Write(tracelog.Event{
+			Kind:   tracelog.KindAdopt,
+			Time:   e.now,
+			Trace:  t.ID,
+			Size:   uint32(t.Size()),
+			Module: uint16(t.Module),
+			Head:   t.Head,
+			Proc:   e.id,
+		})
+	}
+	return nil
+}
+
 // severLinks breaks every direct link involving trace id, counting the
 // severed links and publishing one KindLinkSever event per link.
-func (e *Engine) severLinks(id uint64) {
+func (e *Process) severLinks(id uint64) {
 	n := e.links.Unlink(id)
 	e.stats.LinksBroken += uint64(n)
 	for i := 0; i < n; i++ {
-		obs.Emit(e.cfg.Observer, obs.Event{Kind: obs.KindLinkSever, Trace: id})
+		obs.Emit(e.cfg.Observer, obs.Event{Kind: obs.KindLinkSever, Trace: id, Proc: e.id})
 	}
 }
 
-func (e *Engine) fragmentOf(t *trace.Trace) codecache.Fragment {
+func (e *Process) fragmentOf(t *trace.Trace) codecache.Fragment {
 	return codecache.Fragment{
 		ID:       t.ID,
 		Size:     uint64(t.Size()),
@@ -666,7 +687,7 @@ func (e *Engine) fragmentOf(t *trace.Trace) codecache.Fragment {
 
 // bbExecute runs a block from the basic-block cache, copying it in first if
 // needed. Residency is checked through the dense mirror on the fast path.
-func (e *Engine) bbExecute(blk *program.Block) {
+func (e *Process) bbExecute(blk *program.Block) {
 	e.cur.exitedTrace = 0 // untranslated code intervened; no direct link
 	resident := e.bbIn[blk.Index]
 	if e.slow {
@@ -682,7 +703,7 @@ func (e *Engine) bbExecute(blk *program.Block) {
 
 // unloadModule performs the program-forced evictions of §3.4: all traces
 // and basic blocks from the module are deleted immediately.
-func (e *Engine) unloadModule(m program.ModuleID) error {
+func (e *Process) unloadModule(m program.ModuleID) error {
 	// Abort any recording whose head lives in the module, and detach any
 	// thread executing inside one of its traces.
 	saved := e.cur
@@ -736,12 +757,12 @@ func (e *Engine) unloadModule(m program.ModuleID) error {
 	}
 
 	if e.cfg.Log != nil {
-		return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnmap, Time: e.now, Module: uint16(m)})
+		return e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindUnmap, Time: e.now, Module: uint16(m), Proc: e.id})
 	}
 	return nil
 }
 
-func (e *Engine) trackPeak() {
+func (e *Process) trackPeak() {
 	total := e.bb.Bytes() + e.cfg.Manager.Used()
 	if total > e.stats.PeakCacheBytes {
 		e.stats.PeakCacheBytes = total
@@ -749,9 +770,9 @@ func (e *Engine) trackPeak() {
 }
 
 // finish flushes the event log.
-func (e *Engine) finish() error {
+func (e *Process) finish() error {
 	if e.cfg.Log != nil {
-		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindEnd, Time: e.now}); err != nil {
+		if err := e.cfg.Log.Write(tracelog.Event{Kind: tracelog.KindEnd, Time: e.now, Proc: e.id}); err != nil {
 			return err
 		}
 		return e.cfg.Log.Flush()

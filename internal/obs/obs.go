@@ -91,6 +91,11 @@ type Event struct {
 	From   Level  // KindEvict, KindPromote, KindUnmap, KindFlush
 	To     Level  // KindInsert, KindPromote
 
+	// Proc is the ID of the process whose action caused the event. Shared
+	// back-end tiers serve several front-end processes at once, so every
+	// cache event carries its causing process; single-process systems use 0.
+	Proc int
+
 	// Replay progress (KindProgress only).
 	Benchmark string
 	Done      uint64

@@ -75,6 +75,30 @@ func Snapshot(benchmark string, g *core.Generational, lookup func(uint64) (*trac
 	return img
 }
 
+// SnapshotShared captures the contents of a multi-process shared persistent
+// tier. lookup resolves a trace ID to its body (dbt.System keeps one via
+// trace registration); traces without a body are skipped, as in Snapshot.
+func SnapshotShared(benchmark string, sp *core.SharedPersistent, lookup func(uint64) (*trace.Trace, bool)) Image {
+	img := Image{Benchmark: benchmark}
+	for _, f := range sp.Fragments() {
+		rec := Record{
+			ID:       f.ID,
+			HeadAddr: f.HeadAddr,
+			Size:     uint32(f.Size),
+			Module:   f.Module,
+		}
+		if lookup != nil {
+			t, ok := lookup(f.ID)
+			if !ok {
+				continue
+			}
+			rec.Blocks = append(rec.Blocks, t.BlockAddrs...)
+		}
+		img.Records = append(img.Records, rec)
+	}
+	return img
+}
+
 // Save writes the image.
 func Save(w io.Writer, img Image) error {
 	bw := bufio.NewWriter(w)
@@ -228,6 +252,38 @@ func Warm(g *core.Generational, img Image, validate Validator, genCost func(size
 			continue
 		}
 		err := g.InsertPersistent(codecache.Fragment{
+			ID:       r.ID,
+			Size:     uint64(r.Size),
+			Module:   r.Module,
+			HeadAddr: r.HeadAddr,
+		})
+		if err != nil {
+			ws.Rejected++
+			continue
+		}
+		ws.Restored++
+		if genCost != nil {
+			ws.SavedGen += genCost(int(r.Size))
+		}
+	}
+	return ws
+}
+
+// WarmShared pre-populates a shared persistent tier from a saved image. The
+// traces are inserted with no owners; each process attaches itself to the
+// ones it wants at startup (dbt.Process.AttachShared), taking a reference
+// that its own module unmaps later release. SavedGen counts the avoided
+// generation cost once per restored trace — each additional process that
+// attaches avoids another generation, which the run's adoption counters
+// capture.
+func WarmShared(sp *core.SharedPersistent, img Image, validate Validator, genCost func(sizeBytes int) float64) WarmStats {
+	var ws WarmStats
+	for _, r := range img.Records {
+		if validate != nil && !validate(r) {
+			ws.Rejected++
+			continue
+		}
+		err := sp.InsertWarm(nil, codecache.Fragment{
 			ID:       r.ID,
 			Size:     uint64(r.Size),
 			Module:   r.Module,

@@ -284,3 +284,117 @@ func TestRebuildRejectsStaleImage(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmSharedRefcounts: a shared tier snapshotted from a multi-process
+// run warms a fresh tier; two new processes attach to the restored traces,
+// and the owner-aware refcounts drain correctly — the first process's unmap
+// leaves every trace resident, the second's kills them.
+func TestWarmSharedRefcounts(t *testing.T) {
+	p, ok := workload.ByName("solitaire")
+	if !ok {
+		t.Fatal("solitaire missing")
+	}
+	p = p.Scaled(0.05)
+	bench, err := workload.Synthesize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := uint64(256 << 10)
+	cfg := core.Layout451045Threshold1(capacity)
+	spCap := 2 * uint64(float64(capacity)*cfg.PersistentFrac)
+
+	newSystem := func() (*dbt.System, *core.SharedPersistent) {
+		sp := core.NewSharedPersistent(spCap, nil, nil)
+		sys := dbt.NewSystem(sp)
+		for proc := 0; proc < 2; proc++ {
+			mgr, err := core.NewGenerationalShared(cfg, sp, proc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.NewProcess(proc, bench.Image, dbt.Config{Manager: mgr}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys, sp
+	}
+
+	// Cold multi-process run populates the shared tier.
+	sys, sp := newSystem()
+	guests := []dbt.Guest{bench.NewDriverProc(0), bench.NewDriverProc(1)}
+	if err := sys.RunRoundRobin(guests, 64, bench.TotalBudget()/4, 0); err != nil {
+		t.Fatal(err)
+	}
+	img := SnapshotShared(p.Name, sp, sys.TraceByID)
+	if len(img.Records) == 0 {
+		t.Fatal("empty shared snapshot")
+	}
+
+	// Round-trip through the on-disk format and rebuild real bodies.
+	var buf bytes.Buffer
+	if err := Save(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, rejected := Rebuild(loaded, bench.Image)
+	if len(rebuilt) == 0 || rejected != 0 {
+		t.Fatalf("rebuilt %d traces, rejected %d against an unchanged image", len(rebuilt), rejected)
+	}
+
+	// Warm a fresh tier and attach two fresh processes to every trace.
+	sys2, sp2 := newSystem()
+	ws := WarmShared(sp2, loaded, nil, costmodel.DefaultModel.TraceGen)
+	if ws.Restored != uint64(len(loaded.Records)) || ws.Rejected != 0 {
+		t.Fatalf("warm stats = %+v, want %d restored", ws, len(loaded.Records))
+	}
+	if ws.SavedGen <= 0 {
+		t.Error("warm start saved no generation cost")
+	}
+	procs := sys2.Procs()
+	for _, proc := range procs {
+		n, err := proc.AttachShared(rebuilt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(rebuilt) {
+			t.Fatalf("proc %d attached %d of %d traces", proc.ID(), n, len(rebuilt))
+		}
+	}
+	modules := make(map[uint16]bool)
+	for _, r := range loaded.Records {
+		if sp2.Owners(r.ID) != 2 {
+			t.Fatalf("trace %d has %d owners after both attaches, want 2", r.ID, sp2.Owners(r.ID))
+		}
+		modules[r.Module] = true
+	}
+
+	// Owner-aware drain: proc 0's unmaps leave everything resident...
+	for m := range modules {
+		sp2.UnmapModule(0, m)
+	}
+	for _, r := range loaded.Records {
+		if !sp2.Contains(r.ID) {
+			t.Fatalf("trace %d died while proc 1 still owned it", r.ID)
+		}
+		if sp2.Owners(r.ID) != 1 {
+			t.Fatalf("trace %d has %d owners after proc 0's unmap, want 1", r.ID, sp2.Owners(r.ID))
+		}
+	}
+	// ...and proc 1's unmaps drain the tier.
+	for m := range modules {
+		sp2.UnmapModule(1, m)
+	}
+	for _, r := range loaded.Records {
+		if sp2.Contains(r.ID) {
+			t.Fatalf("trace %d survived both owners' unmaps", r.ID)
+		}
+	}
+	if used := sp2.Used(); used != 0 {
+		t.Errorf("warmed tier still holds %d bytes", used)
+	}
+	if err := sp2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

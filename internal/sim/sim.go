@@ -29,6 +29,9 @@ type Result struct {
 	ColdCreates uint64
 	// Regenerations counts trace re-creations forced by conflict misses.
 	Regenerations uint64
+	// Adoptions counts shared-tier attachments (multi-process logs only):
+	// the trace was registered without paying generation cost.
+	Adoptions     uint64
 	ForcedDeletes uint64
 
 	// Overhead aggregates instruction costs per the Table 2 model.
@@ -119,6 +122,21 @@ func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager,
 			acc.ChargeTraceGen(int(e.Size))
 			// Insertion failures (trace bigger than the nursery) leave the
 			// trace uncached; subsequent accesses are misses.
+			_ = mgr.Insert(codecache.Fragment{
+				ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
+			})
+
+		case tracelog.KindAdopt:
+			// The trace was adopted from a shared tier during the original
+			// run: no generation cost was paid. Replaying against a single
+			// private manager, the body still has to be present for the
+			// later accesses, so it is inserted — but charged nothing.
+			if _, dup := lookup(e.Trace); dup {
+				return res, fmt.Errorf("sim: duplicate adopt of trace %d", e.Trace)
+			}
+			store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
+			byModule[e.Module] = append(byModule[e.Module], e.Trace)
+			res.Adoptions++
 			_ = mgr.Insert(codecache.Fragment{
 				ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
 			})

@@ -19,6 +19,24 @@ type EventCounter struct {
 	// one (insert, promote) to To. Fixed-size atomics keep Observe
 	// allocation-free.
 	levels [obs.NumKinds][obs.NumLevels]atomic.Uint64
+
+	// procs tallies per-kind, per-process counts so shared-tier events stay
+	// attributable to the front-end process that caused them. Process IDs at
+	// or above MaxDenseProcs share the final overflow slot.
+	procs [obs.NumKinds][MaxDenseProcs + 1]atomic.Uint64
+}
+
+// MaxDenseProcs bounds the per-process attribution table. Simulated systems
+// run a handful of processes; IDs at or above the bound (and negative IDs)
+// are tallied together in an overflow slot.
+const MaxDenseProcs = 64
+
+// procSlot maps a process ID onto its attribution slot.
+func procSlot(proc int) int {
+	if proc < 0 || proc >= MaxDenseProcs {
+		return MaxDenseProcs
+	}
+	return proc
 }
 
 // NewEventCounter returns a zeroed counter.
@@ -39,6 +57,16 @@ func (c *EventCounter) Observe(e obs.Event) {
 	if lvl >= 0 && int(lvl) < obs.NumLevels {
 		c.levels[e.Kind][lvl].Add(1)
 	}
+	c.procs[e.Kind][procSlot(e.Proc)].Add(1)
+}
+
+// CountForProc returns how many events of kind k were caused by the given
+// process. IDs at or above MaxDenseProcs share one overflow slot.
+func (c *EventCounter) CountForProc(k obs.Kind, proc int) uint64 {
+	if int(k) >= obs.NumKinds {
+		return 0
+	}
+	return c.procs[k][procSlot(proc)].Load()
 }
 
 // CountAtLevel returns how many events of kind k touched cache level l:

@@ -37,9 +37,15 @@ const (
 	KindUnpin
 	// KindEnd closes the log and fixes the total execution time.
 	KindEnd
+	// KindAdopt records a process attaching to a trace another process
+	// already published in the shared persistent tier: same payload as
+	// KindCreate, but no generation cost was paid. Only multi-process logs
+	// contain it. (It is numbered after KindEnd so single-process logs keep
+	// their historical byte values.)
+	KindAdopt
 )
 
-var kindNames = [...]string{"invalid", "create", "access", "unmap", "pin", "unpin", "end"}
+var kindNames = [...]string{"invalid", "create", "access", "unmap", "pin", "unpin", "end", "adopt"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -53,13 +59,26 @@ func (k Kind) String() string {
 type Event struct {
 	Kind   Kind
 	Time   uint64
-	Trace  uint64 // KindCreate, KindAccess, KindPin, KindUnpin
-	Size   uint32 // KindCreate
-	Module uint16 // KindCreate, KindUnmap
-	Head   uint64 // KindCreate: original address of the trace head
+	Trace  uint64 // KindCreate, KindAdopt, KindAccess, KindPin, KindUnpin
+	Size   uint32 // KindCreate, KindAdopt
+	Module uint16 // KindCreate, KindAdopt, KindUnmap
+	Head   uint64 // KindCreate, KindAdopt: original address of the trace head
+	// Proc is the front-end process that caused the event. Only encoded in
+	// multi-process (version 2) logs; single-process logs stay byte-identical
+	// to the historical format.
+	Proc int
 }
 
-const magic = "CCLOG1\n"
+// Two wire formats share one reader. Version 1 ("CCLOG1\n") is the original
+// single-process format: per-event unsigned time deltas, no process field.
+// Version 2 ("CCLOG2\n") carries a process count in the header and, per
+// event, the causing process and a zigzag-signed time delta — interleaved
+// processes each advance their own virtual clock, so merged streams are not
+// time-monotonic.
+const (
+	magic   = "CCLOG1\n"
+	magicV2 = "CCLOG2\n"
+)
 
 // DefaultBufSize is the buffer size NewWriter and NewReader use. Replay
 // pipelines stream logs tens of megabytes long; 64 KiB keeps the underlying
@@ -72,11 +91,16 @@ type Header struct {
 	Benchmark string
 	// DurationMicros is the run's declared virtual duration.
 	DurationMicros uint64
+	// Procs is the number of front-end processes whose events the log
+	// interleaves. 0 and 1 both mean a single-process log, written in the
+	// historical version-1 format; larger counts select version 2.
+	Procs int
 }
 
 // Writer encodes events to a stream.
 type Writer struct {
 	w        *bufio.Writer
+	v2       bool
 	lastTime uint64
 	events   uint64
 	closed   bool
@@ -91,7 +115,12 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 // NewWriterSize is NewWriter with an explicit buffer size.
 func NewWriterSize(w io.Writer, h Header, size int) (*Writer, error) {
 	bw := bufio.NewWriterSize(w, size)
-	if _, err := bw.WriteString(magic); err != nil {
+	v2 := h.Procs > 1
+	m := magic
+	if v2 {
+		m = magicV2
+	}
+	if _, err := bw.WriteString(m); err != nil {
 		return nil, err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -106,7 +135,13 @@ func NewWriterSize(w io.Writer, h Header, size int) (*Writer, error) {
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	if v2 {
+		n = binary.PutUvarint(buf[:], uint64(h.Procs))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw, v2: v2}, nil
 }
 
 func (w *Writer) uvarint(v uint64) error {
@@ -116,24 +151,43 @@ func (w *Writer) uvarint(v uint64) error {
 	return err
 }
 
-// Write appends one event. Events must be written in non-decreasing time
-// order.
+func (w *Writer) varint(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	_, err := w.w.Write(buf[:n])
+	return err
+}
+
+// Write appends one event. Version-1 (single-process) events must be written
+// in non-decreasing time order; version-2 streams interleave per-process
+// clocks, so time may step backwards between events and deltas are
+// zigzag-signed.
 func (w *Writer) Write(e Event) error {
 	if w.closed {
 		return errors.New("tracelog: write after close")
 	}
-	if e.Time < w.lastTime {
+	if !w.v2 && e.Time < w.lastTime {
 		return fmt.Errorf("tracelog: time went backwards (%d after %d)", e.Time, w.lastTime)
 	}
 	if err := w.w.WriteByte(byte(e.Kind)); err != nil {
 		return err
 	}
-	if err := w.uvarint(e.Time - w.lastTime); err != nil {
+	if w.v2 {
+		if e.Proc < 0 {
+			return fmt.Errorf("tracelog: negative process ID %d", e.Proc)
+		}
+		if err := w.uvarint(uint64(e.Proc)); err != nil {
+			return err
+		}
+		if err := w.varint(int64(e.Time) - int64(w.lastTime)); err != nil {
+			return err
+		}
+	} else if err := w.uvarint(e.Time - w.lastTime); err != nil {
 		return err
 	}
 	w.lastTime = e.Time
 	switch e.Kind {
-	case KindCreate:
+	case KindCreate, KindAdopt:
 		if err := w.uvarint(e.Trace); err != nil {
 			return err
 		}
@@ -180,10 +234,11 @@ type byteSource interface {
 	io.ByteReader
 }
 
-// Reader decodes a log stream.
+// Reader decodes a log stream (either wire version).
 type Reader struct {
 	r        byteSource
 	h        Header
+	v2       bool
 	lastTime uint64
 	done     bool
 }
@@ -208,7 +263,12 @@ func NewReaderSize(r io.Reader, size int) (*Reader, error) {
 	if _, err := io.ReadFull(br, got); err != nil {
 		return nil, fmt.Errorf("tracelog: reading magic: %w", err)
 	}
-	if string(got) != magic {
+	v2 := false
+	switch string(got) {
+	case magic:
+	case magicV2:
+		v2 = true
+	default:
 		return nil, fmt.Errorf("tracelog: bad magic %q", got)
 	}
 	nameLen, err := binary.ReadUvarint(br)
@@ -226,7 +286,15 @@ func NewReaderSize(r io.Reader, size int) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tracelog: reading duration: %w", err)
 	}
-	return &Reader{r: br, h: Header{Benchmark: string(name), DurationMicros: dur}}, nil
+	h := Header{Benchmark: string(name), DurationMicros: dur}
+	if v2 {
+		procs, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracelog: reading process count: %w", err)
+		}
+		h.Procs = int(procs)
+	}
+	return &Reader{r: br, h: h, v2: v2}, nil
 }
 
 // Header returns the log's metadata.
@@ -246,14 +314,27 @@ func (r *Reader) Next() (Event, error) {
 		return Event{}, err
 	}
 	e := Event{Kind: Kind(kb)}
-	dt, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		return Event{}, fmt.Errorf("tracelog: reading time: %w", err)
+	if r.v2 {
+		proc, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("tracelog: reading process: %w", err)
+		}
+		e.Proc = int(proc)
+		dt, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("tracelog: reading time: %w", err)
+		}
+		r.lastTime = uint64(int64(r.lastTime) + dt)
+	} else {
+		dt, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("tracelog: reading time: %w", err)
+		}
+		r.lastTime += dt
 	}
-	r.lastTime += dt
 	e.Time = r.lastTime
 	switch e.Kind {
-	case KindCreate:
+	case KindCreate, KindAdopt:
 		if e.Trace, err = binary.ReadUvarint(r.r); err != nil {
 			return Event{}, err
 		}
@@ -312,6 +393,7 @@ type Summary struct {
 	Events        int
 	Creates       uint64
 	CreatedBytes  uint64
+	Adoptions     uint64 // cross-process shared-tier attachments (v2 logs)
 	Accesses      uint64
 	Unmaps        uint64
 	UnmappedBytes uint64 // bytes of traces whose module was later unmapped
@@ -343,6 +425,15 @@ func Summarize(h Header, events []Event) Summary {
 				s.MaxLiveBytes = live
 			}
 			s.TraceSizes = append(s.TraceSizes, e.Size)
+		case KindAdopt:
+			// The trace body already lives in the shared tier (its creator's
+			// KindCreate accounted the bytes); the adoption only registers the
+			// trace for this process's later accesses and unmaps.
+			s.Adoptions++
+			if traces[e.Trace] == nil {
+				traces[e.Trace] = &meta{size: e.Size, module: e.Module}
+				byModule[e.Module] = append(byModule[e.Module], e.Trace)
+			}
 		case KindAccess:
 			s.Accesses++
 		case KindUnmap:

@@ -242,3 +242,107 @@ func TestSummarizeDoubleUnmap(t *testing.T) {
 		t.Errorf("unmapped bytes = %d, want 50", s.UnmappedBytes)
 	}
 }
+
+func TestRoundTripV2(t *testing.T) {
+	// Multi-process logs interleave per-process clocks: time may step
+	// backwards between events, and every event carries its process.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "multi", DurationMicros: 1000, Procs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{Kind: KindCreate, Time: 10, Trace: 1, Size: 200, Module: 2, Head: 0x40, Proc: 0},
+		{Kind: KindAccess, Time: 12, Trace: 1, Proc: 0},
+		{Kind: KindAdopt, Time: 5, Trace: 1, Size: 200, Module: 2, Head: 0x40, Proc: 1},
+		{Kind: KindAccess, Time: 6, Trace: 1, Proc: 1},
+		{Kind: KindAccess, Time: 30, Trace: 1, Proc: 2},
+		{Kind: KindUnmap, Time: 2, Module: 2, Proc: 1},
+		{Kind: KindEnd, Time: 40},
+	}
+	for _, e := range evs {
+		if err := w.Write(e); err != nil {
+			t.Fatalf("write %+v: %v", e, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("CCLOG2\n")) {
+		t.Fatalf("multi-process log uses magic %q", buf.Bytes()[:7])
+	}
+
+	h, got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Benchmark != "multi" || h.DurationMicros != 1000 || h.Procs != 3 {
+		t.Errorf("header = %+v", h)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Errorf("event %d: %+v != %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestV1StaysByteIdenticalWithProcsOne(t *testing.T) {
+	// Procs 0 and 1 must both produce the historical version-1 stream.
+	write := func(procs int) []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Benchmark: "b", Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range sampleEvents() {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	zero, one := write(0), write(1)
+	if !bytes.Equal(zero, one) {
+		t.Error("procs 0 and 1 encode differently")
+	}
+	if !bytes.HasPrefix(zero, []byte("CCLOG1\n")) {
+		t.Errorf("single-process log uses magic %q", zero[:7])
+	}
+}
+
+func TestWriterV2RejectsNegativeProc(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Benchmark: "b", Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Event{Kind: KindAccess, Trace: 1, Proc: -1}); err == nil {
+		t.Error("negative process ID accepted")
+	}
+}
+
+func TestSummarizeCountsAdoptions(t *testing.T) {
+	h := Header{Benchmark: "b", Procs: 2}
+	evs := []Event{
+		{Kind: KindCreate, Time: 1, Trace: 1, Size: 100, Module: 1, Head: 0x40, Proc: 0},
+		{Kind: KindAdopt, Time: 2, Trace: 1, Size: 100, Module: 1, Head: 0x40, Proc: 1},
+		{Kind: KindAccess, Time: 3, Trace: 1, Proc: 1},
+		{Kind: KindEnd, Time: 4},
+	}
+	s := Summarize(h, evs)
+	if s.Adoptions != 1 {
+		t.Errorf("adoptions = %d, want 1", s.Adoptions)
+	}
+	if s.Creates != 1 {
+		t.Errorf("creates = %d, want 1 (adoption is not a generation)", s.Creates)
+	}
+	if s.MaxLiveBytes != 100 {
+		t.Errorf("max live = %d: an adoption must not double-count bytes", s.MaxLiveBytes)
+	}
+}

@@ -49,13 +49,25 @@ type walk struct {
 	idx int
 }
 
-// NewDriver returns a fresh, deterministic driver for the bench.
+// NewDriver returns a fresh, deterministic driver for the bench. It is
+// NewDriverProc(0): the historical single-process stream, bit for bit.
 func (b *Bench) NewDriver() *Driver {
+	return b.NewDriverProc(0)
+}
+
+// NewDriverProc returns a deterministic driver for front-end process proc of
+// a multi-process system. Every process executes the same image — the same
+// modules, core set, and phase structure, as N instances of one application
+// would — but with process-specific random jitter, so visit orders and
+// iteration counts diverge while the hot core functions (and therefore the
+// persistent trace population) overlap. Process 0's stream is identical to
+// NewDriver's.
+func (b *Bench) NewDriverProc(proc int) *Driver {
 	n := b.Profile.Threads
 	if n < 1 {
 		n = 1
 	}
-	d := &Driver{b: b, r: b.rng(1), warming: len(b.core) > 0, walks: make([]walk, n)}
+	d := &Driver{b: b, r: b.rng(1 + int64(proc)*15485863), warming: len(b.core) > 0, walks: make([]walk, n)}
 	if len(b.phaseModule) > 0 {
 		d.pendingLoad = []program.ModuleID{b.phaseModule[0]}
 	}

@@ -4,6 +4,14 @@
 # so -race is part of the gate, not an optional extra.
 set -eux
 
+# Formatting gate: gofmt -l prints offending files; any output fails the CI.
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race ./...
