@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke
 
 ci: fmt vet build race bench-smoke
 
@@ -38,3 +38,11 @@ procs-smoke:
 	$(GO) run ./cmd/tracegen -bench gzip -scale 0.03125 -o /tmp/procs-smoke.cclog
 	$(GO) run -race ./cmd/ccsim -log /tmp/procs-smoke.cclog -procs 4
 	rm -f /tmp/procs-smoke.cclog
+
+# Adaptive smoke: a short replay with the split controller attached, under
+# the race detector, on both the stock three-tier shape and a four-tier one.
+adaptive-smoke:
+	$(GO) run ./cmd/tracegen -bench gzip -scale 0.0625 -o /tmp/adaptive-smoke.cclog
+	$(GO) run -race ./cmd/ccsim -log /tmp/adaptive-smoke.cclog -adaptive -epoch 512
+	$(GO) run -race ./cmd/ccsim -log /tmp/adaptive-smoke.cclog -tiers 30-10-20-40@1,2 -adaptive -epoch 512
+	rm -f /tmp/adaptive-smoke.cclog

@@ -111,6 +111,49 @@ func BenchmarkDispatchSteadyState(b *testing.B) {
 	}
 }
 
+// newHotGraphEngine builds the same warmed engine over a three-tier graph
+// with the adaptive split controller attached — the dispatch path every
+// manager shares now that Unified and Generational are stock graphs, plus
+// the controller's per-access sampling.
+func newHotGraphEngine(tb testing.TB, img *program.Image, warm []dbt.Step) *dbt.Engine {
+	tb.Helper()
+	spec, err := core.ParseTierSpec("45-10-45@1", 1<<30)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec.Adaptive = &core.AdaptiveConfig{}
+	g, err := core.NewGraph(spec, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng, err := dbt.New(img, dbt.Config{Manager: g})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, s := range warm {
+		if err := eng.Observe(s); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return eng
+}
+
+// BenchmarkDispatchGraphSteadyState is the steady-state dispatch workload
+// over the adaptive three-tier graph, for comparison with the unified
+// manager's number.
+func BenchmarkDispatchGraphSteadyState(b *testing.B) {
+	img := buildHotLoopImage(b)
+	warm, steady := hotLoopSteps(img)
+	eng := newHotGraphEngine(b, img, warm)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Observe(steady[i%len(steady)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDispatchSteadyStateSlow is the same workload with SlowDispatch
 // forcing the original map-based lookups — the pre-optimization baseline,
 // kept measurable so the speedup stays tracked.
@@ -224,6 +267,22 @@ func TestDispatchSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state dispatch allocated %.1f times per cycle, want 0", allocs)
+	}
+}
+
+func TestDispatchGraphSteadyStateZeroAlloc(t *testing.T) {
+	img := buildHotLoopImage(t)
+	warm, steady := hotLoopSteps(img)
+	eng := newHotGraphEngine(t, img, warm)
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, s := range steady {
+			if err := eng.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("tier-graph steady-state dispatch allocated %.1f times per cycle, want 0", allocs)
 	}
 }
 

@@ -9,6 +9,8 @@
 //	ccsim -log word.cclog -unified
 //	ccsim -log word.cclog -events events.jsonl
 //	ccsim -log word.cclog -procs 4
+//	ccsim -log word.cclog -tiers 30-10-20-40@1,2,4
+//	ccsim -log word.cclog -adaptive -epoch 512
 package main
 
 import (
@@ -37,6 +39,9 @@ func main() {
 	layout := flag.String("layout", "45-10-45", "nursery-probation-persistent percentages")
 	threshold := flag.Uint64("threshold", 1, "probation promotion threshold")
 	unified := flag.Bool("unified", false, "simulate only the unified baseline")
+	tiers := flag.String("tiers", "", `replay an arbitrary tier graph instead of the stock generational chain, e.g. "30-10-20-40@1,2,4" (percentages, then per-edge promotion thresholds)`)
+	adaptive := flag.Bool("adaptive", false, "attach the adaptive split controller (re-balances tier capacities online)")
+	epoch := flag.Uint64("epoch", 0, "accesses between adaptive controller decisions (0 = controller default)")
 	procs := flag.Int("procs", 1, "replay as this many processes over one shared persistent tier (1 = classic single-process replay)")
 	stagger := flag.Int("stagger", 0, "with -procs > 1: admit process p after p*stagger total events (0 = auto)")
 	parallel := flag.Int("parallel", 0, "worker pool size for the replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
@@ -111,7 +116,12 @@ func main() {
 		PromoteOnAccess:  *threshold <= 1,
 	}
 
+	graphMode := *tiers != "" || *adaptive
 	if *procs > 1 {
+		if graphMode {
+			fmt.Fprintln(os.Stderr, "ccsim: -tiers and -adaptive do not combine with -procs")
+			os.Exit(2)
+		}
 		if err := runShared(h.Benchmark, events, cfg, *procs, *stagger, dump); err != nil {
 			fatal(err)
 		}
@@ -122,6 +132,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The tier-graph path replaces the stock generational replay: the graph
+	// shape comes from -tiers (or the stock chain when only -adaptive is
+	// given), and -adaptive attaches the online split controller. The
+	// manager is built here rather than inside sim so its controller
+	// counters can be reported after the replay.
+	var spec core.GraphSpec
+	var graphMgr *core.Graph
+	if graphMode {
+		if *tiers != "" {
+			spec, err = core.ParseTierSpec(*tiers, capacity)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			spec = cfg.GraphSpec()
+		}
+		if *adaptive {
+			spec.Adaptive = &core.AdaptiveConfig{Epoch: *epoch}
+		}
+	}
+
 	jobs := []pipeline.Job[sim.Result]{{
 		Name: "unified",
 		Run: func(context.Context) (sim.Result, error) {
@@ -129,12 +160,28 @@ func main() {
 		},
 	}}
 	if !*unified {
-		jobs = append(jobs, pipeline.Job[sim.Result]{
-			Name: "generational",
-			Run: func(context.Context) (sim.Result, error) {
-				return sim.ReplayGenerationalObserved(h.Benchmark, events, cfg, costmodel.DefaultModel, dump.forConfig("generational"))
-			},
-		})
+		if graphMode {
+			jobs = append(jobs, pipeline.Job[sim.Result]{
+				Name: "graph",
+				Run: func(context.Context) (sim.Result, error) {
+					acc := costmodel.NewAccum(costmodel.DefaultModel)
+					gd := dump.forConfig("graph")
+					mgr, err := core.NewGraph(spec, obs.Combine(sim.CostObserver(acc), gd))
+					if err != nil {
+						return sim.Result{}, err
+					}
+					graphMgr = mgr
+					return sim.ReplayObserved(h.Benchmark, events, mgr, acc, gd)
+				},
+			})
+		} else {
+			jobs = append(jobs, pipeline.Job[sim.Result]{
+				Name: "generational",
+				Run: func(context.Context) (sim.Result, error) {
+					return sim.ReplayGenerationalObserved(h.Benchmark, events, cfg, costmodel.DefaultModel, dump.forConfig("generational"))
+				},
+			})
+		}
 	}
 	results, err := pipeline.Map(ctx, pipeline.Options{Parallel: *parallel}, jobs)
 	if err != nil {
@@ -148,6 +195,17 @@ func main() {
 	}
 	g := results[1]
 	report(g.Config, g)
+	if graphMgr != nil {
+		if as, ok := graphMgr.AdaptiveStats(); ok {
+			caps := graphMgr.TierCapacities()
+			parts := make([]string, len(caps))
+			for i, c := range caps {
+				parts[i] = fmt.Sprintf("%.0f", 100*float64(c)/float64(capacity))
+			}
+			fmt.Fprintf(out, "  adaptive: %d resizes (%d reversals, %d blocked) over %d epochs, final split %s\n",
+				as.Resizes, as.Reversals, as.Blocked, as.Epochs, strings.Join(parts, "-"))
+		}
+	}
 
 	red := 0.0
 	if u.MissRate() > 0 {
@@ -231,7 +289,7 @@ func (d *eventDumper) forConfig(config string) obs.Observer {
 	return obs.Func(func(e obs.Event) {
 		rec := eventRecord{Config: config, Kind: e.Kind.String(), Proc: e.Proc, Trace: e.Trace, Size: e.Size, Module: e.Module}
 		switch e.Kind {
-		case obs.KindEvict, obs.KindUnmap, obs.KindFlush:
+		case obs.KindEvict, obs.KindUnmap, obs.KindFlush, obs.KindResize:
 			rec.From = e.From.String()
 		case obs.KindInsert:
 			rec.To = e.To.String()

@@ -25,7 +25,7 @@ import (
 
 var experimentOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig6",
-	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "optimpact", "robustness", "shared",
+	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "adaptive", "optimpact", "robustness", "shared",
 }
 
 func main() {
@@ -228,6 +228,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(experiments.RenderSharedVsIsolated(rows))
+	}
+	if want["adaptive"] {
+		section("Extension: adaptive split controller vs the Figure 9 static layouts")
+		rows, err := experiments.AdaptiveVsStatic(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderAdaptiveVsStatic(rows))
 	}
 	if want["ablations"] {
 		section("Ablations: design variants vs the paper's 45-10-45 @1")

@@ -30,8 +30,14 @@ func main() {
 			log.Fatal(err)
 		}
 		lt := repro.NewLifetimes()
+		// The unbounded cache is the one-tier graph: lifetime measurement
+		// must see every trace's full life, so nothing may be evicted.
+		unbounded, err := repro.NewTierGraph(repro.UnifiedGraphSpec(1<<40), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
 		engine, err := repro.NewEngine(bench.Image, repro.EngineConfig{
-			Manager:   repro.NewUnified(1<<40, nil),
+			Manager:   unbounded,
 			Lifetimes: lt,
 		})
 		if err != nil {

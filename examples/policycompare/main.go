@@ -12,7 +12,13 @@
 //
 //   - unified + preemptive flushing (Dynamo's scheme)
 //
-//   - generational 45-10-45 @1 (the paper's proposal, §5)
+//   - generational 45-10-45 @1 (the paper's proposal, §5), built as a
+//     three-tier graph
+//
+//   - a four-generation graph 30-10-20-40 @1,2 — the tier-graph API is not
+//     limited to the paper's three levels
+//
+//   - the same three-tier graph with the adaptive split controller attached
 //
 //     go run ./examples/policycompare [benchmark]
 package main
@@ -78,18 +84,34 @@ func main() {
 			return repro.NewUnifiedWithPolicy(capacity, p(), h)
 		}
 	}
+	// The non-unified entries are all tier graphs: the paper's generational
+	// chain is just the stock three-tier shape, a four-generation chain
+	// needs nothing but a longer spec string, and the adaptive entry
+	// attaches the online split controller to the stock shape.
+	graph := func(tiers string, adaptive bool) func(repro.Observer) repro.Manager {
+		return func(h repro.Observer) repro.Manager {
+			spec, err := repro.ParseTierSpec(tiers, capacity)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if adaptive {
+				spec.Adaptive = &repro.AdaptiveConfig{Epoch: 512}
+			}
+			g, err := repro.NewTierGraph(spec, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return g
+		}
+	}
 	entries := []entry{
 		{"unified pseudo-circular", mk(repro.PseudoCircularPolicy)},
 		{"unified LRU", mk(repro.LRUPolicy)},
 		{"unified flush-when-full", mk(repro.FlushWhenFullPolicy)},
 		{"unified preemptive-flush", mk(repro.PreemptiveFlushPolicy)},
-		{"generational 45-10-45@1", func(h repro.Observer) repro.Manager {
-			g, err := repro.NewGenerational(repro.BestLayout(capacity), h)
-			if err != nil {
-				log.Fatal(err)
-			}
-			return g
-		}},
+		{"generational 45-10-45@1", graph("45-10-45@1", false)},
+		{"4-gen 30-10-20-40@1,2", graph("30-10-20-40@1,2", false)},
+		{"adaptive 45-10-45@1", graph("45-10-45@1", true)},
 	}
 
 	fmt.Printf("%-26s %10s %10s %10s %12s\n", "manager", "accesses", "misses", "miss rate", "overhead")

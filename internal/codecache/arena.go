@@ -46,6 +46,10 @@ var (
 	ErrDup     = errors.New("codecache: fragment ID already present")
 )
 
+// ErrResizePinned is returned by Resize when a shrink would have to remove an
+// undeletable fragment. The arena is left unmodified.
+var ErrResizePinned = errors.New("codecache: resize blocked by undeletable fragment")
+
 // node is one segment of the arena's address range. Nodes tile [0, capacity)
 // exactly: every byte belongs to exactly one node, either a fragment or free
 // space. The fragment lives inside the node (fragVal); frag points at it
@@ -516,6 +520,81 @@ func (a *Arena) place(n *node, f Fragment) {
 	if a.used > a.stats.PeakUsed {
 		a.stats.PeakUsed = a.used
 	}
+}
+
+// Resize changes the arena's capacity. Growing extends the address space
+// with free bytes. Shrinking evicts, in address order, every fragment that
+// overlaps the truncated tail [newCapacity, capacity); each victim is passed
+// to onEvict (which may be nil) after removal, so a tiered manager can
+// relocate them instead of discarding them. If any such fragment is
+// undeletable the resize fails with ErrResizePinned and the arena is left
+// unmodified. A successful resize publishes one KindResize event carrying the
+// new capacity.
+func (a *Arena) Resize(newCapacity uint64, onEvict func(Fragment)) error {
+	if newCapacity == 0 {
+		return fmt.Errorf("codecache: resize to zero capacity")
+	}
+	if newCapacity == a.capacity {
+		return nil
+	}
+	if newCapacity > a.capacity {
+		delta := newCapacity - a.capacity
+		last := a.head
+		for last.next != nil {
+			last = last.next
+		}
+		if last.frag == nil {
+			last.size += delta
+		} else {
+			n := a.allocNode()
+			n.prev = last
+			n.off = a.capacity
+			n.size = delta
+			last.next = n
+		}
+		a.capacity = newCapacity
+		obs.Emit(a.o, obs.Event{Kind: obs.KindResize, Size: newCapacity, From: a.level, Proc: a.proc})
+		return nil
+	}
+
+	// Shrink: every fragment overlapping the truncated tail must leave. Check
+	// for pins first so a refused resize mutates nothing.
+	var victims []*node
+	for n := a.head; n != nil; n = n.next {
+		if n.frag != nil && n.off+n.size > newCapacity {
+			if n.frag.Undeletable {
+				return ErrResizePinned
+			}
+			victims = append(victims, n)
+		}
+	}
+	for _, n := range victims {
+		f, _ := a.remove(n, true)
+		if onEvict != nil {
+			onEvict(f)
+		}
+	}
+	// The tail [newCapacity, capacity) is now free, and free nodes merge, so
+	// the final node is free and covers it (starting at or before the cut).
+	last := a.head
+	for last.next != nil {
+		last = last.next
+	}
+	if last.off < newCapacity {
+		last.size = newCapacity - last.off
+	} else {
+		// The surviving fragments end exactly at the cut: drop the tail node.
+		// last.off == newCapacity > 0 implies a predecessor exists.
+		pv := last.prev
+		pv.next = nil
+		if a.cursor == last {
+			a.cursor = a.head
+		}
+		a.recycleNode(last)
+	}
+	a.capacity = newCapacity
+	obs.Emit(a.o, obs.Event{Kind: obs.KindResize, Size: newCapacity, From: a.level, Proc: a.proc})
+	return nil
 }
 
 // PlaceFirstFit inserts f into the first free run large enough, without

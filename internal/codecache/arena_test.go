@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func mustInsert(t *testing.T, a *Arena, f Fragment) []Fragment {
@@ -532,5 +534,244 @@ func TestFragmentationRatio(t *testing.T) {
 	}
 	if a.Occupancy() != 0.5 {
 		t.Errorf("occupancy = %v", a.Occupancy())
+	}
+}
+
+func TestResizeGrow(t *testing.T) {
+	a := New(300)
+	for id := uint64(1); id <= 3; id++ {
+		mustInsert(t, a, Fragment{ID: id, Size: 100})
+	}
+	// Full arena: growing must append a fresh free tail node.
+	if err := a.Resize(500, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 500 || a.Free() != 200 || a.Len() != 3 {
+		t.Fatalf("capacity=%d free=%d len=%d", a.Capacity(), a.Free(), a.Len())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The new space is immediately placeable. (The circular sweep itself only
+	// absorbs it when the cursor wraps to the tail — §4.3 semantics.)
+	if err := a.PlaceFirstFit(Fragment{ID: 4, Size: 150}); err != nil {
+		t.Fatalf("place into grown tail: %v", err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Free tail present: growing must extend it in place.
+	if err := a.Resize(600, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 600 || a.Free() != 150 {
+		t.Fatalf("capacity=%d free=%d", a.Capacity(), a.Free())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeShrinkEvictsTail(t *testing.T) {
+	a := New(400)
+	for id := uint64(1); id <= 4; id++ {
+		mustInsert(t, a, Fragment{ID: id, Size: 100})
+	}
+	// Cut at 250: fragments 3 (200-300) and 4 (300-400) overlap the tail and
+	// must be evicted in address order.
+	var ev []Fragment
+	if err := a.Resize(250, func(v Fragment) { ev = append(ev, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 || ev[0].ID != 3 || ev[1].ID != 4 {
+		t.Fatalf("evicted %v, want fragments 3 then 4", ev)
+	}
+	if a.Capacity() != 250 || a.Used() != 200 || a.Free() != 50 || a.Len() != 2 {
+		t.Fatalf("capacity=%d used=%d free=%d len=%d", a.Capacity(), a.Used(), a.Free(), a.Len())
+	}
+	if a.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (shrink victims are capacity-driven)", a.Stats().Evictions)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PlaceFirstFit(Fragment{ID: 5, Size: 50}); err != nil {
+		t.Fatalf("place into shrunk tail: %v", err)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeShrinkExactCut(t *testing.T) {
+	// Surviving fragments end exactly at the cut: the tail node is dropped
+	// entirely rather than truncated.
+	a := New(400)
+	for id := uint64(1); id <= 4; id++ {
+		mustInsert(t, a, Fragment{ID: id, Size: 100})
+	}
+	var ev []Fragment
+	if err := a.Resize(200, func(v Fragment) { ev = append(ev, v) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("evicted %v, want 2 victims", ev)
+	}
+	if a.Capacity() != 200 || a.Free() != 0 || a.Len() != 2 {
+		t.Fatalf("capacity=%d free=%d len=%d", a.Capacity(), a.Free(), a.Len())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The arena still works at the new size.
+	ev = mustInsert(t, a, Fragment{ID: 5, Size: 100})
+	if len(ev) != 1 {
+		t.Fatalf("post-shrink insert evicted %v, want 1 victim", ev)
+	}
+}
+
+func TestResizeShrinkBlockedByPinned(t *testing.T) {
+	a := New(300)
+	for id := uint64(1); id <= 3; id++ {
+		mustInsert(t, a, Fragment{ID: id, Size: 100})
+	}
+	if !a.SetUndeletable(3, true) {
+		t.Fatal("pin failed")
+	}
+	// Fragment 3 (200-300) overlaps the cut at 250: refuse, mutate nothing.
+	var ev []Fragment
+	err := a.Resize(250, func(v Fragment) { ev = append(ev, v) })
+	if !errors.Is(err, ErrResizePinned) {
+		t.Fatalf("err = %v, want ErrResizePinned", err)
+	}
+	if len(ev) != 0 {
+		t.Fatalf("refused resize evicted %v", ev)
+	}
+	if a.Capacity() != 300 || a.Len() != 3 || a.Used() != 300 {
+		t.Fatalf("refused resize mutated arena: capacity=%d len=%d used=%d", a.Capacity(), a.Len(), a.Used())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A pinned fragment clear of the cut does not block.
+	a.SetUndeletable(3, false)
+	a.SetUndeletable(1, true)
+	if err := a.Resize(250, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Capacity() != 250 || !a.Contains(1) || !a.Contains(2) || a.Contains(3) {
+		t.Fatal("shrink past an in-range pin went wrong")
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeErrorsAndNoop(t *testing.T) {
+	a := New(300)
+	if err := a.Resize(0, nil); err == nil {
+		t.Error("resize to zero should fail")
+	}
+	if err := a.Resize(300, nil); err != nil {
+		t.Errorf("same-capacity resize = %v, want nil no-op", err)
+	}
+	if a.Capacity() != 300 {
+		t.Errorf("capacity = %d", a.Capacity())
+	}
+}
+
+func TestResizeRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := New(2048)
+	live := map[uint64]uint64{} // id -> size
+	id := uint64(1)
+	for op := 0; op < 3000; op++ {
+		switch r.Intn(5) {
+		case 0: // resize within [256, 4096]
+			target := uint64(256 + r.Intn(3840))
+			if err := a.Resize(target, func(v Fragment) {
+				if _, ok := live[v.ID]; !ok {
+					t.Fatalf("op %d: resize evicted dead fragment %d", op, v.ID)
+				}
+				delete(live, v.ID)
+			}); err != nil {
+				t.Fatalf("op %d: resize(%d): %v", op, target, err)
+			}
+			if a.Capacity() != target {
+				t.Fatalf("op %d: capacity %d, want %d", op, a.Capacity(), target)
+			}
+		case 1: // delete a random live fragment
+			for k := range live {
+				if _, err := a.Delete(k, false); err != nil {
+					t.Fatalf("op %d: delete %d: %v", op, k, err)
+				}
+				delete(live, k)
+				break
+			}
+		default: // insert
+			f := Fragment{ID: id, Size: uint64(16 + r.Intn(int(a.Capacity()/4)))}
+			id++
+			err := a.Insert(f, func(v Fragment) {
+				if _, ok := live[v.ID]; !ok {
+					t.Fatalf("op %d: evicted dead fragment %d", op, v.ID)
+				}
+				delete(live, v.ID)
+			})
+			if err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			}
+			live[f.ID] = f.Size
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if a.Len() != len(live) {
+			t.Fatalf("op %d: arena %d vs model %d", op, a.Len(), len(live))
+		}
+		var want uint64
+		for _, s := range live {
+			want += s
+		}
+		if a.Used() != want {
+			t.Fatalf("op %d: used %d vs model %d", op, a.Used(), want)
+		}
+	}
+}
+
+func TestResizeEmitsEvent(t *testing.T) {
+	a := New(300)
+	var got []obs.Event
+	a.SetObserver(obs.Func(func(e obs.Event) {
+		if e.Kind == obs.KindResize {
+			got = append(got, e)
+		}
+	}), obs.LevelNursery)
+	a.SetProcID(2)
+	mustInsert(t, a, Fragment{ID: 1, Size: 100})
+	if err := a.Resize(400, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Resize(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Resize(200, nil); err != nil { // no-op: no event
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d resize events, want 2", len(got))
+	}
+	for i, want := range []uint64{400, 200} {
+		e := got[i]
+		if e.Size != want || e.From != obs.LevelNursery || e.Proc != 2 {
+			t.Errorf("event %d = %+v, want Size=%d From=nursery Proc=2", i, e, want)
+		}
+	}
+	// A refused shrink must not emit.
+	a.SetUndeletable(1, true)
+	if err := a.Resize(50, nil); !errors.Is(err, ErrResizePinned) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("refused resize emitted an event")
 	}
 }

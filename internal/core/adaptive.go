@@ -1,0 +1,305 @@
+// The adaptive split controller: demand-driven re-balancing of the capacity
+// split between a graph's generations. The paper hand-tunes the 45-10-45
+// split offline (§6, Table 2); the controller instead attributes every
+// conflict miss to the tier whose eviction killed the trace — deaths are
+// sampled from the graph's own obs event stream, misses from its access
+// path — and at fixed epoch boundaries shifts one capacity step from the
+// tier with the lowest hit density to the tier causing the most misses.
+// Decisions run in three phases: a fast bootstrap walk right after the
+// caches first fill, two-window confirmed moves afterwards, and near-frozen
+// once the walk has bracketed its equilibrium (shrinking a tier eventually
+// manufactures that tier's own attributed misses, so chasing the signal
+// forever drives a standing oscillation). Epochs are keyed to the manager's
+// own access counter — never wall time — so adaptive runs stay bit-identical
+// across runs and worker-pool sizes.
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// AdaptiveConfig tunes a graph's split controller. The zero value of any
+// field selects its default.
+type AdaptiveConfig struct {
+	// Epoch is the number of Access calls between controller decisions
+	// (default 4096).
+	Epoch uint64
+	// Step is the fraction of total capacity moved per resize (default
+	// 0.04).
+	Step float64
+	// MinFrac is the smallest fraction of total capacity any tier may be
+	// shrunk to (default 0.05).
+	MinFrac float64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Epoch == 0 {
+		c.Epoch = 4096
+	}
+	if c.Step == 0 {
+		c.Step = 0.04
+	}
+	if c.MinFrac == 0 {
+		c.MinFrac = 0.05
+	}
+	return c
+}
+
+// AdaptiveStats counts controller activity.
+type AdaptiveStats struct {
+	Epochs    uint64 // controller decision points
+	Resizes   uint64 // capacity shifts applied
+	Reversals uint64 // shifts that undid the immediately preceding one
+	Blocked   uint64 // shifts refused (MinFrac floor or pinned fragments)
+}
+
+// adaptiveController re-balances a graph's private tier capacities. It
+// subscribes to the graph's own event stream (windowed per-tier eviction,
+// promotion, and attributed-miss tallies) and is ticked from Graph.Access.
+type adaptiveController struct {
+	cfg AdaptiveConfig
+	g   *Graph
+
+	// Windowed per-tier samples, reset every epoch. Indexed by private tier
+	// position. evicts and promotes are fed by Observe from the graph's obs
+	// stream; hits and missFrom by noteHit/noteMiss from the graph's access
+	// path.
+	evicts   []uint64
+	promotes []uint64
+	hits     []uint64
+	missFrom []uint64
+	levelIdx map[Level]int
+
+	// diedFrom remembers, for every trace killed by capacity pressure, the
+	// tier it was evicted from, so a later miss on that trace can be charged
+	// to the tier that was too small to hold it. Persistent across epochs.
+	diedFrom map[uint64]int
+
+	// warmEpochs counts epochs since the first attributed miss — the moment
+	// the caches are demonstrably full enough for the split to matter. The
+	// first bootstrapEpochs of that window run in bootstrap mode.
+	warm       bool
+	warmEpochs uint64
+
+	// lastFrom/lastTo are the direction of the last applied shift. Once two
+	// post-bootstrap shifts have each reversed their predecessor, the walk
+	// has demonstrably bracketed the equilibrium, and from then on the
+	// controller demands much stronger evidence before moving again. One
+	// reversal is not enough: a single noisy window mid-walk can reverse a
+	// step once without the split being anywhere near its destination.
+	lastFrom int
+	lastTo   int
+
+	// pendFrom/pendTo hold the previous epoch's unapplied proposal: after
+	// bootstrap, a shift is applied only when two consecutive windows agree
+	// on it, so one noisy window cannot move capacity.
+	pendFrom int
+	pendTo   int
+
+	stats AdaptiveStats
+}
+
+func newAdaptiveController(g *Graph, cfg AdaptiveConfig) *adaptiveController {
+	return &adaptiveController{cfg: cfg.withDefaults(), g: g,
+		pendFrom: -1, pendTo: -1, lastFrom: -1, lastTo: -1}
+}
+
+// bootstrapEpochs is how many epochs after warm-up run in bootstrap mode:
+// no two-epoch confirmation and a lower evidence floor. The starting split
+// is arbitrary, so the first moves away from it are cheap relative to
+// staying wrong. The window is keyed to the first attributed miss rather
+// than the first epoch because the caches take a workload-dependent number
+// of epochs to fill before the split matters at all.
+const bootstrapEpochs = 8
+
+// bootstrapping reports whether the controller is in its initial fast walk
+// away from the starting split.
+func (c *adaptiveController) bootstrapping() bool {
+	return c.warm && c.warmEpochs <= bootstrapEpochs
+}
+
+// bind sizes the controller's per-tier windows once the graph's tiers exist.
+func (c *adaptiveController) bind(g *Graph) {
+	c.evicts = make([]uint64, len(g.tiers))
+	c.promotes = make([]uint64, len(g.tiers))
+	c.hits = make([]uint64, len(g.tiers))
+	c.missFrom = make([]uint64, len(g.tiers))
+	c.levelIdx = make(map[Level]int, len(g.tiers))
+	c.diedFrom = make(map[uint64]int)
+	for i, t := range g.tiers {
+		c.levelIdx[t.level] = i
+	}
+}
+
+// Observe implements obs.Observer: windowed per-tier sampling of the
+// graph's own lifecycle stream. A KindEvict is a trace leaving the system —
+// the controller remembers which tier killed it so a later re-access can be
+// charged to that tier.
+func (c *adaptiveController) Observe(e obs.Event) {
+	switch e.Kind {
+	case obs.KindEvict:
+		if i, ok := c.levelIdx[e.From]; ok {
+			c.evicts[i]++
+			c.diedFrom[e.Trace] = i
+		}
+	case obs.KindPromote:
+		if i, ok := c.levelIdx[e.From]; ok {
+			c.promotes[i]++
+		}
+	}
+}
+
+// noteHit records a hit in tier i. Called from Graph.Access on the hit
+// path; per-tier hit density is the donor-selection signal.
+func (c *adaptiveController) noteHit(i int) {
+	c.hits[i]++
+}
+
+// noteMiss charges a conflict miss to the tier whose eviction killed the
+// trace. Called from Graph.Access on the miss path.
+func (c *adaptiveController) noteMiss(id uint64) {
+	if i, ok := c.diedFrom[id]; ok {
+		c.missFrom[i]++
+		delete(c.diedFrom, id)
+	}
+}
+
+// tick runs the controller at deterministic epoch boundaries of the graph's
+// access counter.
+func (c *adaptiveController) tick(accesses uint64) {
+	if accesses%c.cfg.Epoch == 0 {
+		c.epoch()
+	}
+}
+
+// epoch is one controller decision: shift capacity toward the tier whose
+// evictions caused the most misses this window. During the post-warm-up
+// bootstrap window proposals apply immediately — the walk away from the
+// arbitrary starting split should finish quickly. Afterwards a proposal
+// must repeat on two consecutive windows before it is applied: shrinking a
+// tier eventually manufactures that tier's own attributed misses, and
+// without the confirmation delay that feedback loop drives a standing
+// capacity oscillation between two tiers.
+func (c *adaptiveController) epoch() {
+	c.stats.Epochs++
+	if c.warm {
+		c.warmEpochs++
+	} else {
+		for i := range c.missFrom {
+			if c.missFrom[i] > 0 {
+				c.warm = true
+				c.warmEpochs = 1
+				break
+			}
+		}
+	}
+	from, to := c.propose()
+	confirmed := from >= 0 && to >= 0 &&
+		(c.bootstrapping() || (from == c.pendFrom && to == c.pendTo))
+	c.pendFrom, c.pendTo = from, to
+	if confirmed && from != to && c.shift(from, to) {
+		if !c.bootstrapping() && from == c.lastTo && to == c.lastFrom {
+			c.stats.Reversals++
+		}
+		c.lastFrom, c.lastTo = from, to
+		c.stats.Resizes++
+	}
+	for i := range c.evicts {
+		c.evicts[i], c.promotes[i], c.hits[i], c.missFrom[i] = 0, 0, 0, 0
+	}
+}
+
+// propose picks the donor and recipient for the next shift. The recipient
+// is the tier whose evictions caused the most misses this window (it was
+// too small to hold traces the program still wanted). The donor is the
+// eligible tier with the lowest windowed hit density — the tier earning the
+// fewest hits per byte of capacity is the one whose bytes the program will
+// miss least. Ties break deterministically by tier order (recipient) and
+// larger capacity (donor).
+func (c *adaptiveController) propose() (from, to int) {
+	from, to = -1, -1
+	var maxMiss uint64
+	for i := range c.g.tiers {
+		if c.missFrom[i] > maxMiss {
+			maxMiss, to = c.missFrom[i], i
+		}
+	}
+	if to < 0 {
+		return -1, -1 // no attributable misses: leave the split alone
+	}
+	delta := c.stepBytes()
+	minB := c.minBytes()
+	var fromHits, fromCap uint64
+	for i, t := range c.g.tiers {
+		if i == to || t.arena.Capacity() < minB+delta {
+			continue
+		}
+		h, cp := c.hits[i], t.arena.Capacity()
+		// Lower hits-per-byte donates: h/cp < fromHits/fromCap, cross-
+		// multiplied to stay in integers (window hits and capacities are far
+		// below the overflow range).
+		if from < 0 || h*fromCap < fromHits*cp || (h*fromCap == fromHits*cp && cp > fromCap) {
+			from, fromHits, fromCap = i, h, cp
+		}
+	}
+	// Deadband: near the equilibrium the recipient's and donor's attributed
+	// misses are comparable and a shift would only churn the caches (each
+	// resize evicts live traces). Move only on a clear imbalance — accept a
+	// fainter signal during bootstrap, when moving away from the arbitrary
+	// starting split is worth acting on little evidence, and demand a much
+	// stronger one once the walk has bracketed the equilibrium, where the
+	// shrink-feedback signal would otherwise sustain a standing oscillation.
+	floor := uint64(4)
+	switch {
+	case c.bootstrapping():
+		floor = 2
+	case c.stats.Reversals >= 2:
+		floor = 16
+	}
+	if from >= 0 && (maxMiss < floor || maxMiss < 2*c.missFrom[from]) {
+		return -1, -1
+	}
+	return from, to
+}
+
+func (c *adaptiveController) stepBytes() uint64 {
+	return uint64(float64(c.g.spec.TotalCapacity) * c.cfg.Step)
+}
+
+func (c *adaptiveController) minBytes() uint64 {
+	return uint64(float64(c.g.spec.TotalCapacity) * c.cfg.MinFrac)
+}
+
+// shift moves one capacity step from tier `from` to tier `to`. The donor
+// shrinks first — its displaced traces cascade along its normal eviction
+// edge — and the recipient grows by the same amount, so total capacity is
+// conserved. A shrink blocked by pinned fragments or the floor refuses the
+// whole shift.
+func (c *adaptiveController) shift(from, to int) bool {
+	delta := c.stepBytes()
+	if delta == 0 || from < 0 || to < 0 || from == to {
+		return false
+	}
+	d := c.g.tiers[from]
+	r := c.g.tiers[to]
+	if d.arena.Capacity() < c.minBytes()+delta {
+		c.stats.Blocked++
+		return false
+	}
+	if err := d.arena.Resize(d.arena.Capacity()-delta, d.onEvict); err != nil {
+		c.stats.Blocked++
+		return false
+	}
+	// Growing cannot fail.
+	_ = r.arena.Resize(r.arena.Capacity()+delta, nil)
+	return true
+}
+
+// AdaptiveStats returns the controller's counters; ok is false for static
+// graphs.
+func (g *Graph) AdaptiveStats() (AdaptiveStats, bool) {
+	if g.ctl == nil {
+		return AdaptiveStats{}, false
+	}
+	return g.ctl.stats, true
+}

@@ -2,8 +2,10 @@
 // cache management. A Manager owns one or more code caches and decides where
 // traces live, when they move, and when they die.
 //
-// Two managers are provided. Unified is the baseline: a single trace cache
-// driven by a local replacement policy (the paper's baseline is a single
+// Managers are tier graphs (see graph.go): chains of caches connected by
+// eviction edges with pluggable promotion predictors. Two stock shapes
+// reproduce the paper. Unified is the baseline: a single trace cache driven
+// by a local replacement policy (the paper's baseline is a single
 // pseudo-circular cache sized at half the workload's unbounded footprint).
 // Generational is the proposal of §5: a nursery cache receives all new
 // traces; traces evicted from the nursery move to a probation cache; traces
@@ -13,7 +15,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/codecache"
@@ -26,7 +27,8 @@ import (
 type Level = obs.Level
 
 // Cache levels. Unified managers use LevelUnified only; generational
-// managers use the other three.
+// managers use the other three (N-generation graphs label extra middle
+// generations with levels past the named ones).
 const (
 	LevelUnified    = obs.LevelUnified
 	LevelNursery    = obs.LevelNursery
@@ -52,8 +54,8 @@ type Stats struct {
 // Manager is a global code-cache management scheme. Every manager publishes
 // its trace lifecycle — insertions, capacity evictions, promotions, and
 // program-forced deletions — to the obs.Observer it was constructed with
-// (see NewUnified, NewGenerational); the simulator's cost accounting and the
-// experiment metrics both subscribe to that bus.
+// (see NewUnified, NewGenerational, NewGraph); the simulator's cost
+// accounting and the experiment metrics both subscribe to that bus.
 type Manager interface {
 	// Name identifies the configuration in experiment output.
 	Name() string
@@ -79,110 +81,26 @@ type Manager interface {
 	Levels() map[Level]codecache.Stats
 }
 
-// ---------------------------------------------------------------------------
-// Unified
-
-// Unified is a single trace cache with a pluggable local policy.
-type Unified struct {
-	arena *codecache.Arena
-	local policy.Local
-	o     obs.Observer
-	proc  int
-	stats Stats
-}
-
-// SetProcID names the front-end process that owns this manager; the ID is
-// stamped on every event it publishes. Single-process systems leave it 0.
-func (u *Unified) SetProcID(proc int) {
-	u.proc = proc
-	u.arena.SetProcID(proc)
-}
-
 // NewUnified creates a unified cache of the given capacity with the given
 // local policy (nil defaults to pseudo-circular). Lifecycle events are
 // published to o (nil for none).
 func NewUnified(capacity uint64, local policy.Local, o obs.Observer) *Unified {
-	if local == nil {
-		local = policy.PseudoCircular{}
-	}
-	arena := codecache.New(capacity)
-	arena.SetObserver(o, obs.LevelUnified)
-	return &Unified{arena: arena, local: local, o: o}
-}
-
-// Name implements Manager.
-func (u *Unified) Name() string { return "unified/" + u.local.Name() }
-
-// Insert implements Manager.
-func (u *Unified) Insert(f codecache.Fragment) error {
-	err := u.local.Insert(u.arena, f, func(v codecache.Fragment) {
-		u.stats.Evicted++
-		u.stats.EvictedBytes += v.Size
-		obs.Emit(u.o, obs.Event{Kind: obs.KindEvict, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelUnified, Proc: u.proc})
-	})
+	g, err := NewGraph(UnifiedSpec(capacity, local), o)
 	if err != nil {
-		if errors.Is(err, codecache.ErrTooBig) || errors.Is(err, codecache.ErrNoSpace) {
-			u.stats.DropTooBig++
-			return err
-		}
-		return err
+		// A one-tier spec can only fail on zero capacity, which the arena
+		// layer has always treated as a programming error.
+		panic(err)
 	}
-	u.stats.Inserts++
-	obs.Emit(u.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelUnified, Proc: u.proc})
-	return nil
+	return g
 }
-
-// Access implements Manager.
-func (u *Unified) Access(id uint64) bool {
-	u.stats.Accesses++
-	if !u.arena.Access(id) {
-		return false
-	}
-	u.stats.Hits++
-	u.local.OnAccess(u.arena, id)
-	return true
-}
-
-// Contains implements Manager.
-func (u *Unified) Contains(id uint64) bool { return u.arena.Contains(id) }
-
-// DeleteModule implements Manager.
-func (u *Unified) DeleteModule(m uint16) []codecache.Fragment {
-	out := u.arena.DeleteModule(m)
-	u.stats.ForcedDeletes += uint64(len(out))
-	for _, f := range out {
-		u.stats.ForcedDeleteBytes += f.Size
-	}
-	return out
-}
-
-// SetUndeletable implements Manager.
-func (u *Unified) SetUndeletable(id uint64, pinned bool) bool {
-	return u.arena.SetUndeletable(id, pinned)
-}
-
-// Capacity implements Manager.
-func (u *Unified) Capacity() uint64 { return u.arena.Capacity() }
-
-// Used implements Manager.
-func (u *Unified) Used() uint64 { return u.arena.Used() }
-
-// Stats implements Manager.
-func (u *Unified) Stats() Stats { return u.stats }
-
-// Levels implements Manager.
-func (u *Unified) Levels() map[Level]codecache.Stats {
-	return map[Level]codecache.Stats{LevelUnified: u.arena.Stats()}
-}
-
-// Arena exposes the underlying arena for tests and fragmentation reporting.
-func (u *Unified) Arena() *codecache.Arena { return u.arena }
 
 // ---------------------------------------------------------------------------
-// Generational
+// Legacy three-tier configuration
 
 // Config describes a generational layout. Fractions are of TotalCapacity
-// and should sum to 1; Validate checks this.
+// and should sum to 1; Validate checks this. It is the fixed three-tier
+// ancestor of GraphSpec, kept as the vocabulary of the paper's experiments;
+// GraphSpec generalizes it.
 type Config struct {
 	TotalCapacity  uint64
 	NurseryFrac    float64
@@ -235,57 +153,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Generational is the three-cache design of §5 driven by the Figure 8
-// algorithm. In shared mode (NewGenerationalShared) the nursery and
-// probation stay process-private while the persistent tier is a
-// SharedPersistent serving every front-end process of a dbt.System; then
-// persistent is nil and all persistent-tier operations delegate to shared.
-type Generational struct {
-	cfg        Config
-	nursery    *codecache.Arena
-	probation  *codecache.Arena
-	persistent *codecache.Arena  // nil in shared mode
-	shared     *SharedPersistent // nil in single-process mode
-	proc       int
-	local      map[Level]policy.Local
-	o          obs.Observer
-	stats      Stats
-}
-
 // NewGenerational creates a generational manager from the configuration.
 // Lifecycle events are published to o (nil for none).
 func NewGenerational(cfg Config, o obs.Observer) (*Generational, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	nb := uint64(float64(cfg.TotalCapacity) * cfg.NurseryFrac)
-	pb := uint64(float64(cfg.TotalCapacity) * cfg.ProbationFrac)
-	sb := cfg.TotalCapacity - nb - pb
-	mk := func(l Level) policy.Local {
-		if cfg.Local == nil {
-			return policy.PseudoCircular{}
-		}
-		if p := cfg.Local(l); p != nil {
-			return p
-		}
-		return policy.PseudoCircular{}
-	}
-	g := &Generational{
-		cfg:        cfg,
-		nursery:    codecache.New(nb),
-		probation:  codecache.New(pb),
-		persistent: codecache.New(sb),
-		local: map[Level]policy.Local{
-			LevelNursery:    mk(LevelNursery),
-			LevelProbation:  mk(LevelProbation),
-			LevelPersistent: mk(LevelPersistent),
-		},
-		o: o,
-	}
-	g.nursery.SetObserver(o, LevelNursery)
-	g.probation.SetObserver(o, LevelProbation)
-	g.persistent.SetObserver(o, LevelPersistent)
-	return g, nil
+	return NewGraph(cfg.GraphSpec(), o)
 }
 
 // NewGenerationalShared creates the per-process half of a shared
@@ -302,362 +176,8 @@ func NewGenerationalShared(cfg Config, shared *SharedPersistent, proc int, o obs
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	nb := uint64(float64(cfg.TotalCapacity) * cfg.NurseryFrac)
-	pb := uint64(float64(cfg.TotalCapacity) * cfg.ProbationFrac)
-	mk := func(l Level) policy.Local {
-		if cfg.Local == nil {
-			return policy.PseudoCircular{}
-		}
-		if p := cfg.Local(l); p != nil {
-			return p
-		}
-		return policy.PseudoCircular{}
-	}
-	g := &Generational{
-		cfg:       cfg,
-		nursery:   codecache.New(nb),
-		probation: codecache.New(pb),
-		shared:    shared,
-		proc:      proc,
-		local: map[Level]policy.Local{
-			LevelNursery:   mk(LevelNursery),
-			LevelProbation: mk(LevelProbation),
-		},
-		o: o,
-	}
-	g.nursery.SetObserver(o, LevelNursery)
-	g.probation.SetObserver(o, LevelProbation)
-	g.nursery.SetProcID(proc)
-	g.probation.SetProcID(proc)
-	return g, nil
+	return NewGraphShared(cfg.GraphSpec(), shared, proc, o)
 }
 
-// SetProcID names the front-end process that owns this manager; the ID is
-// stamped on every event it publishes. Single-process systems leave it 0.
-func (g *Generational) SetProcID(proc int) {
-	g.proc = proc
-	g.nursery.SetProcID(proc)
-	g.probation.SetProcID(proc)
-	if g.persistent != nil {
-		g.persistent.SetProcID(proc)
-	}
-}
-
-// Shared returns the shared persistent tier, or nil in single-process mode.
-func (g *Generational) Shared() *SharedPersistent { return g.shared }
-
-// Name implements Manager.
-func (g *Generational) Name() string {
-	kind := "generational"
-	if g.shared != nil {
-		kind = "generational-shared"
-	}
-	return fmt.Sprintf("%s/%.0f-%.0f-%.0f@%d",
-		kind, g.cfg.NurseryFrac*100, g.cfg.ProbationFrac*100, g.cfg.PersistentFrac*100, g.cfg.PromoteThreshold)
-}
-
-// Config returns the manager's configuration.
-func (g *Generational) Config() Config { return g.cfg }
-
-// arenaOf returns the arena for a level.
-func (g *Generational) arenaOf(l Level) *codecache.Arena {
-	switch l {
-	case LevelNursery:
-		return g.nursery
-	case LevelProbation:
-		return g.probation
-	case LevelPersistent:
-		return g.persistent
-	}
-	return nil
-}
-
-// die removes a trace from the system: publish the eviction and count it.
-func (g *Generational) die(f codecache.Fragment, from Level) {
-	g.stats.Evicted++
-	g.stats.EvictedBytes += f.Size
-	if from == LevelProbation {
-		g.stats.ProbationDeaths++
-	}
-	obs.Emit(g.o, obs.Event{Kind: obs.KindEvict, Trace: f.ID, Size: f.Size, Module: f.Module, From: from, Proc: g.proc})
-}
-
-// Insert implements Manager: the insertNewTrace routine of Figure 8. New
-// traces always enter the nursery; nursery victims are promoted to
-// probation; probation victims are promoted to the persistent cache if they
-// met the access threshold and die otherwise; persistent victims die.
-func (g *Generational) Insert(f codecache.Fragment) error {
-	err := g.local[LevelNursery].Insert(g.nursery, f, g.promoteToProbation)
-	if err != nil {
-		g.stats.DropTooBig++
-		return err
-	}
-	g.stats.Inserts++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelNursery, Proc: g.proc})
-	return nil
-}
-
-// promoteToProbation relocates a nursery victim into the probation cache.
-func (g *Generational) promoteToProbation(v codecache.Fragment) {
-	if v.Undeletable {
-		// Pinned traces are never chosen as victims by the pseudo-circular
-		// sweep; defensive guard for alternate local policies.
-		g.die(v, LevelNursery)
-		return
-	}
-	err := g.local[LevelProbation].Insert(g.probation, v, g.probationVictim)
-	if err != nil {
-		// The trace cannot live in probation (too big or fully pinned):
-		// it leaves the system.
-		g.die(v, LevelNursery)
-		return
-	}
-	g.stats.PromotedToProbation++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelNursery, To: LevelProbation, Proc: g.proc})
-}
-
-// probationVictim decides a probation victim's fate: promotion to the
-// persistent cache when it reached the access threshold, death otherwise.
-func (g *Generational) probationVictim(v codecache.Fragment) {
-	if v.AccessCount >= g.cfg.PromoteThreshold {
-		g.promoteToPersistent(v)
-		return
-	}
-	g.die(v, LevelProbation)
-}
-
-// promoteToPersistent relocates a trace into the persistent cache, evicting
-// persistent residents circularly as needed. In shared mode the trace enters
-// the shared tier owned by this process (or merges with an already-resident
-// copy another process re-promoted first).
-func (g *Generational) promoteToPersistent(v codecache.Fragment) {
-	var err error
-	if g.shared != nil {
-		err = g.shared.Promote(g.proc, v)
-	} else {
-		err = g.local[LevelPersistent].Insert(g.persistent, v, func(x codecache.Fragment) {
-			g.die(x, LevelPersistent)
-		})
-	}
-	if err != nil {
-		g.die(v, LevelProbation)
-		return
-	}
-	g.stats.PromotedToPersist++
-	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: LevelProbation, To: LevelPersistent, Proc: g.proc})
-}
-
-// Access implements Manager. A hit in the probation cache bumps the trace's
-// access count and, with PromoteOnAccess, upgrades it to the persistent
-// cache as soon as it reaches the threshold.
-func (g *Generational) Access(id uint64) bool {
-	g.stats.Accesses++
-	if g.nursery.Access(id) {
-		g.stats.Hits++
-		g.local[LevelNursery].OnAccess(g.nursery, id)
-		return true
-	}
-	if g.probation.Access(id) {
-		g.stats.Hits++
-		g.local[LevelProbation].OnAccess(g.probation, id)
-		if g.cfg.PromoteOnAccess {
-			if f, ok := g.probation.Lookup(id); ok && f.AccessCount >= g.cfg.PromoteThreshold && !f.Undeletable {
-				if v, err := g.probation.Delete(id, false); err == nil {
-					g.promoteToPersistent(v)
-				}
-			}
-		}
-		return true
-	}
-	if g.shared != nil {
-		if g.shared.Access(g.proc, id) {
-			g.stats.Hits++
-			return true
-		}
-		return false
-	}
-	if g.persistent.Access(id) {
-		g.stats.Hits++
-		g.local[LevelPersistent].OnAccess(g.persistent, id)
-		return true
-	}
-	return false
-}
-
-// persistentContains reports persistent-tier residency in either mode.
-func (g *Generational) persistentContains(id uint64) bool {
-	if g.shared != nil {
-		return g.shared.Contains(id)
-	}
-	return g.persistent.Contains(id)
-}
-
-// Contains implements Manager.
-func (g *Generational) Contains(id uint64) bool {
-	return g.nursery.Contains(id) || g.probation.Contains(id) || g.persistentContains(id)
-}
-
-// Where returns the level currently holding the trace.
-func (g *Generational) Where(id uint64) (Level, bool) {
-	switch {
-	case g.nursery.Contains(id):
-		return LevelNursery, true
-	case g.probation.Contains(id):
-		return LevelProbation, true
-	case g.persistentContains(id):
-		return LevelPersistent, true
-	}
-	return 0, false
-}
-
-// DeleteModule implements Manager. In shared mode the private tiers drop
-// their copies unconditionally, while the shared tier only drops this
-// process's references: victims returned from there are the traces whose
-// last reference drained.
-func (g *Generational) DeleteModule(m uint16) []codecache.Fragment {
-	var out []codecache.Fragment
-	out = append(out, g.nursery.DeleteModule(m)...)
-	out = append(out, g.probation.DeleteModule(m)...)
-	if g.shared != nil {
-		out = append(out, g.shared.UnmapModule(g.proc, m)...)
-	} else {
-		out = append(out, g.persistent.DeleteModule(m)...)
-	}
-	g.stats.ForcedDeletes += uint64(len(out))
-	for _, f := range out {
-		g.stats.ForcedDeleteBytes += f.Size
-	}
-	return out
-}
-
-// SetUndeletable implements Manager.
-func (g *Generational) SetUndeletable(id uint64, pinned bool) bool {
-	if g.nursery.SetUndeletable(id, pinned) || g.probation.SetUndeletable(id, pinned) {
-		return true
-	}
-	if g.shared != nil {
-		return g.shared.SetUndeletable(id, pinned)
-	}
-	return g.persistent.SetUndeletable(id, pinned)
-}
-
-// Capacity implements Manager. In shared mode the shared tier's full
-// capacity is included (it is one system-wide arena, not a per-process
-// slice).
-func (g *Generational) Capacity() uint64 {
-	c := g.nursery.Capacity() + g.probation.Capacity()
-	if g.shared != nil {
-		return c + g.shared.Capacity()
-	}
-	return c + g.persistent.Capacity()
-}
-
-// Used implements Manager.
-func (g *Generational) Used() uint64 {
-	u := g.nursery.Used() + g.probation.Used()
-	if g.shared != nil {
-		return u + g.shared.Used()
-	}
-	return u + g.persistent.Used()
-}
-
-// Stats implements Manager.
-func (g *Generational) Stats() Stats { return g.stats }
-
-// Levels implements Manager.
-func (g *Generational) Levels() map[Level]codecache.Stats {
-	p := codecache.Stats{}
-	if g.shared != nil {
-		p = g.shared.ArenaStats()
-	} else {
-		p = g.persistent.Stats()
-	}
-	return map[Level]codecache.Stats{
-		LevelNursery:    g.nursery.Stats(),
-		LevelProbation:  g.probation.Stats(),
-		LevelPersistent: p,
-	}
-}
-
-// PersistentFragments returns copies of the traces currently resident in
-// the persistent cache, in address order. Cross-run cache persistence
-// snapshots these.
-func (g *Generational) PersistentFragments() []codecache.Fragment {
-	if g.shared != nil {
-		return g.shared.Fragments()
-	}
-	frags := g.persistent.Fragments()
-	out := make([]codecache.Fragment, 0, len(frags))
-	for _, f := range frags {
-		out = append(out, *f)
-	}
-	return out
-}
-
-// InsertPersistent places a trace directly into the persistent cache,
-// bypassing the nursery and probation. It exists for warm-starting a fresh
-// manager from a persisted snapshot; normal insertion must go through
-// Insert (Figure 8). In shared mode the warm trace enters the shared tier
-// owned by this process.
-func (g *Generational) InsertPersistent(f codecache.Fragment) error {
-	var err error
-	if g.shared != nil {
-		err = g.shared.InsertWarm([]int{g.proc}, f)
-	} else {
-		err = g.local[LevelPersistent].Insert(g.persistent, f, func(x codecache.Fragment) {
-			g.die(x, LevelPersistent)
-		})
-		if err == nil {
-			obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: LevelPersistent, Proc: g.proc})
-		}
-	}
-	if err != nil {
-		return err
-	}
-	g.stats.Inserts++
-	return nil
-}
-
-// CheckInvariants validates that no trace is resident in two caches and all
-// arenas are structurally sound. In shared mode only the private tiers are
-// checked against each other (a trace may legitimately be resident in the
-// shared tier and in another process's private tiers); the shared tier has
-// its own CheckInvariants. Tests call this.
-func (g *Generational) CheckInvariants() error {
-	arenas := []*codecache.Arena{g.nursery, g.probation}
-	pairs := []struct {
-		l Level
-		a *codecache.Arena
-	}{{LevelNursery, g.nursery}, {LevelProbation, g.probation}}
-	if g.shared == nil {
-		arenas = append(arenas, g.persistent)
-		pairs = append(pairs, struct {
-			l Level
-			a *codecache.Arena
-		}{LevelPersistent, g.persistent})
-	}
-	for _, a := range arenas {
-		if err := a.CheckInvariants(); err != nil {
-			return err
-		}
-	}
-	seen := make(map[uint64]Level)
-	for _, pair := range pairs {
-		for _, f := range pair.a.Fragments() {
-			if prev, dup := seen[f.ID]; dup {
-				return fmt.Errorf("core: trace %d resident in both %s and %s", f.ID, prev, pair.l)
-			}
-			seen[f.ID] = pair.l
-		}
-	}
-	if g.shared != nil {
-		return g.shared.CheckInvariants()
-	}
-	return nil
-}
-
-// Compile-time interface checks.
-var (
-	_ Manager = (*Unified)(nil)
-	_ Manager = (*Generational)(nil)
-)
+// Compile-time interface check.
+var _ Manager = (*Graph)(nil)

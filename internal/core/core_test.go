@@ -216,7 +216,7 @@ func TestGenerationalProbationDeath(t *testing.T) {
 	if g.Contains(1) {
 		t.Error("trace 1 should be gone")
 	}
-	if g.persistent.Len() != 0 {
+	if g.arenaOf(LevelPersistent).Len() != 0 {
 		t.Error("nothing should have reached the persistent cache")
 	}
 	if g.Stats().ProbationDeaths != 1 {
@@ -324,8 +324,8 @@ func TestGenerationalPersistentEviction(t *testing.T) {
 	for id := uint64(1); id <= 5; id++ {
 		promoteOne(id)
 	}
-	if g.persistent.Len() != 4 {
-		t.Fatalf("persistent holds %d traces, want 4", g.persistent.Len())
+	if g.arenaOf(LevelPersistent).Len() != 4 {
+		t.Fatalf("persistent holds %d traces, want 4", g.arenaOf(LevelPersistent).Len())
 	}
 	if persistentDeaths != 1 {
 		t.Fatalf("persistent deaths = %d, want 1", persistentDeaths)

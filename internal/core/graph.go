@@ -1,0 +1,754 @@
+// The tier graph: the generalization of the paper's hand-written managers.
+// A Graph is an ordered chain of tiers (arena + local policy + level label)
+// connected by eviction edges: a victim leaving tier i is offered to tier
+// i+1 when the edge's predictor admits it and leaves the system otherwise;
+// victims of the last tier always die. The paper's Unified baseline is a
+// one-tier graph and its Generational design (Figure 8) is the stock
+// three-tier graph with a hit-threshold gate on the probation edge — both
+// are now type aliases of Graph — but the same machinery runs N-generation
+// chains, alternative promotion predictors (TRRIP-style temperature), and
+// the adaptive split controller in adaptive.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/codecache"
+	"repro/internal/obs"
+	"repro/internal/policy"
+)
+
+// ---------------------------------------------------------------------------
+// Promotion predictors
+
+// Predictor decides whether a trace leaving one tier should be promoted into
+// the next tier of the graph or leave the system. Implementations must be
+// deterministic functions of the fragment's bookkeeping and the tier clock.
+type Predictor interface {
+	// Name identifies the predictor in experiment output.
+	Name() string
+	// Admit reports whether victim v may enter the next tier. now is the
+	// logical clock of the tier v is leaving.
+	Admit(v *codecache.Fragment, now uint64) bool
+}
+
+// HitThreshold is the paper's promotion gate (§5.3): a victim is promoted
+// when it was executed at least N times while resident in its tier. Figure
+// 9's "@1" and "@10" labels are this knob.
+type HitThreshold struct{ N uint64 }
+
+// Name implements Predictor.
+func (h HitThreshold) Name() string { return fmt.Sprintf("hits@%d", h.N) }
+
+// Admit implements Predictor.
+func (h HitThreshold) Admit(v *codecache.Fragment, now uint64) bool {
+	return v.AccessCount >= h.N
+}
+
+// Temperature is a TRRIP-style re-reference predictor: instead of a raw hit
+// count it asks whether the trace is predicted to re-reference soon — either
+// it ran often enough to be hot, or it ran recently (within MaxIdle ticks of
+// the tier clock). Cold traces that last ran long ago are denied even if
+// they crossed the hit threshold once.
+type Temperature struct {
+	// Hot is the access count at or above which the trace is admitted
+	// regardless of recency.
+	Hot uint64
+	// MaxIdle is the maximum clock distance since the last access for a
+	// warm (accessed but not hot) trace to be admitted.
+	MaxIdle uint64
+}
+
+// Name implements Predictor.
+func (t Temperature) Name() string { return fmt.Sprintf("temp%d~%d", t.Hot, t.MaxIdle) }
+
+// Admit implements Predictor.
+func (t Temperature) Admit(v *codecache.Fragment, now uint64) bool {
+	if v.AccessCount >= t.Hot {
+		return true
+	}
+	return v.AccessCount > 0 && now-v.LastAccess <= t.MaxIdle
+}
+
+// ---------------------------------------------------------------------------
+// Graph specification
+
+// TierSpec describes one tier of a graph and the eviction edge leaving it.
+type TierSpec struct {
+	// Frac is this tier's share of the graph's total capacity.
+	Frac float64
+
+	// Threshold installs a HitThreshold gate on the edge to the next tier:
+	// victims with fewer resident accesses die instead of promoting. 0 means
+	// victims promote unconditionally. Ignored for the last tier (whose
+	// victims always die) and when Predictor is set.
+	Threshold uint64
+
+	// Predictor, when non-nil, replaces the Threshold gate on the edge to
+	// the next tier.
+	Predictor Predictor
+
+	// PromoteOnAccess upgrades a resident trace the moment an access makes
+	// the edge's gate admit it, rather than waiting for its eviction (§5.3's
+	// "each hit in the probation cache triggers an upgrade").
+	PromoteOnAccess bool
+}
+
+// GraphSpec describes a whole tier graph. The stock shapes are built by
+// UnifiedSpec and Config.GraphSpec; richer shapes (N generations, mixed
+// predictors) are written directly or parsed from a CLI string by
+// ParseTierSpec.
+type GraphSpec struct {
+	TotalCapacity uint64
+	Tiers         []TierSpec
+
+	// Local constructs the local policy for each tier; nil defaults to
+	// pseudo-circular for all tiers, the paper's design.
+	Local func(Level) policy.Local
+
+	// Adaptive, when non-nil, attaches the split controller of adaptive.go:
+	// tier capacities are re-balanced at deterministic epoch boundaries.
+	Adaptive *AdaptiveConfig
+}
+
+// Validate checks the specification.
+func (s GraphSpec) Validate() error {
+	if s.TotalCapacity == 0 {
+		return fmt.Errorf("core: zero total capacity")
+	}
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("core: graph needs at least one tier")
+	}
+	var sum float64
+	for _, t := range s.Tiers {
+		if t.Frac <= 0 {
+			return fmt.Errorf("core: every tier fraction must be positive")
+		}
+		sum += t.Frac
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("core: tier fractions sum to %.3f, want 1", sum)
+	}
+	return nil
+}
+
+// UnifiedSpec is the one-tier graph: the paper's unified baseline.
+func UnifiedSpec(capacity uint64, local policy.Local) GraphSpec {
+	s := GraphSpec{TotalCapacity: capacity, Tiers: []TierSpec{{Frac: 1}}}
+	if local != nil {
+		s.Local = func(Level) policy.Local { return local }
+	}
+	return s
+}
+
+// GraphSpec converts the legacy three-tier configuration into its graph
+// form: an ungated nursery edge, a gated (and optionally promote-on-access)
+// probation edge, and a terminal persistent tier.
+func (c Config) GraphSpec() GraphSpec {
+	return GraphSpec{
+		TotalCapacity: c.TotalCapacity,
+		Local:         c.Local,
+		Tiers: []TierSpec{
+			{Frac: c.NurseryFrac},
+			{Frac: c.ProbationFrac, Threshold: c.PromoteThreshold, PromoteOnAccess: c.PromoteOnAccess},
+			{Frac: c.PersistentFrac},
+		},
+	}
+}
+
+// levelFor labels tier i of an n-tier graph. One-tier graphs are unified;
+// otherwise the first tier is the nursery, the last the persistent tier, the
+// second the probation tier, and any further middle generations get fresh
+// level values past the named ones.
+func levelFor(i, n int) Level {
+	switch {
+	case n == 1:
+		return LevelUnified
+	case i == 0:
+		return LevelNursery
+	case i == n-1:
+		return LevelPersistent
+	case i == 1:
+		return LevelProbation
+	default:
+		return Level(obs.NumLevels + i - 2)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Graph
+
+// tier is one cache of a graph plus its outgoing eviction edge.
+type tier struct {
+	level Level
+	arena *codecache.Arena
+	local policy.Local
+
+	// pred gates the edge to the next tier; nil admits every victim.
+	pred Predictor
+	// promoteOnAccess upgrades residents as soon as pred admits them.
+	promoteOnAccess bool
+
+	next *tier // nil for the last private tier
+
+	// onEvict is this tier's capacity-eviction handler: route the victim
+	// along the outgoing edge, or kill it when this is the final tier.
+	onEvict func(codecache.Fragment)
+}
+
+// Graph is a tier-graph manager. Unified and Generational are aliases of it;
+// NewGraph builds arbitrary shapes.
+type Graph struct {
+	spec   GraphSpec
+	tiers  []*tier
+	shared *SharedPersistent // replaces the last tier when non-nil
+	proc   int
+	o      obs.Observer
+	stats  Stats
+	name   string
+	// dropAnyErr applies the generational accounting rule (any insert error
+	// counts as DropTooBig); one-tier graphs keep the unified rule (capacity
+	// errors only).
+	dropAnyErr bool
+	ctl        *adaptiveController
+}
+
+// Unified is a single trace cache with a pluggable local policy: the
+// one-tier stock graph.
+type Unified = Graph
+
+// Generational is the three-cache design of §5 driven by the Figure 8
+// algorithm: the three-tier stock graph. In shared mode
+// (NewGenerationalShared) the nursery and probation stay process-private
+// while the persistent tier is a SharedPersistent serving every front-end
+// process of a dbt.System.
+type Generational = Graph
+
+// NewGraph builds a private tier graph from the specification. Lifecycle
+// events are published to o (nil for none).
+func NewGraph(spec GraphSpec, o obs.Observer) (*Graph, error) {
+	return newGraph(spec, nil, 0, o)
+}
+
+// NewGraphShared builds the per-process half of a shared graph for front-end
+// process proc: all tiers but the last are private, and the final tier is
+// delegated to the given SharedPersistent (sized once by its creator; the
+// spec's last fraction describes its share of a notional per-process total).
+func NewGraphShared(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer) (*Graph, error) {
+	if shared == nil {
+		return nil, fmt.Errorf("core: shared graph needs a shared persistent tier")
+	}
+	return newGraph(spec, shared, proc, o)
+}
+
+func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer) (*Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(spec.Tiers)
+	if shared != nil && n < 2 {
+		return nil, fmt.Errorf("core: shared graph needs at least two tiers")
+	}
+	g := &Graph{spec: spec, shared: shared, proc: proc, o: o, dropAnyErr: n > 1}
+	if spec.Adaptive != nil {
+		g.ctl = newAdaptiveController(g, *spec.Adaptive)
+		g.o = obs.Combine(g.ctl, o)
+	}
+	mk := func(l Level) policy.Local {
+		if spec.Local == nil {
+			return policy.PseudoCircular{}
+		}
+		if p := spec.Local(l); p != nil {
+			return p
+		}
+		return policy.PseudoCircular{}
+	}
+	// Size the tiers: each gets the floor of its fraction, with the last
+	// private tier of a fully private graph absorbing the rounding remainder
+	// (exactly the legacy sizing).
+	nPriv := n
+	if shared != nil {
+		nPriv = n - 1
+	}
+	var acc uint64
+	for i := 0; i < nPriv; i++ {
+		var b uint64
+		if i == n-1 {
+			b = spec.TotalCapacity - acc
+		} else {
+			b = uint64(float64(spec.TotalCapacity) * spec.Tiers[i].Frac)
+		}
+		acc += b
+		ts := spec.Tiers[i]
+		lvl := levelFor(i, n)
+		t := &tier{
+			level:           lvl,
+			arena:           codecache.New(b),
+			local:           mk(lvl),
+			promoteOnAccess: ts.PromoteOnAccess,
+		}
+		if ts.Predictor != nil {
+			t.pred = ts.Predictor
+		} else if ts.Threshold > 0 {
+			t.pred = HitThreshold{N: ts.Threshold}
+		}
+		t.arena.SetObserver(g.o, lvl)
+		t.arena.SetProcID(proc)
+		g.tiers = append(g.tiers, t)
+	}
+	for i, t := range g.tiers {
+		if i+1 < len(g.tiers) {
+			t.next = g.tiers[i+1]
+		}
+		g.tiers[i].onEvict = g.victimHandler(t)
+	}
+	g.name = graphName(spec, g)
+	if g.ctl != nil {
+		g.ctl.bind(g)
+	}
+	return g, nil
+}
+
+// graphName renders the graph's experiment label. Stock shapes keep their
+// historical names ("unified/pseudo-circular", "generational/45-10-45@1").
+func graphName(spec GraphSpec, g *Graph) string {
+	if len(spec.Tiers) == 1 {
+		return "unified/" + g.tiers[0].local.Name()
+	}
+	kind := "generational"
+	if g.shared != nil {
+		kind = "generational-shared"
+	}
+	if spec.Adaptive != nil {
+		kind += "-adaptive"
+	}
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte('/')
+	for i, t := range spec.Tiers {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%.0f", t.Frac*100)
+	}
+	gate := spec.Tiers[len(spec.Tiers)-2]
+	b.WriteByte('@')
+	if gate.Predictor != nil {
+		b.WriteString(gate.Predictor.Name())
+	} else {
+		b.WriteString(strconv.FormatUint(gate.Threshold, 10))
+	}
+	return b.String()
+}
+
+// victimHandler builds tier t's capacity-eviction handler.
+func (g *Graph) victimHandler(t *tier) func(codecache.Fragment) {
+	if t.next == nil && g.shared == nil {
+		// Final tier: victims leave the system.
+		return func(v codecache.Fragment) { g.die(v, t.level) }
+	}
+	return func(v codecache.Fragment) {
+		if t.pred != nil && !t.pred.Admit(&v, t.arena.Clock()) {
+			g.die(v, t.level)
+			return
+		}
+		g.promote(t, v)
+	}
+}
+
+// die removes a trace from the system: publish the eviction and count it.
+func (g *Graph) die(f codecache.Fragment, from Level) {
+	g.stats.Evicted++
+	g.stats.EvictedBytes += f.Size
+	if from == LevelProbation {
+		g.stats.ProbationDeaths++
+	}
+	obs.Emit(g.o, obs.Event{Kind: obs.KindEvict, Trace: f.ID, Size: f.Size, Module: f.Module, From: from, Proc: g.proc})
+}
+
+// promote relocates a victim of tier t into the next tier along its edge (or
+// into the shared persistent tier when t is the last private tier of a
+// shared graph). The gate has already admitted v.
+func (g *Graph) promote(t *tier, v codecache.Fragment) {
+	if v.Undeletable {
+		// Pinned traces are never chosen as victims by the stock policies;
+		// defensive guard for alternate local policies.
+		g.die(v, t.level)
+		return
+	}
+	var err error
+	var to Level
+	var final bool
+	if t.next == nil {
+		err = g.shared.Promote(g.proc, v)
+		to = LevelPersistent
+		final = true
+	} else {
+		n := t.next
+		err = n.local.Insert(n.arena, v, n.onEvict)
+		to = n.level
+		final = n.next == nil && g.shared == nil
+	}
+	if err != nil {
+		// The trace cannot live in the next tier (too big or fully pinned):
+		// it leaves the system.
+		g.die(v, t.level)
+		return
+	}
+	if final {
+		g.stats.PromotedToPersist++
+	} else {
+		g.stats.PromotedToProbation++
+	}
+	obs.Emit(g.o, obs.Event{Kind: obs.KindPromote, Trace: v.ID, Size: v.Size, Module: v.Module, From: t.level, To: to, Proc: g.proc})
+}
+
+// SetProcID names the front-end process that owns this manager; the ID is
+// stamped on every event it publishes. Single-process systems leave it 0.
+func (g *Graph) SetProcID(proc int) {
+	g.proc = proc
+	for _, t := range g.tiers {
+		t.arena.SetProcID(proc)
+	}
+}
+
+// Shared returns the shared persistent tier, or nil in private mode.
+func (g *Graph) Shared() *SharedPersistent { return g.shared }
+
+// Name implements Manager.
+func (g *Graph) Name() string { return g.name }
+
+// Spec returns the graph's specification.
+func (g *Graph) Spec() GraphSpec { return g.spec }
+
+// Config returns the legacy three-tier view of the graph's specification
+// (zero-valued fractions for other shapes).
+func (g *Graph) Config() Config {
+	c := Config{TotalCapacity: g.spec.TotalCapacity, Local: g.spec.Local}
+	if len(g.spec.Tiers) == 3 {
+		c.NurseryFrac = g.spec.Tiers[0].Frac
+		c.ProbationFrac = g.spec.Tiers[1].Frac
+		c.PersistentFrac = g.spec.Tiers[2].Frac
+		c.PromoteThreshold = g.spec.Tiers[1].Threshold
+		c.PromoteOnAccess = g.spec.Tiers[1].PromoteOnAccess
+	}
+	return c
+}
+
+// NumTiers returns the number of tiers in the graph (counting a shared
+// persistent tier).
+func (g *Graph) NumTiers() int { return len(g.spec.Tiers) }
+
+// arenaOf returns the private arena labelled with a level, or nil.
+func (g *Graph) arenaOf(l Level) *codecache.Arena {
+	for _, t := range g.tiers {
+		if t.level == l {
+			return t.arena
+		}
+	}
+	return nil
+}
+
+// Arena exposes the first tier's arena for tests and fragmentation
+// reporting (for a unified graph, the whole cache).
+func (g *Graph) Arena() *codecache.Arena { return g.tiers[0].arena }
+
+// TierCapacities returns the current capacity of each private tier in
+// order. Under the adaptive controller these drift from the spec fractions.
+func (g *Graph) TierCapacities() []uint64 {
+	out := make([]uint64, len(g.tiers))
+	for i, t := range g.tiers {
+		out[i] = t.arena.Capacity()
+	}
+	return out
+}
+
+// Insert implements Manager: the insertNewTrace routine of Figure 8. New
+// traces always enter the first tier; victims cascade along the eviction
+// edges.
+func (g *Graph) Insert(f codecache.Fragment) error {
+	t := g.tiers[0]
+	err := t.local.Insert(t.arena, f, t.onEvict)
+	if err != nil {
+		if g.dropAnyErr || errors.Is(err, codecache.ErrTooBig) || errors.Is(err, codecache.ErrNoSpace) {
+			g.stats.DropTooBig++
+		}
+		return err
+	}
+	g.stats.Inserts++
+	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: t.level, Proc: g.proc})
+	return nil
+}
+
+// Access implements Manager. A hit in a promote-on-access tier upgrades the
+// trace along its edge as soon as the gate admits it.
+func (g *Graph) Access(id uint64) bool {
+	g.stats.Accesses++
+	if g.ctl != nil {
+		g.ctl.tick(g.stats.Accesses)
+	}
+	for i, t := range g.tiers {
+		if t.arena.Access(id) {
+			g.stats.Hits++
+			if g.ctl != nil {
+				g.ctl.noteHit(i)
+			}
+			t.local.OnAccess(t.arena, id)
+			if t.promoteOnAccess {
+				g.upgradeOnAccess(t, id)
+			}
+			return true
+		}
+	}
+	if g.shared != nil && g.shared.Access(g.proc, id) {
+		g.stats.Hits++
+		return true
+	}
+	if g.ctl != nil {
+		g.ctl.noteMiss(id)
+	}
+	return false
+}
+
+// upgradeOnAccess promotes a resident of tier t along its edge if the gate
+// now admits it.
+func (g *Graph) upgradeOnAccess(t *tier, id uint64) {
+	if t.next == nil && g.shared == nil {
+		return // final tier: nowhere to go
+	}
+	f, ok := t.arena.Lookup(id)
+	if !ok || f.Undeletable {
+		return
+	}
+	if t.pred != nil && !t.pred.Admit(f, t.arena.Clock()) {
+		return
+	}
+	if v, err := t.arena.Delete(id, false); err == nil {
+		g.promote(t, v)
+	}
+}
+
+// Contains implements Manager.
+func (g *Graph) Contains(id uint64) bool {
+	for _, t := range g.tiers {
+		if t.arena.Contains(id) {
+			return true
+		}
+	}
+	return g.shared != nil && g.shared.Contains(id)
+}
+
+// Where returns the level currently holding the trace.
+func (g *Graph) Where(id uint64) (Level, bool) {
+	for _, t := range g.tiers {
+		if t.arena.Contains(id) {
+			return t.level, true
+		}
+	}
+	if g.shared != nil && g.shared.Contains(id) {
+		return LevelPersistent, true
+	}
+	return 0, false
+}
+
+// DeleteModule implements Manager. In shared mode the private tiers drop
+// their copies unconditionally, while the shared tier only drops this
+// process's references: victims returned from there are the traces whose
+// last reference drained.
+func (g *Graph) DeleteModule(m uint16) []codecache.Fragment {
+	var out []codecache.Fragment
+	for _, t := range g.tiers {
+		out = append(out, t.arena.DeleteModule(m)...)
+	}
+	if g.shared != nil {
+		out = append(out, g.shared.UnmapModule(g.proc, m)...)
+	}
+	g.stats.ForcedDeletes += uint64(len(out))
+	for _, f := range out {
+		g.stats.ForcedDeleteBytes += f.Size
+	}
+	return out
+}
+
+// SetUndeletable implements Manager.
+func (g *Graph) SetUndeletable(id uint64, pinned bool) bool {
+	for _, t := range g.tiers {
+		if t.arena.SetUndeletable(id, pinned) {
+			return true
+		}
+	}
+	if g.shared != nil {
+		return g.shared.SetUndeletable(id, pinned)
+	}
+	return false
+}
+
+// Capacity implements Manager. In shared mode the shared tier's full
+// capacity is included (it is one system-wide arena, not a per-process
+// slice).
+func (g *Graph) Capacity() uint64 {
+	var c uint64
+	for _, t := range g.tiers {
+		c += t.arena.Capacity()
+	}
+	if g.shared != nil {
+		c += g.shared.Capacity()
+	}
+	return c
+}
+
+// Used implements Manager.
+func (g *Graph) Used() uint64 {
+	var u uint64
+	for _, t := range g.tiers {
+		u += t.arena.Used()
+	}
+	if g.shared != nil {
+		u += g.shared.Used()
+	}
+	return u
+}
+
+// Stats implements Manager.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// Levels implements Manager.
+func (g *Graph) Levels() map[Level]codecache.Stats {
+	out := make(map[Level]codecache.Stats, len(g.tiers)+1)
+	for _, t := range g.tiers {
+		out[t.level] = t.arena.Stats()
+	}
+	if g.shared != nil {
+		out[LevelPersistent] = g.shared.ArenaStats()
+	}
+	return out
+}
+
+// PersistentFragments returns copies of the traces currently resident in
+// the final tier, in address order. Cross-run cache persistence snapshots
+// these.
+func (g *Graph) PersistentFragments() []codecache.Fragment {
+	if g.shared != nil {
+		return g.shared.Fragments()
+	}
+	last := g.tiers[len(g.tiers)-1]
+	frags := last.arena.Fragments()
+	out := make([]codecache.Fragment, 0, len(frags))
+	for _, f := range frags {
+		out = append(out, *f)
+	}
+	return out
+}
+
+// InsertPersistent places a trace directly into the final tier, bypassing
+// the earlier generations. It exists for warm-starting a fresh manager from
+// a persisted snapshot; normal insertion must go through Insert (Figure 8).
+// On a one-tier graph the final tier is the whole cache, so this is Insert.
+// In shared mode the warm trace enters the shared tier owned by this
+// process.
+func (g *Graph) InsertPersistent(f codecache.Fragment) error {
+	if g.shared == nil && len(g.tiers) == 1 {
+		return g.Insert(f)
+	}
+	var err error
+	if g.shared != nil {
+		err = g.shared.InsertWarm([]int{g.proc}, f)
+	} else {
+		last := g.tiers[len(g.tiers)-1]
+		err = last.local.Insert(last.arena, f, last.onEvict)
+		if err == nil {
+			obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: last.level, Proc: g.proc})
+		}
+	}
+	if err != nil {
+		return err
+	}
+	g.stats.Inserts++
+	return nil
+}
+
+// CheckInvariants validates that no trace is resident in two tiers and all
+// arenas are structurally sound. In shared mode only the private tiers are
+// checked against each other (a trace may legitimately be resident in the
+// shared tier and in another process's private tiers); the shared tier has
+// its own CheckInvariants. Tests call this.
+func (g *Graph) CheckInvariants() error {
+	for _, t := range g.tiers {
+		if err := t.arena.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	seen := make(map[uint64]Level)
+	for _, t := range g.tiers {
+		for _, f := range t.arena.Fragments() {
+			if prev, dup := seen[f.ID]; dup {
+				return fmt.Errorf("core: trace %d resident in both %s and %s", f.ID, prev, t.level)
+			}
+			seen[f.ID] = t.level
+		}
+	}
+	if g.shared != nil {
+		return g.shared.CheckInvariants()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// CLI tier-spec parsing
+
+// ParseTierSpec parses a tier layout string like "45-10-45@1" into a graph
+// specification over the given total capacity. The dash-separated fields are
+// tier percentages (they must sum to 100); the optional "@" suffix lists
+// promotion thresholds, in order, for the gated tiers (every tier but the
+// first and last — the probation generations); a single value applies to all
+// of them. Gated tiers with a threshold of at most 1 promote on access,
+// matching the paper's "@1" configurations.
+func ParseTierSpec(s string, total uint64) (GraphSpec, error) {
+	spec := GraphSpec{TotalCapacity: total}
+	body, gates, hasGates := strings.Cut(s, "@")
+	parts := strings.Split(body, "-")
+	if len(parts) < 1 || parts[0] == "" {
+		return GraphSpec{}, fmt.Errorf("core: empty tier spec %q", s)
+	}
+	var sum float64
+	for _, p := range parts {
+		pct, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return GraphSpec{}, fmt.Errorf("core: bad tier percentage %q in %q", p, s)
+		}
+		sum += pct
+		spec.Tiers = append(spec.Tiers, TierSpec{Frac: pct / 100})
+	}
+	if len(spec.Tiers) > 1 && (sum < 99.9 || sum > 100.1) {
+		return GraphSpec{}, fmt.Errorf("core: tier percentages in %q sum to %.1f, want 100", s, sum)
+	}
+	if hasGates {
+		if len(spec.Tiers) < 3 {
+			return GraphSpec{}, fmt.Errorf("core: tier spec %q has thresholds but no gated tier", s)
+		}
+		vals := strings.Split(gates, ",")
+		gated := len(spec.Tiers) - 2
+		if len(vals) > gated {
+			return GraphSpec{}, fmt.Errorf("core: tier spec %q lists %d thresholds for %d gated tiers", s, len(vals), gated)
+		}
+		var last uint64
+		for i := 0; i < gated; i++ {
+			if i < len(vals) {
+				v, err := strconv.ParseUint(strings.TrimSpace(vals[i]), 10, 64)
+				if err != nil {
+					return GraphSpec{}, fmt.Errorf("core: bad threshold %q in %q", vals[i], s)
+				}
+				last = v
+			}
+			spec.Tiers[i+1].Threshold = last
+			spec.Tiers[i+1].PromoteOnAccess = last <= 1
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return GraphSpec{}, err
+	}
+	return spec, nil
+}

@@ -48,8 +48,17 @@ type Guest interface {
 
 // Config parameterizes the engine.
 type Config struct {
-	// Manager is the trace-cache manager (required).
+	// Manager is the trace-cache manager. Either it or Tiers is required.
 	Manager core.Manager
+	// Tiers, when Manager is nil, describes a tier graph the engine builds
+	// itself at construction: a private core.NewGraph in single-process
+	// systems, a core.NewGraphShared over the system's shared tier in
+	// multi-process systems. The graph publishes its lifecycle events to
+	// Observer.
+	Tiers *core.GraphSpec
+	// Adaptive, when set alongside Tiers, attaches the adaptive split
+	// controller to the engine-built graph (overriding Tiers.Adaptive).
+	Adaptive *core.AdaptiveConfig
 	// HotThreshold is the trace creation threshold (default 50, DynamoRIO's
 	// value per §4.1).
 	HotThreshold uint64

@@ -125,8 +125,27 @@ func (s *System) adopt(proc int, module uint16, head uint64) (*trace.Trace, bool
 // manager supports process attribution, its events are stamped with the
 // process ID.
 func (s *System) NewProcess(id int, img *program.Image, cfg Config) (*Process, error) {
+	if cfg.Manager == nil && cfg.Tiers != nil {
+		spec := *cfg.Tiers
+		if cfg.Adaptive != nil {
+			spec.Adaptive = cfg.Adaptive
+		}
+		var (
+			mgr *core.Graph
+			err error
+		)
+		if s.shared != nil {
+			mgr, err = core.NewGraphShared(spec, s.shared, id, cfg.Observer)
+		} else {
+			mgr, err = core.NewGraph(spec, cfg.Observer)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dbt: building tier graph: %w", err)
+		}
+		cfg.Manager = mgr
+	}
 	if cfg.Manager == nil {
-		return nil, fmt.Errorf("dbt: config requires a Manager")
+		return nil, fmt.Errorf("dbt: config requires a Manager or Tiers")
 	}
 	if cfg.HotThreshold == 0 {
 		cfg.HotThreshold = 50

@@ -335,3 +335,165 @@ func TestSingleProcSharedMatchesPlain(t *testing.T) {
 		t.Fatalf("single-process shared diverges from plain generational:\nplain:  %+v\nshared: %+v", plain, shared)
 	}
 }
+
+// TestConfigTiersBuildsGraph covers the Config.Tiers construction path: an
+// engine handed a tier spec instead of a manager must build the graph
+// itself — privately in a single-process system, over the shared tier in a
+// multi-process one — and behave exactly like an engine handed the
+// equivalent prebuilt manager.
+func TestConfigTiersBuildsGraph(t *testing.T) {
+	img := buildPluginHotProgram(t)
+	size := maxTraceSize(t, img)
+	cfg := core.Config{
+		TotalCapacity:    size * 9 / 2,
+		NurseryFrac:      1.0 / 3,
+		ProbationFrac:    1.0 / 3,
+		PersistentFrac:   1.0 / 3,
+		PromoteThreshold: 1,
+		PromoteOnAccess:  true,
+	}
+
+	run := func(c Config) RunStats {
+		t.Helper()
+		e, err := New(img, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Run(VMGuest{M: vm.New(img)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats()
+	}
+
+	mgr, err := core.NewGenerational(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := run(Config{Manager: mgr})
+	spec := cfg.GraphSpec()
+	viaTiers := run(Config{Tiers: &spec})
+	if plain != viaTiers {
+		t.Fatalf("Config.Tiers engine diverges from prebuilt manager:\nmanager: %+v\ntiers:   %+v", plain, viaTiers)
+	}
+
+	// Shared system: the Tiers path must route through NewGraphShared.
+	sharedRun := func(tiers bool) RunStats {
+		t.Helper()
+		sp := core.NewSharedPersistent(uint64(float64(cfg.TotalCapacity)*cfg.PersistentFrac), nil, nil)
+		sys := NewSystem(sp)
+		var pcfg Config
+		if tiers {
+			s := cfg.GraphSpec()
+			pcfg = Config{Tiers: &s}
+		} else {
+			m, err := core.NewGenerationalShared(cfg, sp, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pcfg = Config{Manager: m}
+		}
+		p, err := sys.NewProcess(0, img, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Run(VMGuest{M: vm.New(img)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats()
+	}
+	if m, g := sharedRun(false), sharedRun(true); m != g {
+		t.Fatalf("shared Config.Tiers engine diverges from prebuilt manager:\nmanager: %+v\ntiers:   %+v", m, g)
+	}
+
+	if _, err := New(img, Config{}); err == nil {
+		t.Error("Config without Manager or Tiers should fail")
+	}
+}
+
+// TestConfigTiersAdaptive attaches the adaptive controller through
+// Config.Adaptive: the engine-built graph publishes its events to
+// Config.Observer, so applied capacity shifts surface as KindResize events.
+// The guest is driven step-by-step: eight independent hot loops revisited in
+// rounds through a cache that holds only a few of their traces, so every
+// round churns traces out and back in — the eviction-then-re-access pattern
+// the controller's miss attribution feeds on.
+func TestConfigTiersAdaptive(t *testing.T) {
+	const loops = 8
+	b := program.NewBuilder()
+	m := b.Module("hot", false)
+	for i := 0; i < loops; i++ {
+		f, _ := m.Function("loop")
+		exit := f.NewBlock()
+		a := f.Block()
+		f.I(isa.Inst{Op: isa.OpAdd})
+		f.Jcc(isa.CondEQ, exit)
+		f.Block()
+		f.I(isa.Inst{Op: isa.OpAdd})
+		f.Jmp(a)
+		f.StartBlock(exit)
+		f.Halt()
+	}
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One unbounded pass to learn the total trace footprint.
+	drive := func(e *Engine) {
+		t.Helper()
+		fns := img.Modules[0].Functions
+		for round := 0; round < 200; round++ {
+			for i := 0; i < loops; i++ {
+				a, bb := fns[i].Blocks[0].Addr, fns[i].Blocks[1].Addr
+				for j := 0; j < 60; j++ {
+					if err := e.Observe(Step{Block: a}); err != nil {
+						t.Fatal(err)
+					}
+					if err := e.Observe(Step{Block: bb}); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	big, err := New(img, Config{Manager: core.NewUnified(1<<20, nil, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(big)
+	traceBytes := big.Stats().TraceBytes
+	if traceBytes == 0 {
+		t.Fatal("no traces created")
+	}
+
+	// A graph holding roughly half the traces, short epochs, and the
+	// controller attached via Config.Adaptive rather than the spec.
+	spec := core.Config{
+		TotalCapacity:    traceBytes / 2,
+		NurseryFrac:      1.0 / 3,
+		ProbationFrac:    1.0 / 3,
+		PersistentFrac:   1.0 / 3,
+		PromoteThreshold: 1,
+		PromoteOnAccess:  true,
+	}.GraphSpec()
+	var resizes int
+	e, err := New(img, Config{
+		Tiers:    &spec,
+		Adaptive: &core.AdaptiveConfig{Epoch: 32},
+		Observer: obs.Func(func(ev obs.Event) {
+			if ev.Kind == obs.KindResize {
+				resizes++
+			}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(e)
+	if e.Stats().Misses == 0 {
+		t.Fatal("half-capacity run produced no conflict misses; workload too small to exercise the controller")
+	}
+	if resizes == 0 {
+		t.Error("adaptive controller applied no resizes; Config.Adaptive did not take effect")
+	}
+}

@@ -66,3 +66,51 @@ func TestFigure9DeterministicAcrossParallelism(t *testing.T) {
 		t.Error("Figure9 on the same suite differs across parallelism levels")
 	}
 }
+
+// TestAdaptiveDeterministicAcrossParallelism extends the gate to the
+// adaptive-split controller: its epoch clock is keyed to the graph's access
+// counter, never to wall time or worker scheduling, so the full
+// static-vs-adaptive comparison — miss rates, resize counts, reversals —
+// must be bit-identical run over run and at parallel=1 versus parallel=8.
+func TestAdaptiveDeterministicAcrossParallelism(t *testing.T) {
+	s, err := Collect(Options{
+		Scale:      0.05,
+		Benchmarks: []string{"art", "gzip", "solitaire"},
+		Parallel:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Parallel = 1
+	seq, err := AdaptiveVsStatic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := AdaptiveVsStatic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, again) {
+		t.Errorf("adaptive rows differ across repeated runs:\nfirst %+v\nsecond %+v", seq, again)
+	}
+
+	s.Parallel = 8
+	par, err := AdaptiveVsStatic(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("adaptive rows differ between parallel=1 and parallel=8:\nseq %+v\npar %+v", seq, par)
+	}
+
+	// The determinism claim is only interesting if the controller actually
+	// moved capacity during the replays.
+	var resizes uint64
+	for _, r := range seq {
+		resizes += r.Resizes
+	}
+	if resizes == 0 {
+		t.Error("controller applied no resizes at this scale; test exercises nothing")
+	}
+}

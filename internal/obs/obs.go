@@ -37,13 +37,17 @@ const (
 	KindFlush
 	// KindProgress reports replay progress: Done events of Total processed.
 	KindProgress
+	// KindResize fires when a managed arena's capacity changes (the adaptive
+	// split controller shifting bytes between generations). Size carries the
+	// new capacity; From names the resized cache.
+	KindResize
 
 	// NumKinds bounds the Kind space; counting consumers size arrays with it.
-	NumKinds = int(KindProgress) + 1
+	NumKinds = int(KindResize) + 1
 )
 
 var kindNames = [...]string{
-	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress",
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize",
 }
 
 func (k Kind) String() string {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/codecache"
 	"repro/internal/core"
@@ -31,7 +32,16 @@ import (
 	"repro/internal/trace"
 )
 
-const magic = "CCPERSIST1\n"
+// The current format is version 2: it carries, alongside the trace records,
+// the tier-graph specification the snapshot was taken under, so a warm start
+// can rebuild the same cache geometry without out-of-band configuration.
+// Version-1 files (traces only, no spec) still load; Image.Spec is nil for
+// them. Predictor gates do not persist — a spec round-trips its threshold
+// form, the only gate the paper's configurations use.
+const (
+	magicV1 = "CCPERSIST1\n"
+	magicV2 = "CCPERSIST2\n"
+)
 
 // Record describes one persisted trace.
 type Record struct {
@@ -48,6 +58,51 @@ type Record struct {
 type Image struct {
 	Benchmark string
 	Records   []Record
+
+	// Spec is the tier-graph geometry the snapshot was taken under; nil for
+	// version-1 files and shared-tier snapshots.
+	Spec *SpecImage
+}
+
+// SpecImage is the serializable form of a tier-graph specification.
+type SpecImage struct {
+	TotalCapacity uint64
+	Tiers         []TierImage
+}
+
+// TierImage is the serializable form of one tier's specification.
+type TierImage struct {
+	Frac            float64
+	Threshold       uint64
+	PromoteOnAccess bool
+}
+
+// SpecOf converts a graph specification into its serializable form.
+// Predictor gates are not representable; the spec's threshold form is
+// captured instead.
+func SpecOf(spec core.GraphSpec) *SpecImage {
+	si := &SpecImage{TotalCapacity: spec.TotalCapacity}
+	for _, t := range spec.Tiers {
+		si.Tiers = append(si.Tiers, TierImage{
+			Frac:            t.Frac,
+			Threshold:       t.Threshold,
+			PromoteOnAccess: t.PromoteOnAccess,
+		})
+	}
+	return si
+}
+
+// GraphSpec converts a loaded spec image back into a graph specification.
+func (si *SpecImage) GraphSpec() core.GraphSpec {
+	spec := core.GraphSpec{TotalCapacity: si.TotalCapacity}
+	for _, t := range si.Tiers {
+		spec.Tiers = append(spec.Tiers, core.TierSpec{
+			Frac:            t.Frac,
+			Threshold:       t.Threshold,
+			PromoteOnAccess: t.PromoteOnAccess,
+		})
+	}
+	return spec
 }
 
 // Snapshot captures the current contents of a generational manager's
@@ -55,7 +110,7 @@ type Image struct {
 // trace ID to its materialized trace (the engine's TraceByID); traces the
 // engine no longer knows are skipped.
 func Snapshot(benchmark string, g *core.Generational, lookup func(uint64) (*trace.Trace, bool)) Image {
-	img := Image{Benchmark: benchmark}
+	img := Image{Benchmark: benchmark, Spec: SpecOf(g.Spec())}
 	for _, f := range g.PersistentFragments() {
 		rec := Record{
 			ID:       f.ID,
@@ -99,10 +154,10 @@ func SnapshotShared(benchmark string, sp *core.SharedPersistent, lookup func(uin
 	return img
 }
 
-// Save writes the image.
+// Save writes the image in the version-2 format.
 func Save(w io.Writer, img Image) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magic); err != nil {
+	if _, err := bw.WriteString(magicV2); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -116,6 +171,33 @@ func Save(w io.Writer, img Image) error {
 	}
 	if _, err := bw.WriteString(img.Benchmark); err != nil {
 		return err
+	}
+	// The spec block: a tier count (0 = no spec recorded), then the total
+	// capacity and one (fraction bits, threshold, promote-on-access) triple
+	// per tier. Fractions travel as IEEE-754 bit patterns so geometry
+	// round-trips exactly.
+	if img.Spec == nil {
+		if err := put(0); err != nil {
+			return err
+		}
+	} else {
+		if err := put(uint64(len(img.Spec.Tiers))); err != nil {
+			return err
+		}
+		if err := put(img.Spec.TotalCapacity); err != nil {
+			return err
+		}
+		for _, t := range img.Spec.Tiers {
+			promote := uint64(0)
+			if t.PromoteOnAccess {
+				promote = 1
+			}
+			for _, v := range []uint64{math.Float64bits(t.Frac), t.Threshold, promote} {
+				if err := put(v); err != nil {
+					return err
+				}
+			}
+		}
 	}
 	if err := put(uint64(len(img.Records))); err != nil {
 		return err
@@ -135,14 +217,15 @@ func Save(w io.Writer, img Image) error {
 	return bw.Flush()
 }
 
-// Load reads an image.
+// Load reads an image in either the version-1 or version-2 format.
 func Load(r io.Reader) (Image, error) {
 	br := bufio.NewReader(r)
-	got := make([]byte, len(magic))
+	got := make([]byte, len(magicV2))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return Image{}, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	if string(got) != magic {
+	v2 := string(got) == magicV2
+	if !v2 && string(got) != magicV1 {
 		return Image{}, fmt.Errorf("persist: bad magic %q", got)
 	}
 	get := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -157,6 +240,35 @@ func Load(r io.Reader) (Image, error) {
 	if _, err := io.ReadFull(br, name); err != nil {
 		return Image{}, err
 	}
+	var spec *SpecImage
+	if v2 {
+		tiers, err := get()
+		if err != nil {
+			return Image{}, err
+		}
+		if tiers > 1<<10 {
+			return Image{}, errors.New("persist: unreasonable tier count")
+		}
+		if tiers > 0 {
+			spec = &SpecImage{}
+			if spec.TotalCapacity, err = get(); err != nil {
+				return Image{}, err
+			}
+			for i := uint64(0); i < tiers; i++ {
+				var vals [3]uint64
+				for j := range vals {
+					if vals[j], err = get(); err != nil {
+						return Image{}, fmt.Errorf("persist: spec tier %d: %w", i, err)
+					}
+				}
+				spec.Tiers = append(spec.Tiers, TierImage{
+					Frac:            math.Float64frombits(vals[0]),
+					Threshold:       vals[1],
+					PromoteOnAccess: vals[2] != 0,
+				})
+			}
+		}
+	}
 	n, err := get()
 	if err != nil {
 		return Image{}, err
@@ -164,7 +276,7 @@ func Load(r io.Reader) (Image, error) {
 	if n > 1<<24 {
 		return Image{}, errors.New("persist: unreasonable record count")
 	}
-	img := Image{Benchmark: string(name), Records: make([]Record, 0, n)}
+	img := Image{Benchmark: string(name), Records: make([]Record, 0, n), Spec: spec}
 	for i := uint64(0); i < n; i++ {
 		var vals [5]uint64
 		for j := range vals {

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 
@@ -397,4 +398,81 @@ func TestWarmSharedRefcounts(t *testing.T) {
 	if err := sp2.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	g := populated(t)
+	img := Snapshot("word", g, nil)
+	if img.Spec == nil {
+		t.Fatal("snapshot did not record the graph spec")
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec == nil {
+		t.Fatal("loaded image lost the graph spec")
+	}
+	want := g.Spec()
+	spec := got.Spec.GraphSpec()
+	if spec.TotalCapacity != want.TotalCapacity || len(spec.Tiers) != len(want.Tiers) {
+		t.Fatalf("spec = %+v, want %+v", spec, want)
+	}
+	for i, tr := range spec.Tiers {
+		w := want.Tiers[i]
+		if tr.Frac != w.Frac || tr.Threshold != w.Threshold || tr.PromoteOnAccess != w.PromoteOnAccess {
+			t.Fatalf("tier %d = %+v, want %+v", i, tr, w)
+		}
+	}
+	// The round-tripped spec must build an identical manager.
+	g2, err := core.NewGraph(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := g2.TierCapacities(), g.TierCapacities(); len(got) != len(want) {
+		t.Fatalf("tier capacities %v, want %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tier capacities %v, want %v", got, want)
+			}
+		}
+	}
+}
+
+// TestLoadVersion1 rebuilds a version-1 byte stream (no spec block) and
+// checks it still loads, with a nil Spec.
+func TestLoadVersion1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("CCPERSIST1\n")
+	putUvarint(&buf, uint64(len("word")))
+	buf.WriteString("word")
+	putUvarint(&buf, 1) // one record
+	for _, v := range []uint64{7, 0x7000, 100, 2, 2, 0x7000, 0x7040} {
+		putUvarint(&buf, v)
+	}
+	img, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Spec != nil {
+		t.Fatalf("version-1 image should have no spec, got %+v", img.Spec)
+	}
+	if img.Benchmark != "word" || len(img.Records) != 1 {
+		t.Fatalf("image = %+v", img)
+	}
+	r := img.Records[0]
+	if r.ID != 7 || r.HeadAddr != 0x7000 || r.Size != 100 || r.Module != 2 || len(r.Blocks) != 2 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
 }

@@ -115,9 +115,22 @@ func (l *LRU) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(code
 	}
 }
 
-// victim pops heap entries until one matches a live, deletable fragment
-// whose recorded recency is current.
+// victim pops heap entries until one matches a live, evictable fragment
+// whose recorded recency is current. Entries whose fragments are merely
+// pinned or process-referenced right now are held aside and re-pushed before
+// returning: the pin may be lifted later, and a discarded entry would leave
+// the fragment invisible to the heap — exempt from eviction in its proper
+// LRU slot until the heap drains and the fallback scan rediscovers it.
+// Process-referenced fragments count as pinned here because Delete(id, false)
+// refuses them; returning one would make Insert retry forever once only
+// referenced fragments remain.
 func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
+	var held []lruEntry
+	defer func() {
+		for _, e := range held {
+			l.h.push(e)
+		}
+	}()
 	for {
 		e, ok := l.h.popMin()
 		if !ok {
@@ -127,7 +140,7 @@ func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
 			var bestLast uint64
 			found := false
 			for _, f := range a.Fragments() {
-				if f.Undeletable {
+				if f.Undeletable || f.Refs > 0 {
 					continue
 				}
 				if !found || f.LastAccess < bestLast {
@@ -137,8 +150,12 @@ func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
 			return bestID, found
 		}
 		f, ok := a.Lookup(e.id)
-		if !ok || f.Undeletable || f.LastAccess != e.last {
+		if !ok || f.LastAccess != e.last {
 			continue // stale entry
+		}
+		if f.Undeletable || f.Refs > 0 {
+			held = append(held, e)
+			continue
 		}
 		return e.id, true
 	}

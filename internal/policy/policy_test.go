@@ -101,6 +101,232 @@ func TestLRUSkipsPinned(t *testing.T) {
 	}
 }
 
+// TestLRUPinnedEntryRegainsStanding is a regression test: a heap entry
+// popped while its fragment was pinned must not be discarded, or the
+// fragment silently loses its LRU standing once unpinned.
+func TestLRUPinnedEntryRegainsStanding(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(300)
+	insertN(t, p, a, []uint64{1, 2, 3}, 100)
+	if !a.SetUndeletable(1, true) {
+		t.Fatal("pin failed")
+	}
+	// Inserting 4 pops 1's entry (pinned, skipped) and evicts 2 instead.
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 4, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (1 is pinned)", ev)
+	}
+	// Unpin 1 and make everything else more recent. 1 is now the LRU.
+	a.SetUndeletable(1, false)
+	for _, id := range []uint64{3, 4} {
+		a.Access(id)
+		p.OnAccess(a, id)
+	}
+	ev = ev[:0]
+	if err := p.Insert(a, codecache.Fragment{ID: 5, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1] (LRU after unpin)", ev)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLRUReferencedEntryRegainsStanding mirrors the pinned regression for
+// process references: Refs>0 exempts a fragment from policy eviction, and
+// releasing the reference must restore its place in LRU order.
+func TestLRUReferencedEntryRegainsStanding(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(300)
+	insertN(t, p, a, []uint64{1, 2, 3}, 100)
+	if !a.Retain(1) {
+		t.Fatal("retain failed")
+	}
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 4, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (1 is referenced)", ev)
+	}
+	if _, ok := a.Release(1); !ok {
+		t.Fatal("release failed")
+	}
+	for _, id := range []uint64{3, 4} {
+		a.Access(id)
+		p.OnAccess(a, id)
+	}
+	ev = ev[:0]
+	if err := p.Insert(a, codecache.Fragment{ID: 5, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1] (LRU after release)", ev)
+	}
+}
+
+// TestLRUNoSpaceAllReferenced is a regression test for an unbounded retry:
+// the fallback scan used to return referenced fragments, which Delete
+// refuses, so Insert spun forever once only referenced fragments remained.
+func TestLRUNoSpaceAllReferenced(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(200)
+	if err := p.Insert(a, codecache.Fragment{ID: 1, Size: 200}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Retain(1) {
+		t.Fatal("retain failed")
+	}
+	if err := p.Insert(a, codecache.Fragment{ID: 2, Size: 100}, nil); !errors.Is(err, codecache.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	// Releasing the reference makes 1 evictable again.
+	if _, ok := a.Release(1); !ok {
+		t.Fatal("release failed")
+	}
+	var ev []uint64
+	if err := p.Insert(a, codecache.Fragment{ID: 2, Size: 100}, func(v codecache.Fragment) {
+		ev = append(ev, v.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want [1]", ev)
+	}
+}
+
+// TestLRUProgramForcedHoles drives LRU across module unmaps: stale heap
+// entries for unmapped fragments must be skipped, holes must be reusable,
+// and eviction must still pick the live LRU fragment.
+func TestLRUProgramForcedHoles(t *testing.T) {
+	p := NewLRU()
+	a := codecache.New(400)
+	for id := uint64(1); id <= 4; id++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 100, Module: uint16(id % 2)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Access(2)
+	p.OnAccess(a, 2)
+	// Unmap module 1: fragments 1 and 3 leave two program-forced holes.
+	if gone := a.DeleteModule(1); len(gone) != 2 {
+		t.Fatalf("unmapped %d fragments, want 2", len(gone))
+	}
+	// The next two inserts fill the holes without evicting.
+	var ev []uint64
+	onEvict := func(v codecache.Fragment) { ev = append(ev, v.ID) }
+	for id := uint64(5); id <= 6; id++ {
+		if err := p.Insert(a, codecache.Fragment{ID: id, Size: 100}, onEvict); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ev) != 0 {
+		t.Fatalf("hole fills evicted %v", ev)
+	}
+	// Cache is full again; the live LRU is 4 (2 was touched after it, 5 and
+	// 6 are younger). The stale entries for 1, 2, and 3 must all be skipped.
+	if err := p.Insert(a, codecache.Fragment{ID: 7, Size: 100}, onEvict); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || ev[0] != 4 {
+		t.Fatalf("evicted %v, want [4]", ev)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLRUPinnedRandomized churns LRU with pins, references, and module
+// unmaps mixed in, checking that pinned or referenced fragments are never
+// policy-evicted and the arena model stays consistent.
+func TestLRUPinnedRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	p := NewLRU()
+	a := codecache.New(4096)
+	live := map[uint64]bool{}
+	pinned := map[uint64]bool{}
+	refd := map[uint64]bool{}
+	id := uint64(1)
+	anyLive := func() (uint64, bool) {
+		for k := range live {
+			return k, true
+		}
+		return 0, false
+	}
+	for op := 0; op < 4000; op++ {
+		switch r.Intn(8) {
+		case 0: // access
+			if k, ok := anyLive(); ok && a.Access(k) {
+				p.OnAccess(a, k)
+			}
+		case 1: // toggle pin
+			if k, ok := anyLive(); ok {
+				pin := !pinned[k]
+				a.SetUndeletable(k, pin)
+				pinned[k] = pin
+			}
+		case 2: // toggle process reference
+			if k, ok := anyLive(); ok {
+				if refd[k] {
+					a.Release(k)
+				} else {
+					a.Retain(k)
+				}
+				refd[k] = !refd[k]
+			}
+		case 3: // occasional module unmap (program-forced holes)
+			if r.Intn(4) == 0 {
+				for _, f := range a.DeleteModule(uint16(r.Intn(4))) {
+					delete(live, f.ID)
+					delete(pinned, f.ID)
+					delete(refd, f.ID)
+				}
+			}
+		default: // insert
+			f := codecache.Fragment{ID: id, Size: uint64(64 + r.Intn(700)), Module: uint16(r.Intn(4))}
+			id++
+			err := p.Insert(a, f, func(v codecache.Fragment) {
+				if pinned[v.ID] || refd[v.ID] {
+					t.Fatalf("op %d: evicted protected fragment %d", op, v.ID)
+				}
+				if !live[v.ID] {
+					t.Fatalf("op %d: evicted dead fragment %d", op, v.ID)
+				}
+				delete(live, v.ID)
+			})
+			if errors.Is(err, codecache.ErrNoSpace) {
+				continue // legal when pins and references block every layout
+			}
+			if err != nil {
+				t.Fatalf("op %d: insert: %v", op, err)
+			}
+			live[f.ID] = true
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		if a.Len() != len(live) {
+			t.Fatalf("op %d: arena %d vs model %d", op, a.Len(), len(live))
+		}
+	}
+}
+
 func TestLRUNoSpaceAllPinned(t *testing.T) {
 	p := NewLRU()
 	a := codecache.New(200)

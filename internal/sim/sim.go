@@ -240,6 +240,23 @@ func ReplayGenerationalObserved(benchmark string, events []tracelog.Event, cfg c
 	return ReplayObserved(benchmark, events, mgr, acc, o)
 }
 
+// ReplayGraph is a convenience: replay under an arbitrary tier graph
+// (N generations, alternative promotion predictors, adaptive split control).
+func ReplayGraph(benchmark string, events []tracelog.Event, spec core.GraphSpec, model costmodel.Model) (Result, error) {
+	return ReplayGraphObserved(benchmark, events, spec, model, nil)
+}
+
+// ReplayGraphObserved is ReplayGraph with the manager's full event stream
+// (and replay progress) additionally fanned out to o.
+func ReplayGraphObserved(benchmark string, events []tracelog.Event, spec core.GraphSpec, model costmodel.Model, o obs.Observer) (Result, error) {
+	acc := costmodel.NewAccum(model)
+	mgr, err := core.NewGraph(spec, obs.Combine(CostObserver(acc), o))
+	if err != nil {
+		return Result{}, err
+	}
+	return ReplayObserved(benchmark, events, mgr, acc, o)
+}
+
 // Comparison pairs a unified baseline with a generational configuration on
 // the same log, producing the paper's headline metrics.
 type Comparison struct {

@@ -123,6 +123,44 @@ func BestLayout(totalCapacity uint64) GenerationalConfig {
 	return core.Layout451045Threshold1(totalCapacity)
 }
 
+// The tier-graph API (internal/core): a manager as an arbitrary chain of
+// tiers with declarative eviction edges. The stock Unified and Generational
+// managers are prebuilt graphs; these exports build any other shape.
+type (
+	// TierGraph is a manager built from a declarative tier specification.
+	TierGraph = core.Graph
+	// GraphSpec describes a whole tier graph.
+	GraphSpec = core.GraphSpec
+	// TierSpec describes one tier of a graph.
+	TierSpec = core.TierSpec
+	// AdaptiveConfig tunes the adaptive capacity-split controller.
+	AdaptiveConfig = core.AdaptiveConfig
+	// AdaptiveStats counts split-controller activity.
+	AdaptiveStats = core.AdaptiveStats
+)
+
+// NewTierGraph builds a manager from a graph specification. o may be nil.
+func NewTierGraph(spec GraphSpec, o Observer) (*TierGraph, error) {
+	return core.NewGraph(spec, o)
+}
+
+// ParseTierSpec parses a layout string like "45-10-45@1" (or a deeper one
+// like "30-10-20-40@1,2") into a graph specification over totalCapacity.
+func ParseTierSpec(s string, totalCapacity uint64) (GraphSpec, error) {
+	return core.ParseTierSpec(s, totalCapacity)
+}
+
+// UnifiedGraphSpec is the single-tier graph equivalent to the unified
+// baseline: one pseudo-circular cache holding everything.
+func UnifiedGraphSpec(capacity uint64) GraphSpec {
+	return core.UnifiedSpec(capacity, nil)
+}
+
+// ReplayTierGraph replays a log through a freshly built tier graph.
+func ReplayTierGraph(benchmark string, events []Event, spec GraphSpec) (ReplayResult, error) {
+	return sim.ReplayGraph(benchmark, events, spec, costmodel.DefaultModel)
+}
+
 // Benchmarks returns every benchmark profile (20 SPEC2000 + the 12
 // interactive applications of Table 1).
 func Benchmarks() []Profile { return workload.All() }
