@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke
 
 ci: fmt vet build race bench-smoke
 
@@ -38,6 +38,16 @@ procs-smoke:
 	$(GO) run ./cmd/tracegen -bench gzip -scale 0.03125 -o /tmp/procs-smoke.cclog
 	$(GO) run -race ./cmd/ccsim -log /tmp/procs-smoke.cclog -procs 4
 	rm -f /tmp/procs-smoke.cclog
+
+# Service smoke: start the gencached daemon under the race detector, drive
+# it with the bundled loadtest (429 overload check + 8 verified concurrent
+# sessions), SIGTERM it, and round-trip the shared tier through its snapshot.
+serve-smoke:
+	scripts/serve_smoke.sh
+
+# Short fuzz run over the tracelog decoder; seeds the corpus.
+fuzz-smoke:
+	$(GO) test ./internal/tracelog -run '^$$' -fuzz FuzzReader -fuzztime 10s
 
 # Adaptive smoke: a short replay with the split controller attached, under
 # the race detector, on both the stock three-tier shape and a four-tier one.

@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/obs"
@@ -49,8 +50,13 @@ func main() {
 	eventsPath := flag.String("events", "", `dump the observer event stream as JSON lines to this file ("-" = stdout); forces -parallel 1 so the stream stays ordered`)
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("ccsim"))
+		return
+	}
 	if err := pipeline.Validate(*parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "ccsim: invalid -parallel value: %v\n", err)
 		os.Exit(2)

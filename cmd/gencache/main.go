@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/profiling"
@@ -39,8 +40,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 10m (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("gencache"))
+		return
+	}
 	if err := pipeline.Validate(*parallel); err != nil {
 		fmt.Fprintf(os.Stderr, "gencache: invalid -parallel value: %v\n", err)
 		os.Exit(2)

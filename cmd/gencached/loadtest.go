@@ -1,0 +1,341 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracelog"
+)
+
+// loadtestMain drives N concurrent synthetic clients against a running
+// gencached server and reports throughput and latency. With -verify (the
+// default) every served result is compared field-for-field against an
+// offline replay of the identical log — the service's core guarantee is
+// that concurrency never changes a session's numbers.
+func loadtestMain(args []string) {
+	fs := flag.NewFlagSet("gencached loadtest", flag.ExitOnError)
+	addr := fs.String("addr", "", "server base URL, e.g. http://127.0.0.1:8344 (required)")
+	clients := fs.Int("clients", 8, "concurrent client goroutines")
+	sessions := fs.Int("sessions", 0, "total sessions to run (default: one per client)")
+	bench := fs.String("bench", "word", "comma-separated benchmark names; clients round-robin across them")
+	scale := fs.Float64("scale", 0.125, "workload code-size scale factor")
+	capFrac := fs.Float64("capfrac", 0.5, "session capacity as a fraction of the log's unbounded peak")
+	layout := fs.String("layout", "45-10-45", "nursery-probation-persistent percentages")
+	threshold := fs.Uint64("threshold", 1, "probation promotion threshold")
+	unified := fs.Bool("unified", false, "replay the unified baseline instead of the generational chain")
+	verify := fs.Bool("verify", true, "verify every served result against an offline replay of the same log")
+	minSessions := fs.Int("min-sessions", 0, "fail unless at least this many sessions completed")
+	expectWarm := fs.Bool("expect-warm", false, "fail unless the server warm-started and sessions adopted shared traces")
+	overloadHold := fs.Int("overload-hold", 0, "overload check: hold this many streaming sessions open, then require 429 on extra sessions")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "gencached loadtest: -addr is required")
+		os.Exit(2)
+	}
+	total := *sessions
+	if total <= 0 {
+		total = *clients
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+	if err := c.WaitHealthy(ctx, 10*time.Second); err != nil {
+		fatal(err)
+	}
+
+	opts := client.SessionOptions{
+		CapFrac:      *capFrac,
+		Layout:       *layout,
+		Threshold:    *threshold,
+		HasThreshold: true,
+		Unified:      *unified,
+	}
+
+	// Synthesize each benchmark's log once; every session replays a private
+	// copy, so the offline expectation is computed once per benchmark too.
+	benches := strings.Split(*bench, ",")
+	logs := make([][]byte, len(benches))
+	expected := make([]api.SessionResult, len(benches))
+	for i, name := range benches {
+		name = strings.TrimSpace(name)
+		benches[i] = name
+		data, err := client.SyntheticLog(name, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		logs[i] = data
+		if *verify {
+			exp, err := offlineExpected(data, opts)
+			if err != nil {
+				fatal(err)
+			}
+			expected[i] = exp
+		}
+		fmt.Printf("loadtest: %s: %s log bytes\n", name, stats.FmtBytes(uint64(len(data))))
+	}
+
+	if *overloadHold > 0 {
+		if err := overloadCheck(ctx, c, *overloadHold); err != nil {
+			fatal(err)
+		}
+	}
+
+	type outcome struct {
+		bench int
+		res   api.SessionResult
+		dur   time.Duration
+		err   error
+	}
+	var (
+		next     atomic.Int64
+		retries  atomic.Int64
+		outcomes = make([]outcome, total)
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for cl := 0; cl < *clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= total {
+					return
+				}
+				b := n % len(benches)
+				t0 := time.Now()
+				var res api.SessionResult
+				var err error
+				for attempt := 0; ; attempt++ {
+					res, err = c.Session(ctx, opts, bytes.NewReader(logs[b]))
+					if !errors.Is(err, client.ErrOverloaded) || attempt >= 20 {
+						break
+					}
+					retries.Add(1)
+					select {
+					case <-ctx.Done():
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+				outcomes[n] = outcome{bench: b, res: res, dur: time.Since(t0), err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var (
+		ok, failed, mismatched int
+		events, adoptions      uint64
+		published              uint64
+		saved                  float64
+		durs                   []time.Duration
+	)
+	for _, o := range outcomes {
+		if o.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "loadtest: session failed: %v\n", o.err)
+			continue
+		}
+		ok++
+		events += o.res.Events
+		adoptions += o.res.Shared.Adoptions
+		published += o.res.Shared.Published
+		saved += o.res.Shared.SavedGenInstructions
+		durs = append(durs, o.dur)
+		if *verify && !resultsMatch(expected[o.bench], o.res) {
+			mismatched++
+			fmt.Fprintf(os.Stderr, "loadtest: session %d result diverges from offline replay:\n  offline: %+v\n  served:  %+v\n",
+				o.res.Session, expected[o.bench], o.res)
+		}
+	}
+
+	fmt.Printf("loadtest: %d/%d sessions ok over %d clients in %.2fs (%.1f sessions/s)\n",
+		ok, total, *clients, elapsed.Seconds(), float64(ok)/elapsed.Seconds())
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		fmt.Printf("loadtest: events %s total (%.0f events/s); latency p50 %s p95 %s max %s\n",
+			stats.FmtCount(events), float64(events)/elapsed.Seconds(),
+			durs[len(durs)/2].Round(time.Millisecond),
+			durs[len(durs)*95/100].Round(time.Millisecond),
+			durs[len(durs)-1].Round(time.Millisecond))
+	}
+	fmt.Printf("loadtest: shared tier: %d adoptions, %d published, %s instructions saved; %d overload retries\n",
+		adoptions, published, stats.FmtCount(uint64(saved)), retries.Load())
+	if *verify {
+		fmt.Printf("loadtest: verified %d/%d results bit-identical to offline replay\n", ok-mismatched, ok)
+	}
+
+	bad := false
+	if failed > 0 || mismatched > 0 {
+		bad = true
+	}
+	if ok < *minSessions {
+		fmt.Fprintf(os.Stderr, "loadtest: only %d sessions completed, need %d\n", ok, *minSessions)
+		bad = true
+	}
+	if *expectWarm {
+		h, err := c.Health(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if h.WarmRestored == 0 {
+			fmt.Fprintln(os.Stderr, "loadtest: -expect-warm: server restored nothing from its snapshot")
+			bad = true
+		}
+		if adoptions == 0 {
+			fmt.Fprintln(os.Stderr, "loadtest: -expect-warm: no session adopted a warm trace")
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+// offlineExpected replays the log locally, exactly as the server will, and
+// renders the expectation in wire form.
+func offlineExpected(logBytes []byte, opts client.SessionOptions) (api.SessionResult, error) {
+	h, events, err := tracelog.ReadAll(bytes.NewReader(logBytes))
+	if err != nil {
+		return api.SessionResult{}, err
+	}
+	sum := tracelog.Summarize(h, events)
+	capacity := uint64(float64(sum.MaxLiveBytes) * opts.CapFrac)
+	var res sim.Result
+	if opts.Unified {
+		res, err = sim.ReplayUnified(h.Benchmark, events, capacity, costmodel.DefaultModel)
+	} else {
+		fracs, ferr := api.ParseLayout(opts.Layout)
+		if ferr != nil {
+			return api.SessionResult{}, ferr
+		}
+		res, err = sim.ReplayGenerational(h.Benchmark, events, core.Config{
+			TotalCapacity:    capacity,
+			NurseryFrac:      fracs[0],
+			ProbationFrac:    fracs[1],
+			PersistentFrac:   fracs[2],
+			PromoteThreshold: opts.Threshold,
+			PromoteOnAccess:  opts.Threshold <= 1,
+		}, costmodel.DefaultModel)
+	}
+	if err != nil {
+		return api.SessionResult{}, err
+	}
+	exp := api.FromSim(res)
+	exp.CapacityBytes = capacity
+	exp.Events = uint64(len(events))
+	return exp, nil
+}
+
+// resultsMatch compares a served result against the offline expectation,
+// ignoring the fields only the service sets (session ID, shared-tier
+// savings). Everything else — every counter, the cost accounting, the
+// derived miss rate — must be bit-identical.
+func resultsMatch(exp, got api.SessionResult) bool {
+	got.Session = 0
+	got.Shared = api.SharedSavings{}
+	exp.Session = 0
+	exp.Shared = api.SharedSavings{}
+	return reflect.DeepEqual(exp, got)
+}
+
+// overloadCheck holds streaming sessions open until the server's replay
+// slots and queue are saturated, requires fresh sessions to be refused with
+// 429, then releases the held streams and requires every one of them to
+// complete cleanly — overload must shed new load, never degrade admitted
+// sessions.
+func overloadCheck(ctx context.Context, c *client.Client, hold int) error {
+	fmt.Printf("loadtest: overload check: holding %d streaming sessions open\n", hold)
+	release := make(chan struct{})
+	results := make(chan error, hold)
+	for i := 0; i < hold; i++ {
+		pr, pw := io.Pipe()
+		go func() {
+			res, err := c.Session(ctx, client.SessionOptions{CapacityBytes: 1 << 20}, pr)
+			pr.Close()
+			// The held log carries only its KindEnd marker.
+			if err == nil && res.Events > 1 {
+				err = fmt.Errorf("held session replayed %d events, want at most 1", res.Events)
+			}
+			results <- err
+		}()
+		go func() {
+			// The header flush blocks until the server admits the session
+			// and starts reading; queued sessions block here harmlessly.
+			w, err := tracelog.NewWriter(pw, tracelog.Header{Benchmark: "held"})
+			if err == nil {
+				err = w.Flush()
+			}
+			if err == nil {
+				<-release
+				if werr := w.Write(tracelog.Event{Kind: tracelog.KindEnd}); werr == nil {
+					err = w.Flush()
+				}
+			}
+			pw.CloseWithError(err)
+		}()
+	}
+
+	// Wait until the server reports every held session as running or queued.
+	saturated := false
+	for !saturated {
+		select {
+		case <-ctx.Done():
+			close(release)
+			return fmt.Errorf("loadtest: overload check: server never saturated: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+		h, err := c.Health(ctx)
+		if err != nil {
+			close(release)
+			return err
+		}
+		saturated = h.ActiveSessions+h.QueuedSessions >= hold
+	}
+
+	// Every slot and queue position is taken: new sessions must bounce.
+	var rejected int
+	for i := 0; i < 3; i++ {
+		_, err := c.Session(ctx, client.SessionOptions{CapacityBytes: 1 << 20}, bytes.NewReader(nil))
+		if errors.Is(err, client.ErrOverloaded) {
+			rejected++
+		}
+	}
+
+	close(release)
+	var failed int
+	for i := 0; i < hold; i++ {
+		if err := <-results; err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "loadtest: held session failed: %v\n", err)
+		}
+	}
+	if rejected != 3 {
+		return fmt.Errorf("loadtest: overload check: %d/3 probes rejected with 429", rejected)
+	}
+	if failed > 0 {
+		return fmt.Errorf("loadtest: overload check: %d held sessions degraded", failed)
+	}
+	fmt.Printf("loadtest: overload check passed: 3/3 probes rejected, %d held sessions completed cleanly\n", hold)
+	return nil
+}

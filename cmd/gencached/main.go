@@ -1,0 +1,141 @@
+// Command gencached is the resident cache-simulation service: one daemon
+// multiplexing many concurrent client sessions over a single shared
+// persistent generation. Clients POST workload event logs (tracelog wire
+// format) to /v1/sessions and receive the same result offline ccsim would
+// print, while the traces their workloads promote are published to — and
+// adopted from — the shared tier. SIGINT/SIGTERM drains in-flight sessions
+// and snapshots the tier for a warm restart.
+//
+// Usage:
+//
+//	gencached serve [-addr 127.0.0.1:8344] [-snapshot gencached.ccpersist] ...
+//	gencached loadtest -addr http://127.0.0.1:8344 [-clients 8] [-bench word] ...
+//	gencached -version
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/profiling"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			serveMain(args[1:])
+			return
+		case "loadtest":
+			loadtestMain(args[1:])
+			return
+		case "-version", "--version", "version":
+			fmt.Println(buildinfo.Version("gencached"))
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "usage: gencached {serve|loadtest|-version} [flags]")
+	os.Exit(2)
+}
+
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("gencached serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts that pass port 0)")
+	snapshot := fs.String("snapshot", "", "shared-tier snapshot path: loaded warm at startup, written at shutdown")
+	sharedCap := fs.Uint64("shared-cap", 8<<20, "shared persistent tier capacity in bytes")
+	maxSessions := fs.Int("max-sessions", 16, "concurrently replaying sessions")
+	queue := fs.Int("queue", 64, "sessions allowed to wait for a replay slot before 429")
+	maxSessionBytes := fs.Int64("max-session-bytes", 256<<20, "per-session request body limit")
+	keepWarm := fs.Bool("keep-warm", true, "keep published traces resident after their sessions close")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
+	version := fs.Bool("version", false, "print version and exit")
+	fs.Parse(args)
+	if *version {
+		fmt.Println(buildinfo.Version("gencached"))
+		return
+	}
+
+	stop, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
+
+	srv, err := server.New(server.Config{
+		SharedCapacity:  *sharedCap,
+		MaxSessions:     *maxSessions,
+		QueueDepth:      *queue,
+		MaxSessionBytes: *maxSessionBytes,
+		SnapshotPath:    *snapshot,
+		KeepWarm:        *keepWarm,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	log.Printf("gencached: listening on %s (max %d sessions, queue %d, shared tier %d bytes)",
+		ln.Addr(), *maxSessions, *queue, *sharedCap)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("gencached: %s: draining sessions", sig)
+		// Refuse new sessions first, then let in-flight requests finish.
+		// Shutdown closes the listener and waits for handlers to return,
+		// which is exactly the per-session drain — a session's handler
+		// releases its shared-tier references on the way out.
+		srv.StartDraining()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("gencached: shutdown: %v", err)
+		}
+	}()
+
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	// The listener is closed and every session has drained; the tier now
+	// holds exactly what the snapshot should carry.
+	if err := srv.SaveSnapshot(); err != nil {
+		fatal(err)
+	}
+	log.Printf("gencached: clean shutdown")
+}
+
+// stopProfiles flushes any active pprof profiles; fatal must call it
+// explicitly because os.Exit skips deferred calls.
+var stopProfiles = func() {}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gencached:", err)
+	stopProfiles()
+	os.Exit(1)
+}

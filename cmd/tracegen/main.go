@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/dbt"
 	"repro/internal/stats"
@@ -24,8 +25,13 @@ func main() {
 	bench := flag.String("bench", "", "benchmark name (see gencache for the list)")
 	scale := flag.Float64("scale", 0.125, "code-size scale factor")
 	out := flag.String("o", "", "output log path (default <bench>.cclog)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.Version("tracegen"))
+		return
+	}
 	if *bench == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -bench is required; benchmarks:")
 		for _, p := range workload.All() {

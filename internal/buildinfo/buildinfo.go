@@ -1,0 +1,48 @@
+// Package buildinfo renders the version string behind every binary's
+// -version flag from the build metadata the Go toolchain embeds, so the
+// tools report what they were built from without a stamping step in the
+// build system.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns a human-readable version line for the named tool:
+// the main module's version (or "devel"), the VCS revision and its dirty
+// marker when embedded, and the Go toolchain that built the binary.
+func Version(tool string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", tool)
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		b.WriteString(" (no build info)")
+		return b.String()
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	fmt.Fprintf(&b, " %s", ver)
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", rev, modified)
+	}
+	fmt.Fprintf(&b, " %s", bi.GoVersion)
+	return b.String()
+}

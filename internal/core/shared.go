@@ -198,6 +198,35 @@ func (sp *SharedPersistent) ResidentKey(module uint16, head uint64) (uint64, boo
 	return id, ok
 }
 
+// ResidentFragment returns a copy of the canonical resident fragment
+// published for a code identity, if any. Adopting services check its Size
+// against the trace they are about to generate: a size mismatch means the
+// published trace came from a different build of the module and must not be
+// shared.
+func (sp *SharedPersistent) ResidentFragment(module uint16, head uint64) (codecache.Fragment, bool) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	id, ok := sp.byKey[ShareKey{Module: module, Head: head}]
+	if !ok {
+		return codecache.Fragment{}, false
+	}
+	f, ok := sp.arena.Lookup(id)
+	if !ok {
+		return codecache.Fragment{}, false
+	}
+	return *f, true
+}
+
+// AttachWarm adds proc as an owner of a resident trace without counting an
+// adoption: it is the keep-warm reference a resident service takes on traces
+// it wants to outlive their publishing sessions, not a cross-process
+// discovery.
+func (sp *SharedPersistent) AttachWarm(proc int, id uint64) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.attachLocked(proc, id)
+}
+
 // Attach adds proc as an owner of a resident trace (an adoption: the process
 // will execute the shared trace instead of generating its own). It reports
 // whether the trace was resident.

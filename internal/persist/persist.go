@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/codecache"
 	"repro/internal/core"
@@ -41,7 +42,19 @@ import (
 const (
 	magicV1 = "CCPERSIST1\n"
 	magicV2 = "CCPERSIST2\n"
+
+	// magicPrefix is common to every format generation; a file carrying it
+	// under an unknown version digit is a snapshot from a different build,
+	// not corruption.
+	magicPrefix = "CCPERSIST"
 )
+
+// ErrVersion marks a snapshot written in a format generation this build does
+// not speak. Callers distinguish it from corruption with errors.Is: a stale
+// snapshot is an expected condition a long-running service skips (cold
+// start) and logs, while a corrupt file of the right version is a real
+// failure that should stop startup.
+var ErrVersion = errors.New("unsupported snapshot version")
 
 // Record describes one persisted trace.
 type Record struct {
@@ -226,6 +239,9 @@ func Load(r io.Reader) (Image, error) {
 	}
 	v2 := string(got) == magicV2
 	if !v2 && string(got) != magicV1 {
+		if strings.HasPrefix(string(got), magicPrefix) {
+			return Image{}, fmt.Errorf("persist: snapshot format %q: %w", got, ErrVersion)
+		}
 		return Image{}, fmt.Errorf("persist: bad magic %q", got)
 	}
 	get := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -389,13 +405,26 @@ func Warm(g *core.Generational, img Image, validate Validator, genCost func(size
 // attaches avoids another generation, which the run's adoption counters
 // capture.
 func WarmShared(sp *core.SharedPersistent, img Image, validate Validator, genCost func(sizeBytes int) float64) WarmStats {
+	return warmShared(sp, img, nil, validate, genCost)
+}
+
+// WarmSharedOwner is WarmShared with the restored traces owned by the given
+// process from the start. A resident service warming its tier uses its
+// keep-warm owner here: an ownerless trace would die the moment its first
+// adopting session unmapped it (the session would briefly be its only
+// owner), defeating the point of the snapshot.
+func WarmSharedOwner(sp *core.SharedPersistent, img Image, owner int, validate Validator, genCost func(sizeBytes int) float64) WarmStats {
+	return warmShared(sp, img, []int{owner}, validate, genCost)
+}
+
+func warmShared(sp *core.SharedPersistent, img Image, owners []int, validate Validator, genCost func(sizeBytes int) float64) WarmStats {
 	var ws WarmStats
 	for _, r := range img.Records {
 		if validate != nil && !validate(r) {
 			ws.Rejected++
 			continue
 		}
-		err := sp.InsertWarm(nil, codecache.Fragment{
+		err := sp.InsertWarm(owners, codecache.Fragment{
 			ID:       r.ID,
 			Size:     uint64(r.Size),
 			Module:   r.Module,

@@ -3,6 +3,7 @@ package persist
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 
@@ -88,6 +89,24 @@ func TestLoadErrors(t *testing.T) {
 	buf.WriteByte(3) // claims a 3-byte name, then EOF
 	if _, err := Load(&buf); err == nil {
 		t.Error("truncated name accepted")
+	}
+}
+
+func TestLoadFutureVersion(t *testing.T) {
+	// A snapshot from a newer format generation is a recognizable staleness
+	// condition, not corruption: callers must be able to distinguish it with
+	// errors.Is and fall back to a cold start.
+	_, err := Load(strings.NewReader("CCPERSIST9\npayload from the future"))
+	if err == nil {
+		t.Fatal("future-version snapshot accepted")
+	}
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("future-version error = %v, want ErrVersion", err)
+	}
+	// Garbage without the CCPERSIST prefix is corruption, not a version skew.
+	_, err = Load(strings.NewReader("NOTACCLOG1\npayload"))
+	if err == nil || errors.Is(err, ErrVersion) {
+		t.Fatalf("bad-magic error = %v, want non-ErrVersion failure", err)
 	}
 }
 

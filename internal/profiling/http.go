@@ -1,0 +1,18 @@
+package profiling
+
+import (
+	"net/http"
+	httppprof "net/http/pprof"
+)
+
+// AttachHTTP registers the standard /debug/pprof endpoints on mux — the
+// live-profiling counterpart of Start for resident processes (gencached),
+// where "attach to exactly the workload being discussed" means profiling the
+// daemon while it serves, not re-running it under a flag.
+func AttachHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errOverloaded is returned by acquire when the waiting room is full; the
+// handler answers 429. Sessions already admitted are unaffected — admission
+// is decided before a single body byte is read, so an overload burst cannot
+// degrade accepted replays.
+var errOverloaded = errors.New("server: too many sessions")
+
+// admission is the service's two-stage admission controller: up to maxRun
+// sessions replay at once, up to maxQueue more wait for a slot, and everyone
+// past that is turned away immediately.
+type admission struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	maxQueue int
+	running  int
+	queued   int
+	rejected uint64
+}
+
+func newAdmission(maxRun, maxQueue int) *admission {
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, maxRun), maxQueue: maxQueue}
+}
+
+// acquire claims a replay slot, waiting in the queue if every slot is busy.
+// It returns errOverloaded when the queue itself is full, or the context's
+// error if the client goes away while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a slot is free, no queueing involved.
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.running++
+		a.mu.Unlock()
+		return nil
+	default:
+	}
+
+	// Every slot is busy: join the waiting room if it has space.
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.rejected++
+		a.mu.Unlock()
+		return errOverloaded
+	}
+	a.queued++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+		a.mu.Lock()
+		a.queued--
+		a.running++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.mu.Lock()
+	a.running--
+	a.mu.Unlock()
+}
+
+// load reports the controller's current occupancy.
+func (a *admission) load() (running, queued int, rejected uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, a.queued, a.rejected
+}

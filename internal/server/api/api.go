@@ -1,0 +1,205 @@
+// Package api defines the wire contract of the gencached service: the
+// query parameters a client configures a session with, the JSON shapes the
+// server answers with, and the conversion from the simulator's native result.
+// Both halves of the system — internal/server on the serving side,
+// internal/server/client and the gencached loadtest on the consuming side —
+// build against this package, so a replay verified offline compares
+// field-for-field against the served result.
+package api
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// SessionsPath is the ingest endpoint: POST a tracelog stream (CCLOG1 or
+// CCLOG2 framing) as the request body, receive the session's result.
+const SessionsPath = "/v1/sessions"
+
+// Query parameters of POST /v1/sessions. A session chooses either an
+// absolute capacity (the log is replayed as it streams in) or a capacity
+// fraction of the log's unbounded peak (the log is buffered first, exactly
+// like offline ccsim).
+const (
+	// ParamCapacity is the simulated cache capacity in bytes. Setting it
+	// selects the streaming path: events replay as they arrive off the wire.
+	ParamCapacity = "capacity"
+	// ParamCapFrac is the capacity as a fraction of the log's unbounded peak
+	// (MaxLiveBytes), ccsim's -capfrac. Used only when ParamCapacity is
+	// absent; defaults to 0.5, the paper's operating point.
+	ParamCapFrac = "capfrac"
+	// ParamLayout is the nursery-probation-persistent percentage split,
+	// ccsim's -layout. Default "45-10-45".
+	ParamLayout = "layout"
+	// ParamThreshold is the probation promotion threshold, ccsim's
+	// -threshold. Default 1.
+	ParamThreshold = "threshold"
+	// ParamTiers replays an arbitrary tier graph (core.ParseTierSpec syntax)
+	// instead of the stock generational chain.
+	ParamTiers = "tiers"
+	// ParamUnified replays the single pseudo-circular baseline.
+	ParamUnified = "unified"
+	// ParamEvents switches the response to an NDJSON stream: the session's
+	// merged observer events as they happen, then one final result line.
+	ParamEvents = "events"
+)
+
+// Overhead is the Table 2 instruction-cost accounting of one session.
+type Overhead struct {
+	TotalInstructions float64 `json:"totalInstructions"`
+	TraceGens         uint64  `json:"traceGens"`
+	Evictions         uint64  `json:"evictions"`
+	Promotions        uint64  `json:"promotions"`
+}
+
+// SharedSavings reports what the session gained from (and contributed to)
+// the server's shared persistent generation. It is service-side bookkeeping
+// layered over the private replay: adoptions never alter the session's
+// replay counters, which stay bit-identical to an offline run of the same
+// log.
+type SharedSavings struct {
+	// Adoptions counts traces the session attached to instead of paying
+	// their generation cost — they were already resident in the shared tier,
+	// published by an earlier session or restored from a snapshot.
+	Adoptions uint64 `json:"adoptions"`
+	// Published counts traces this session promoted into the shared tier.
+	Published uint64 `json:"published"`
+	// SavedGenInstructions is the Table 2 trace-generation cost the
+	// adoptions avoided.
+	SavedGenInstructions float64 `json:"savedGenInstructions"`
+}
+
+// SessionResult is the reply to one completed session.
+type SessionResult struct {
+	Session       int    `json:"session"`
+	Benchmark     string `json:"benchmark"`
+	Config        string `json:"config"`
+	CapacityBytes uint64 `json:"capacityBytes"`
+	Events        uint64 `json:"events"`
+
+	Accesses      uint64  `json:"accesses"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	MissRate      float64 `json:"missRate"`
+	ColdCreates   uint64  `json:"coldCreates"`
+	Regenerations uint64  `json:"regenerations"`
+	Adoptions     uint64  `json:"adoptions"`
+	ForcedDeletes uint64  `json:"forcedDeletes"`
+
+	Overhead Overhead      `json:"overhead"`
+	Shared   SharedSavings `json:"shared"`
+}
+
+// FromSim converts a simulator result into its wire form. The service fills
+// in Session, CapacityBytes, Events, and Shared afterwards; offline
+// verifiers fill in the same fields from their own run and compare.
+func FromSim(r sim.Result) SessionResult {
+	sr := SessionResult{
+		Benchmark:     r.Benchmark,
+		Config:        r.Config,
+		Accesses:      r.Accesses,
+		Hits:          r.Hits,
+		Misses:        r.Misses,
+		MissRate:      r.MissRate(),
+		ColdCreates:   r.ColdCreates,
+		Regenerations: r.Regenerations,
+		Adoptions:     r.Adoptions,
+		ForcedDeletes: r.ForcedDeletes,
+	}
+	if r.Overhead != nil {
+		sr.Overhead = Overhead{
+			TotalInstructions: r.Overhead.Total(),
+			TraceGens:         r.Overhead.TraceGens,
+			Evictions:         r.Overhead.Evictions,
+			Promotions:        r.Overhead.Promotions,
+		}
+	}
+	return sr
+}
+
+// Health is the /healthz reply.
+type Health struct {
+	Status          string  `json:"status"` // "ok" or "draining"
+	ActiveSessions  int     `json:"activeSessions"`
+	QueuedSessions  int     `json:"queuedSessions"`
+	SessionsServed  uint64  `json:"sessionsServed"`
+	SessionsDenied  uint64  `json:"sessionsDenied"`
+	SharedUsedBytes uint64  `json:"sharedUsedBytes"`
+	WarmRestored    uint64  `json:"warmRestored"`
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+}
+
+// Error is the JSON error body of a non-200 reply.
+type Error struct {
+	Error string `json:"error"`
+}
+
+// Event is one observer event on a session's merged NDJSON stream.
+type Event struct {
+	Kind   string `json:"kind"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Size   uint64 `json:"size,omitempty"`
+	Module uint16 `json:"module,omitempty"`
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Proc   int    `json:"proc,omitempty"`
+	Done   uint64 `json:"done,omitempty"`
+	Total  uint64 `json:"total,omitempty"`
+}
+
+// FromObs converts a bus event into its wire form. From and To are set only
+// for the kinds they are meaningful on, so the NDJSON stays compact.
+func FromObs(e obs.Event) Event {
+	w := Event{Kind: e.Kind.String(), Trace: e.Trace, Size: e.Size, Module: e.Module, Proc: e.Proc}
+	switch e.Kind {
+	case obs.KindEvict, obs.KindUnmap, obs.KindFlush, obs.KindResize:
+		w.From = e.From.String()
+	case obs.KindInsert:
+		w.To = e.To.String()
+	case obs.KindPromote:
+		w.From = e.From.String()
+		w.To = e.To.String()
+	case obs.KindProgress:
+		w.Done = e.Done
+		w.Total = e.Total
+	}
+	return w
+}
+
+// StreamLine is one line of an events=1 NDJSON response: an observer event
+// while the session runs, then exactly one closing line carrying either the
+// final result or a terminal error.
+type StreamLine struct {
+	Event  *Event         `json:"event,omitempty"`
+	Result *SessionResult `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// ParseLayout parses an N-P-S percentage split ("45-10-45") into fractions.
+// It is the one layout grammar of the system: ccsim's -layout flag and the
+// service's layout parameter both resolve through it, so a served session
+// and its offline verification build byte-identical configurations.
+func ParseLayout(s string) ([3]float64, error) {
+	var res [3]float64
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return res, fmt.Errorf("layout %q must be N-P-S percentages", s)
+	}
+	sum := 0.0
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v <= 0 {
+			return res, fmt.Errorf("bad layout component %q", p)
+		}
+		res[i] = v / 100
+		sum += v
+	}
+	if sum < 99.5 || sum > 100.5 {
+		return res, fmt.Errorf("layout %q must sum to 100", s)
+	}
+	return res, nil
+}

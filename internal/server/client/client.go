@@ -1,0 +1,216 @@
+// Package client is the Go client of the gencached service: it opens
+// sessions (streaming a tracelog body up, decoding the result), polls
+// health, and synthesizes workload logs for load generation. The gencached
+// loadtest subcommand and the server's integration tests are its consumers.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dbt"
+	"repro/internal/server/api"
+	"repro/internal/tracelog"
+	"repro/internal/workload"
+)
+
+// ErrOverloaded is returned by Session when the server refused admission
+// with 429; callers back off and retry.
+var ErrOverloaded = errors.New("client: server overloaded")
+
+// ErrDraining is returned by Session when the server is shutting down.
+var ErrDraining = errors.New("client: server draining")
+
+// Client talks to one gencached server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTPClient is the transport; nil uses a client with no timeout
+	// (sessions stream arbitrarily long bodies).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+// SessionOptions configure one session; zero values take the server's
+// defaults (capfrac 0.5, layout 45-10-45, threshold 1).
+type SessionOptions struct {
+	CapacityBytes uint64  // absolute capacity; selects the streaming path
+	CapFrac       float64 // fraction of the log's unbounded peak
+	Layout        string
+	Threshold     uint64 // 0 means unset (server default 1)
+	HasThreshold  bool   // set to send Threshold even when it is 0
+	Tiers         string
+	Unified       bool
+}
+
+func (o SessionOptions) query() url.Values {
+	q := url.Values{}
+	if o.CapacityBytes > 0 {
+		q.Set(api.ParamCapacity, strconv.FormatUint(o.CapacityBytes, 10))
+	}
+	if o.CapFrac > 0 {
+		q.Set(api.ParamCapFrac, strconv.FormatFloat(o.CapFrac, 'g', -1, 64))
+	}
+	if o.Layout != "" {
+		q.Set(api.ParamLayout, o.Layout)
+	}
+	if o.Threshold > 0 || o.HasThreshold {
+		q.Set(api.ParamThreshold, strconv.FormatUint(o.Threshold, 10))
+	}
+	if o.Tiers != "" {
+		q.Set(api.ParamTiers, o.Tiers)
+	}
+	if o.Unified {
+		q.Set(api.ParamUnified, "1")
+	}
+	return q
+}
+
+// Session streams body (a tracelog log, either framing) to the server and
+// returns the session's result.
+func (c *Client) Session(ctx context.Context, opts SessionOptions, body io.Reader) (api.SessionResult, error) {
+	var out api.SessionResult
+	u := c.BaseURL + api.SessionsPath
+	if q := opts.query().Encode(); q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return out, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return out, fmt.Errorf("client: decoding result: %w", err)
+		}
+		return out, nil
+	case http.StatusTooManyRequests:
+		return out, ErrOverloaded
+	case http.StatusServiceUnavailable:
+		return out, ErrDraining
+	default:
+		return out, fmt.Errorf("client: %s: %s", resp.Status, readError(resp.Body))
+	}
+}
+
+// readError extracts the server's JSON error message, falling back to the
+// raw body.
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	var e api.Error
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// Health polls /healthz. It decodes the body regardless of status: a
+// draining server answers 503 with a valid Health document.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("client: decoding health: %w", err)
+	}
+	return h, nil
+}
+
+// WaitHealthy polls /healthz until the server answers or the deadline
+// passes — the loadtest's startup barrier.
+func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if _, err := c.Health(ctx); err == nil {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("client: server not healthy after %s: %w", timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Metrics fetches the raw /metrics text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// SyntheticLog synthesizes a benchmark workload and runs it under the
+// engine with an unbounded cache, returning the serialized event log —
+// exactly what `tracegen -bench <name> -scale <scale>` writes to disk, but
+// in memory, so load generators need no fixture files.
+func SyntheticLog(bench string, scale float64) ([]byte, error) {
+	p, ok := workload.ByName(bench)
+	if !ok {
+		return nil, fmt.Errorf("client: unknown benchmark %q", bench)
+	}
+	b, err := workload.Synthesize(p.Scaled(scale))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := tracelog.NewWriter(&buf, tracelog.Header{
+		Benchmark:      p.Name,
+		DurationMicros: p.DurationMicros(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr := core.NewUnified(1<<40, nil, nil)
+	eng, err := dbt.New(b.Image, dbt.Config{Manager: mgr, Log: w})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(b.NewDriver(), 0); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// handleHealthz serves the liveness/readiness view.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// handleMetrics renders the server's counters in the Prometheus text
+// exposition format: service-level gauges and totals, the aggregate replay
+// counters, the shared tier's occupancy, and the per-kind, per-level cache
+// lifecycle counts sourced from the obs bus (every session's private manager
+// and the shared tier publish into one stats.EventCounter).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	running, queued, rejected := s.adm.load()
+	s.mu.Lock()
+	a := s.agg
+	s.mu.Unlock()
+
+	gauge := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counterM := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("gencached_sessions_active", running, "sessions currently replaying")
+	gauge("gencached_sessions_queued", queued, "sessions waiting for a replay slot")
+	gauge("gencached_draining", boolToInt(s.draining.Load()), "1 while the server refuses new sessions for shutdown")
+	counterM("gencached_sessions_served_total", a.sessionsServed, "sessions completed successfully")
+	counterM("gencached_sessions_failed_total", a.sessionsFailed, "sessions ended by an error")
+	counterM("gencached_sessions_rejected_total", rejected, "sessions refused with 429 at admission")
+	counterM("gencached_ingest_bytes_total", a.bytesIngested, "request body bytes consumed by sessions")
+	counterM("gencached_ingest_events_total", a.eventsIngested, "log events replayed across sessions")
+
+	counterM("gencached_replay_accesses_total", a.accesses, "trace accesses replayed")
+	counterM("gencached_replay_hits_total", a.hits, "trace accesses served from cache")
+	counterM("gencached_replay_misses_total", a.misses, "trace accesses that missed")
+	counterM("gencached_replay_cold_creates_total", a.coldCreates, "first-time trace generations")
+	counterM("gencached_replay_regenerations_total", a.regenerations, "trace regenerations after conflict misses")
+	counterM("gencached_replay_forced_deletes_total", a.forcedDeletes, "program-forced trace deletions")
+	counterM("gencached_replay_overhead_instructions_total", a.overheadInstr, "Table 2 instruction overhead across sessions")
+
+	counterM("gencached_shared_adoptions_total", a.adoptions, "shared-tier adoptions by sessions")
+	counterM("gencached_shared_published_total", a.published, "traces published into the shared tier")
+	counterM("gencached_shared_saved_instructions_total", a.savedGenInstr, "trace-generation instructions avoided by adoptions")
+	gauge("gencached_shared_used_bytes", s.sp.Used(), "bytes resident in the shared persistent tier")
+	gauge("gencached_shared_capacity_bytes", s.sp.Capacity(), "capacity of the shared persistent tier")
+
+	sst := s.sp.Stats()
+	counterM("gencached_shared_tier_promotions_total", sst.Promotions, "promotions accepted by the shared tier")
+	counterM("gencached_shared_tier_merged_total", sst.Merged, "promotions merged onto an already-resident trace")
+	counterM("gencached_shared_tier_evicted_total", sst.Evicted, "shared traces evicted by capacity pressure")
+	counterM("gencached_shared_tier_drained_total", sst.Drained, "shared traces drained by their last owner leaving")
+
+	counterM("gencached_warm_restored_total", s.warm.Restored, "traces restored from the startup snapshot")
+	counterM("gencached_warm_rejected_total", s.warm.Rejected, "snapshot records rejected at warm start")
+
+	// Per-kind, per-level cache lifecycle events from the obs bus.
+	fmt.Fprintf(&b, "# HELP gencached_cache_events_total cache lifecycle events by kind and level\n")
+	fmt.Fprintf(&b, "# TYPE gencached_cache_events_total counter\n")
+	for k := obs.KindInsert; int(k) < obs.NumKinds; k++ {
+		if k == obs.KindProgress {
+			continue
+		}
+		for l := obs.Level(0); int(l) < obs.NumLevels; l++ {
+			if n := s.counter.CountAtLevel(k, l); n > 0 {
+				fmt.Fprintf(&b, "gencached_cache_events_total{kind=%q,level=%q} %d\n", k.String(), l.String(), n)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func boolToInt(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}

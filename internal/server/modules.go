@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// moduleSpace maps each session's (benchmark, local module) pair onto a
+// server-global module ID. Share keys in the shared persistent tier are
+// (module, head address), and different benchmarks reuse the same small
+// local module numbers for entirely different code — without the remap, a
+// gzip session could "adopt" a trace published by a vortex session. The
+// mapping is append-only and persists alongside the snapshot so warm-started
+// records keep meaning the same code.
+type moduleSpace struct {
+	mu    sync.Mutex
+	byKey map[moduleKey]uint16
+	next  uint32
+}
+
+type moduleKey struct {
+	Bench string
+	Local uint16
+}
+
+func newModuleSpace() *moduleSpace {
+	return &moduleSpace{byKey: make(map[moduleKey]uint16), next: 1}
+}
+
+// global resolves (benchmark, local module) to its global ID, allocating one
+// on first sight. It fails only when the 16-bit global space is exhausted;
+// the caller then skips shared-tier interplay for that module (the private
+// replay is unaffected).
+func (ms *moduleSpace) global(bench string, local uint16) (uint16, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	k := moduleKey{Bench: bench, Local: local}
+	if g, ok := ms.byKey[k]; ok {
+		return g, true
+	}
+	if ms.next > 0xFFFF {
+		return 0, false
+	}
+	g := uint16(ms.next)
+	ms.next++
+	ms.byKey[k] = g
+	return g, true
+}
+
+// moduleSidecar is the JSON document saved next to a snapshot: the module
+// namespace the snapshot's records are expressed in, plus the trace-ID
+// watermark new publications must stay above.
+type moduleSidecar struct {
+	Version     int           `json:"version"`
+	NextModule  uint32        `json:"nextModule"`
+	MaxTraceID  uint64        `json:"maxTraceID"`
+	Assignments []moduleEntry `json:"assignments"`
+}
+
+type moduleEntry struct {
+	Bench  string `json:"bench"`
+	Local  uint16 `json:"local"`
+	Global uint16 `json:"global"`
+}
+
+const sidecarVersion = 1
+
+// snapshotSidecar captures the namespace for persistence, sorted for a
+// deterministic file.
+func (ms *moduleSpace) snapshotSidecar(maxTraceID uint64) moduleSidecar {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	sc := moduleSidecar{Version: sidecarVersion, NextModule: ms.next, MaxTraceID: maxTraceID}
+	for k, g := range ms.byKey {
+		sc.Assignments = append(sc.Assignments, moduleEntry{Bench: k.Bench, Local: k.Local, Global: g})
+	}
+	sort.Slice(sc.Assignments, func(i, j int) bool {
+		a, b := sc.Assignments[i], sc.Assignments[j]
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		return a.Local < b.Local
+	})
+	return sc
+}
+
+// restore loads a persisted namespace into an empty moduleSpace.
+func (ms *moduleSpace) restore(sc moduleSidecar) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if sc.Version != sidecarVersion {
+		return fmt.Errorf("server: module sidecar version %d, want %d", sc.Version, sidecarVersion)
+	}
+	for _, e := range sc.Assignments {
+		ms.byKey[moduleKey{Bench: e.Bench, Local: e.Local}] = e.Global
+	}
+	if sc.NextModule > ms.next {
+		ms.next = sc.NextModule
+	}
+	return nil
+}
+
+// sidecarPath names the module-namespace file that rides along with a
+// snapshot.
+func sidecarPath(snapshotPath string) string { return snapshotPath + ".modules.json" }
+
+func saveSidecar(path string, sc moduleSidecar) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func loadSidecar(path string) (moduleSidecar, error) {
+	var sc moduleSidecar
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("server: parsing module sidecar %s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,357 @@
+// Package server implements gencached, the resident cache-simulation
+// service: one long-running process multiplexing many concurrent client
+// sessions over a single dbt.System with a shared persistent generation.
+//
+// Each session POSTs a workload event log (tracelog wire format, either
+// framing) and gets back the same result an offline ccsim run of that log
+// would print — the replay itself runs against a private manager, so
+// per-session numbers are bit-identical to the offline simulator no matter
+// what the other sessions are doing. The service layer rides alongside the
+// replay: traces a session's workload promotes into its persistent
+// generation are published to the shared tier, later sessions adopt them
+// instead of paying their generation cost, and teardown releases the
+// session's references owner-aware. At shutdown the shared tier is written
+// to a persist v2 snapshot and reloaded warm on the next start.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dbt"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/profiling"
+	"repro/internal/server/api"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// SharedCapacity is the shared persistent generation's size in bytes.
+	SharedCapacity uint64
+	// MaxSessions bounds concurrently replaying sessions; more wait in the
+	// queue. Default 16.
+	MaxSessions int
+	// QueueDepth bounds sessions waiting for a replay slot; past it the
+	// server answers 429. Default 64.
+	QueueDepth int
+	// MaxSessionBytes caps one session's request body. Default 256 MiB.
+	MaxSessionBytes int64
+	// SnapshotPath, when set, enables persistence: the shared tier is loaded
+	// from it at startup (warm start) and written back by SaveSnapshot.
+	SnapshotPath string
+	// KeepWarm keeps the server's own reference on every published trace so
+	// it outlives its publishing sessions. On is the service default; off
+	// makes a trace drain with its last owning session.
+	KeepWarm bool
+	// Model is the instruction-cost model; nil selects costmodel.DefaultModel.
+	Model *costmodel.Model
+	// Logf receives operational log lines; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.SharedCapacity == 0 {
+		c.SharedCapacity = 8 << 20
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 16
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxSessionBytes == 0 {
+		c.MaxSessionBytes = 256 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Server is the gencached service core, independent of any listener: tests
+// drive its Handler through httptest, cmd/gencached binds it to a real port.
+type Server struct {
+	cfg     Config
+	model   costmodel.Model
+	sys     *dbt.System
+	sp      *core.SharedPersistent
+	counter *stats.EventCounter
+	router  *obsRouter
+	adm     *admission
+	mods    *moduleSpace
+	start   time.Time
+
+	draining atomic.Bool
+
+	// maxTraceID is the high-water mark of published trace IDs, persisted in
+	// the snapshot sidecar so a restart's allocator stays above it.
+	maxTraceID atomic.Uint64
+
+	mu   sync.Mutex
+	agg  aggregate
+	warm persist.WarmStats
+}
+
+// aggregate sums per-session results into the server-wide /metrics view.
+type aggregate struct {
+	sessionsServed   uint64
+	sessionsFailed   uint64
+	bytesIngested    uint64
+	eventsIngested   uint64
+	accesses         uint64
+	hits             uint64
+	misses           uint64
+	coldCreates      uint64
+	regenerations    uint64
+	forcedDeletes    uint64
+	adoptions        uint64
+	published        uint64
+	savedGenInstr    float64
+	overheadInstr    float64
+	snapshotRestores uint64
+}
+
+// New builds a server over a fresh system, warm-starting the shared tier
+// from cfg.SnapshotPath when a compatible snapshot exists. A snapshot in an
+// unsupported format generation (persist.ErrVersion) is skipped with a log
+// line — stale state is not an error for a cache — while a corrupt one fails
+// startup: silently dropping state that should have loaded is how caches rot.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	model := costmodel.DefaultModel
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	counter := stats.NewEventCounter()
+	router := newObsRouter()
+	sp := core.NewSharedPersistent(cfg.SharedCapacity, nil, obs.Combine(counter, router))
+	sys := dbt.NewSystem(sp)
+	sys.SetKeepWarm(cfg.KeepWarm)
+	s := &Server{
+		cfg:     cfg,
+		model:   model,
+		sys:     sys,
+		sp:      sp,
+		counter: counter,
+		router:  router,
+		adm:     newAdmission(cfg.MaxSessions, cfg.QueueDepth),
+		mods:    newModuleSpace(),
+		start:   time.Now(),
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.warmStart(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// warmStart loads the snapshot and its module sidecar, if both exist and
+// are compatible.
+func (s *Server) warmStart() error {
+	f, err := os.Open(s.cfg.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		s.cfg.Logf("gencached: no snapshot at %s, cold start", s.cfg.SnapshotPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	img, err := persist.Load(f)
+	if errors.Is(err, persist.ErrVersion) {
+		s.cfg.Logf("gencached: skipping snapshot %s: %v", s.cfg.SnapshotPath, err)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: corrupt snapshot %s: %w", s.cfg.SnapshotPath, err)
+	}
+	sc, err := loadSidecar(sidecarPath(s.cfg.SnapshotPath))
+	if errors.Is(err, os.ErrNotExist) {
+		// Records without their module namespace are meaningless to new
+		// sessions; treat the snapshot as stale.
+		s.cfg.Logf("gencached: snapshot %s has no module sidecar, cold start", s.cfg.SnapshotPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.mods.restore(sc); err != nil {
+		return err
+	}
+	if s.cfg.KeepWarm {
+		s.warm = persist.WarmSharedOwner(s.sp, img, dbt.KeepWarmOwner, nil, s.model.TraceGen)
+	} else {
+		// Without keep-warm the tier holds no server-owned references;
+		// restored traces sit ownerless until adopted.
+		s.warm = persist.WarmShared(s.sp, img, nil, s.model.TraceGen)
+	}
+	s.sys.EnsureTraceIDAbove(sc.MaxTraceID)
+	s.maxTraceID.Store(sc.MaxTraceID)
+	s.cfg.Logf("gencached: warm start from %s: %d traces restored, %d rejected",
+		s.cfg.SnapshotPath, s.warm.Restored, s.warm.Rejected)
+	return nil
+}
+
+// SaveSnapshot writes the shared tier and its module namespace to the
+// configured snapshot path, atomically (tmp + rename), so a crash mid-write
+// leaves the previous snapshot intact. No-op without a SnapshotPath.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	img := persist.SnapshotShared("gencached", s.sp, nil)
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := persist.Save(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		return err
+	}
+	if err := saveSidecar(sidecarPath(s.cfg.SnapshotPath), s.mods.snapshotSidecar(s.maxTraceID.Load())); err != nil {
+		return err
+	}
+	s.cfg.Logf("gencached: snapshot %s: %d traces", s.cfg.SnapshotPath, len(img.Records))
+	return nil
+}
+
+// StartDraining flips the server into shutdown mode: /healthz reports
+// draining and new sessions are refused with 503 while in-flight ones run to
+// completion. The caller then waits for the HTTP server to drain and calls
+// SaveSnapshot.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WarmStats reports what the startup warm start restored.
+func (s *Server) WarmStats() persist.WarmStats { return s.warm }
+
+// System exposes the underlying dbt system (tests and diagnostics).
+func (s *Server) System() *dbt.System { return s.sys }
+
+// Shared exposes the shared persistent tier (tests and diagnostics).
+func (s *Server) Shared() *core.SharedPersistent { return s.sp }
+
+// Handler returns the service's HTTP mux: the session endpoint, health,
+// metrics, and the standard pprof endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.SessionsPath, s.handleSession)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	profiling.AttachHTTP(mux)
+	return mux
+}
+
+// health assembles the current /healthz view.
+func (s *Server) health() api.Health {
+	running, queued, rejected := s.adm.load()
+	s.mu.Lock()
+	served := s.agg.sessionsServed
+	s.mu.Unlock()
+	h := api.Health{
+		Status:          "ok",
+		ActiveSessions:  running,
+		QueuedSessions:  queued,
+		SessionsServed:  served,
+		SessionsDenied:  rejected,
+		SharedUsedBytes: s.sp.Used(),
+		WarmRestored:    s.warm.Restored,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// recordResult folds one finished session into the aggregate counters.
+func (s *Server) recordResult(r api.SessionResult, bytes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := &s.agg
+	a.sessionsServed++
+	a.bytesIngested += bytes
+	a.eventsIngested += r.Events
+	a.accesses += r.Accesses
+	a.hits += r.Hits
+	a.misses += r.Misses
+	a.coldCreates += r.ColdCreates
+	a.regenerations += r.Regenerations
+	a.forcedDeletes += r.ForcedDeletes
+	a.adoptions += r.Shared.Adoptions
+	a.published += r.Shared.Published
+	a.savedGenInstr += r.Shared.SavedGenInstructions
+	a.overheadInstr += r.Overhead.TotalInstructions
+}
+
+func (s *Server) recordFailure() {
+	s.mu.Lock()
+	s.agg.sessionsFailed++
+	s.mu.Unlock()
+}
+
+// notePublished advances the persisted trace-ID watermark.
+func (s *Server) notePublished(id uint64) {
+	for {
+		cur := s.maxTraceID.Load()
+		if id <= cur || s.maxTraceID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// obsRouter fans shared-tier events out to the session that caused them:
+// every SharedPersistent event carries the causing owner in Proc, which for
+// service sessions is the session ID. Sessions streaming their merged event
+// feed subscribe while they run; everyone else's events fall through
+// silently. Reads vastly outnumber writes, so a RWMutex-guarded map is
+// plenty — the hot path is one read-lock and a map probe.
+type obsRouter struct {
+	mu   sync.RWMutex
+	subs map[int]obs.Observer
+}
+
+func newObsRouter() *obsRouter {
+	return &obsRouter{subs: make(map[int]obs.Observer)}
+}
+
+// Observe implements obs.Observer.
+func (r *obsRouter) Observe(e obs.Event) {
+	r.mu.RLock()
+	o := r.subs[e.Proc]
+	r.mu.RUnlock()
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+func (r *obsRouter) attach(proc int, o obs.Observer) {
+	r.mu.Lock()
+	r.subs[proc] = o
+	r.mu.Unlock()
+}
+
+func (r *obsRouter) detach(proc int) {
+	r.mu.Lock()
+	delete(r.subs, proc)
+	r.mu.Unlock()
+}

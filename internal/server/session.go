@@ -1,0 +1,493 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/dbt"
+	"repro/internal/obs"
+	"repro/internal/server/api"
+	"repro/internal/sim"
+	"repro/internal/tracelog"
+)
+
+// sessionParams is the parsed query-string configuration of one session.
+type sessionParams struct {
+	capacity  uint64 // absolute bytes; >0 selects the streaming path
+	capFrac   float64
+	layout    string
+	threshold uint64
+	tiers     string
+	unified   bool
+	events    bool
+}
+
+func parseParams(r *http.Request) (sessionParams, error) {
+	p := sessionParams{capFrac: 0.5, layout: "45-10-45", threshold: 1}
+	q := r.URL.Query()
+	if v := q.Get(api.ParamCapacity); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return p, fmt.Errorf("bad %s %q", api.ParamCapacity, v)
+		}
+		p.capacity = n
+	}
+	if v := q.Get(api.ParamCapFrac); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 16 {
+			return p, fmt.Errorf("bad %s %q", api.ParamCapFrac, v)
+		}
+		p.capFrac = f
+	}
+	if v := q.Get(api.ParamLayout); v != "" {
+		if _, err := api.ParseLayout(v); err != nil {
+			return p, err
+		}
+		p.layout = v
+	}
+	if v := q.Get(api.ParamThreshold); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad %s %q", api.ParamThreshold, v)
+		}
+		p.threshold = n
+	}
+	p.tiers = q.Get(api.ParamTiers)
+	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events} {
+		if v := q.Get(name); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return p, fmt.Errorf("bad %s %q", name, v)
+			}
+			*dst = b
+		}
+	}
+	return p, nil
+}
+
+// buildManager constructs the session's private manager exactly as offline
+// ccsim would for the same flags, with the same observer topology the cost
+// accounting depends on.
+func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra obs.Observer) (core.Manager, error) {
+	o := obs.Combine(sim.CostObserver(acc), extra)
+	if p.unified {
+		return core.NewUnified(capacity, nil, o), nil
+	}
+	if p.tiers != "" {
+		spec, err := core.ParseTierSpec(p.tiers, capacity)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGraph(spec, o)
+	}
+	fracs, err := api.ParseLayout(p.layout)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewGenerational(core.Config{
+		TotalCapacity:    capacity,
+		NurseryFrac:      fracs[0],
+		ProbationFrac:    fracs[1],
+		PersistentFrac:   fracs[2],
+		PromoteThreshold: p.threshold,
+		PromoteOnAccess:  p.threshold <= 1,
+	}, o)
+}
+
+// countingReader tallies how many body bytes a session consumed.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// ndjsonWriter serializes StreamLines for an events-mode response. It is
+// written only from the session's own goroutine: private-manager events fire
+// inside the replay, and shared-tier events routed to this session are, by
+// construction, caused by this session's own calls.
+type ndjsonWriter struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	flusher http.Flusher
+	err     error
+	lines   uint64
+}
+
+func newNDJSONWriter(w http.ResponseWriter) *ndjsonWriter {
+	nw := &ndjsonWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+	nw.enc = json.NewEncoder(nw.bw)
+	nw.flusher, _ = w.(http.Flusher)
+	return nw
+}
+
+func (nw *ndjsonWriter) write(line api.StreamLine) {
+	if nw.err != nil {
+		return
+	}
+	nw.err = nw.enc.Encode(line)
+	nw.lines++
+}
+
+func (nw *ndjsonWriter) flush() {
+	if nw.err == nil {
+		nw.err = nw.bw.Flush()
+	}
+	if nw.err == nil && nw.flusher != nil {
+		nw.flusher.Flush()
+	}
+}
+
+// identKey names one piece of guest code in the server-global namespace.
+type identKey struct {
+	module uint16 // global module ID
+	head   uint64
+}
+
+// identState tracks the session's relationship with one code identity.
+type identState struct {
+	gid     uint64 // shared-tier trace ID, once known (adopted or published)
+	adopted bool   // session currently holds an adoption ref
+}
+
+// localTrace remembers a log-local trace's identity for the promote hook.
+type localTrace struct {
+	size   uint32
+	module uint16 // log-local module ID
+	head   uint64
+}
+
+// sessionRun carries one session's replay plus its shared-tier interplay.
+//
+// The replay itself runs against a fully private manager via the same
+// sim.Replayer the offline simulator uses, so the session's result is
+// bit-identical to `ccsim` on the same log regardless of what concurrent
+// sessions do. The shared tier rides alongside: KindCreate (and regenerating
+// misses) probe it for an adoptable trace, private promotions into the
+// persistent generation publish to it, and KindUnmap releases the session's
+// references — all bookkeeping layered beside the replay, never inside it.
+type sessionRun struct {
+	srv  *Server
+	sess *dbt.Session
+	rep  *sim.Replayer
+
+	bench  string
+	gmods  map[uint16]uint16 // log-local module → global module
+	gmodOK map[uint16]bool
+	idents map[identKey]*identState
+	local  map[uint64]localTrace
+
+	adoptions uint64 // distinct identities adopted
+	published uint64 // distinct identities published
+	savedGen  float64
+
+	enc *ndjsonWriter // nil unless events mode
+}
+
+func newSessionRun(srv *Server, sess *dbt.Session, bench string, enc *ndjsonWriter) *sessionRun {
+	return &sessionRun{
+		srv:    srv,
+		sess:   sess,
+		bench:  bench,
+		gmods:  make(map[uint16]uint16),
+		gmodOK: make(map[uint16]bool),
+		idents: make(map[identKey]*identState),
+		local:  make(map[uint64]localTrace),
+		enc:    enc,
+	}
+}
+
+// globalModule resolves a log-local module into the server-global namespace,
+// memoizing per session. Exhaustion of the 16-bit space disables sharing for
+// the module; the replay is unaffected.
+func (sr *sessionRun) globalModule(local uint16) (uint16, bool) {
+	if ok, seen := sr.gmodOK[local]; seen {
+		return sr.gmods[local], ok
+	}
+	g, ok := sr.srv.mods.global(sr.bench, local)
+	sr.gmodOK[local] = ok
+	sr.gmods[local] = g
+	return g, ok
+}
+
+// observe is the private manager's observer hook. Promotions that land a
+// trace in the session's persistent generation are the paper's signal that
+// it earned long-term residency, so they publish it to the shared tier; the
+// same event stream also feeds the session's NDJSON feed and the server-wide
+// event counter (wired separately in the observer chain).
+func (sr *sessionRun) observe(e obs.Event) {
+	if sr.enc != nil {
+		w := api.FromObs(e)
+		sr.enc.write(api.StreamLine{Event: &w})
+		if e.Kind == obs.KindProgress {
+			sr.enc.flush()
+		}
+	}
+	if e.Kind != obs.KindPromote || e.To != obs.LevelPersistent {
+		return
+	}
+	lt, ok := sr.local[e.Trace]
+	if !ok {
+		return
+	}
+	gmod, ok := sr.globalModule(lt.module)
+	if !ok {
+		return
+	}
+	key := identKey{module: gmod, head: lt.head}
+	st := sr.idents[key]
+	if st == nil {
+		st = &identState{}
+		sr.idents[key] = st
+	}
+	gid, err := sr.sess.Publish(st.gid, uint64(lt.size), gmod, lt.head)
+	if err != nil {
+		// The trace cannot live in the shared tier (bigger than the whole
+		// tier); it simply is not shared.
+		return
+	}
+	if st.gid == 0 {
+		sr.published++
+	}
+	st.gid = gid
+	sr.srv.notePublished(gid)
+}
+
+// tryAdopt probes the shared tier for this identity and attaches if a
+// size-matched trace is resident. Savings are counted once per held ref.
+func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) {
+	gmod, ok := sr.globalModule(local)
+	if !ok {
+		return
+	}
+	key := identKey{module: gmod, head: head}
+	st := sr.idents[key]
+	if st != nil && st.adopted {
+		return
+	}
+	gid, ok := sr.sess.Adopt(gmod, head, uint64(size))
+	if !ok {
+		return
+	}
+	if st == nil {
+		st = &identState{}
+		sr.idents[key] = st
+	}
+	st.gid = gid
+	st.adopted = true
+	sr.adoptions++
+	sr.savedGen += sr.srv.model.TraceGen(int(size))
+}
+
+// step feeds one log event through the session: shared-tier interplay first,
+// then the private replay step whose accounting is authoritative.
+func (sr *sessionRun) step(e tracelog.Event) error {
+	switch e.Kind {
+	case tracelog.KindCreate, tracelog.KindAdopt:
+		sr.local[e.Trace] = localTrace{size: e.Size, module: e.Module, head: e.Head}
+		sr.tryAdopt(e.Module, e.Head, e.Size)
+	case tracelog.KindUnmap:
+		if ok, seen := sr.gmodOK[e.Module]; seen && ok {
+			gmod := sr.gmods[e.Module]
+			sr.sess.UnmapModule(gmod)
+			// The refs under this module are gone; a reloaded module may
+			// re-adopt, so the identities forget their held state.
+			for key, st := range sr.idents {
+				if key.module == gmod {
+					st.adopted = false
+				}
+			}
+		}
+	case tracelog.KindAccess:
+		before := sr.rep.Result().Regenerations
+		if err := sr.rep.Step(e); err != nil {
+			return err
+		}
+		if sr.rep.Result().Regenerations > before {
+			// The private cache is regenerating this trace; a shared-tier
+			// copy, if one appeared since creation, saves that work too.
+			if lt, ok := sr.local[e.Trace]; ok {
+				sr.tryAdopt(lt.module, lt.head, lt.size)
+			}
+		}
+		return nil
+	}
+	return sr.rep.Step(e)
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSession serves POST /v1/sessions: admission, replay, result.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		jsonError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	p, err := parseParams(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission is decided before the first body byte is read: a rejected
+	// session costs the server nothing, and accepted sessions never share
+	// their replay slot with an unbounded number of peers.
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, errOverloaded) {
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusTooManyRequests, "session limit reached (%d running, %d queued)",
+				s.cfg.MaxSessions, s.cfg.QueueDepth)
+		}
+		// Context errors mean the client left while queued; nothing to say.
+		return
+	}
+	defer s.adm.release()
+
+	sess, err := s.sys.OpenSession()
+	if err != nil {
+		s.recordFailure()
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer sess.Close()
+
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxSessionBytes)}
+
+	var enc *ndjsonWriter
+	if p.events {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc = newNDJSONWriter(w)
+		// Shared-tier events caused by this session's publishes, adoptions,
+		// and unmaps carry its ID; route them into the merged feed.
+		s.router.attach(sess.ID(), obs.Func(func(e obs.Event) {
+			we := api.FromObs(e)
+			enc.write(api.StreamLine{Event: &we})
+		}))
+		defer s.router.detach(sess.ID())
+	}
+
+	sr, capacity, err := s.runSession(p, sess, body, enc)
+	if err != nil {
+		s.recordFailure()
+		s.failSession(w, enc, err)
+		return
+	}
+
+	res := sr.rep.Finish()
+	out := api.FromSim(res)
+	out.Session = sess.ID()
+	out.CapacityBytes = capacity
+	out.Events = sr.rep.Events()
+	out.Shared = api.SharedSavings{
+		Adoptions:            sr.adoptions,
+		Published:            sr.published,
+		SavedGenInstructions: sr.savedGen,
+	}
+	s.recordResult(out, body.n)
+
+	if enc != nil {
+		enc.write(api.StreamLine{Result: &out})
+		enc.flush()
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// runSession decodes the body and drives the replay, returning the completed
+// run and the capacity it simulated.
+func (s *Server) runSession(p sessionParams, sess *dbt.Session, body io.Reader, enc *ndjsonWriter) (*sessionRun, uint64, error) {
+	if p.capacity > 0 {
+		// Streaming: events replay as they decode off the wire.
+		lr, err := tracelog.NewReader(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		sr, err := s.startRun(p, sess, lr.Header().Benchmark, p.capacity, enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		for {
+			e, err := lr.Next()
+			if errors.Is(err, io.EOF) {
+				return sr, p.capacity, nil
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := sr.step(e); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+
+	// Buffered: the capacity is a fraction of the log's unbounded peak, so
+	// the whole log must be read first — exactly offline ccsim's procedure.
+	h, events, err := tracelog.ReadAll(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	sum := tracelog.Summarize(h, events)
+	capacity := uint64(float64(sum.MaxLiveBytes) * p.capFrac)
+	if capacity == 0 {
+		return nil, 0, fmt.Errorf("log has no live trace bytes to size a cache from")
+	}
+	sr, err := s.startRun(p, sess, h.Benchmark, capacity, enc)
+	if err != nil {
+		return nil, 0, err
+	}
+	sr.rep.SetTotal(uint64(len(events)))
+	for _, e := range events {
+		if err := sr.step(e); err != nil {
+			return nil, 0, err
+		}
+	}
+	return sr, capacity, nil
+}
+
+// startRun builds the private manager and replayer for a session.
+func (s *Server) startRun(p sessionParams, sess *dbt.Session, bench string, capacity uint64, enc *ndjsonWriter) (*sessionRun, error) {
+	sr := newSessionRun(s, sess, bench, enc)
+	acc := costmodel.NewAccum(s.model)
+	mgr, err := p.buildManager(capacity, acc, obs.Combine(s.counter, obs.Func(sr.observe)))
+	if err != nil {
+		return nil, err
+	}
+	if pm, ok := mgr.(interface{ SetProcID(int) }); ok {
+		pm.SetProcID(sess.ID())
+	}
+	sr.rep = sim.NewReplayer(bench, mgr, acc, obs.Func(sr.observe))
+	return sr, nil
+}
+
+// failSession reports a terminal session error in whichever framing the
+// response is using.
+func (s *Server) failSession(w http.ResponseWriter, enc *ndjsonWriter, err error) {
+	if enc != nil {
+		enc.write(api.StreamLine{Error: err.Error()})
+		enc.flush()
+		return
+	}
+	var tooBig *http.MaxBytesError
+	status := http.StatusBadRequest
+	if errors.As(err, &tooBig) {
+		status = http.StatusRequestEntityTooLarge
+	}
+	jsonError(w, status, "%v", err)
+}

@@ -61,137 +61,206 @@ func Replay(benchmark string, events []tracelog.Event, mgr core.Manager, acc *co
 // during an observed replay (a final event always fires at completion).
 const ProgressStride = 1 << 14
 
+// Replayer is the incremental form of a replay: the same accounting as
+// ReplayObserved, fed one event at a time. Batch replays (ReplayObserved)
+// and streaming consumers (the gencached session handler, which decodes
+// events straight off a network connection) share it, so a streamed replay
+// is bit-identical to an offline one by construction. A Replayer is
+// single-goroutine, like the manager it drives.
+type Replayer struct {
+	mgr core.Manager
+	acc *costmodel.Accum
+	o   obs.Observer
+	res Result
+
+	dense    []meta
+	spill    map[uint64]meta
+	byModule map[uint16][]uint64
+
+	count uint64 // events stepped so far
+	total uint64 // declared total for progress reporting; 0 = unknown
+}
+
+type meta struct {
+	size   uint32
+	module uint16
+	head   uint64
+	known  bool
+	dead   bool // module unmapped; must never be accessed again
+}
+
+// Trace IDs are assigned sequentially by the engine, so the per-access
+// metadata lookup is a dense slice load; arbitrary IDs spill into a map.
+const maxDenseTrace = 1 << 22
+
+// NewReplayer starts a replay of one event stream against a freshly
+// constructed manager. The manager's observer must be (or fan out to)
+// CostObserver(acc) so evictions and promotions are charged; o receives
+// KindProgress events only.
+func NewReplayer(benchmark string, mgr core.Manager, acc *costmodel.Accum, o obs.Observer) *Replayer {
+	return &Replayer{
+		mgr: mgr,
+		acc: acc,
+		o:   o,
+		res: Result{
+			Config:    mgr.Name(),
+			Benchmark: benchmark,
+			Overhead:  acc,
+		},
+		dense:    make([]meta, 0, 1024),
+		byModule: make(map[uint16][]uint64),
+	}
+}
+
+// SetTotal declares how many events the stream will carry, for progress
+// reporting. Streaming callers that do not know may leave it unset.
+func (r *Replayer) SetTotal(n uint64) { r.total = n }
+
+func (r *Replayer) lookup(id uint64) (meta, bool) {
+	if id < uint64(len(r.dense)) {
+		m := r.dense[id]
+		return m, m.known
+	}
+	m, ok := r.spill[id]
+	return m, ok
+}
+
+func (r *Replayer) store(id uint64, m meta) {
+	m.known = true
+	if id < maxDenseTrace {
+		for uint64(len(r.dense)) <= id {
+			r.dense = append(r.dense, meta{})
+		}
+		r.dense[id] = m
+		return
+	}
+	if r.spill == nil {
+		r.spill = make(map[uint64]meta)
+	}
+	r.spill[id] = m
+}
+
+// Step feeds the next event through the replay.
+func (r *Replayer) Step(e tracelog.Event) error {
+	if r.o != nil && r.count > 0 && r.count%ProgressStride == 0 {
+		total := r.total
+		if total == 0 {
+			total = r.count
+		}
+		r.o.Observe(obs.Event{Kind: obs.KindProgress, Benchmark: r.res.Benchmark, Done: r.count, Total: total})
+	}
+	r.count++
+	switch e.Kind {
+	case tracelog.KindCreate:
+		if _, dup := r.lookup(e.Trace); dup {
+			return fmt.Errorf("sim: duplicate create of trace %d", e.Trace)
+		}
+		r.store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
+		r.byModule[e.Module] = append(r.byModule[e.Module], e.Trace)
+		r.res.ColdCreates++
+		r.acc.ChargeTraceGen(int(e.Size))
+		// Insertion failures (trace bigger than the nursery) leave the
+		// trace uncached; subsequent accesses are misses.
+		_ = r.mgr.Insert(codecache.Fragment{
+			ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
+		})
+
+	case tracelog.KindAdopt:
+		// The trace was adopted from a shared tier during the original
+		// run: no generation cost was paid. Replaying against a single
+		// private manager, the body still has to be present for the
+		// later accesses, so it is inserted — but charged nothing.
+		if _, dup := r.lookup(e.Trace); dup {
+			return fmt.Errorf("sim: duplicate adopt of trace %d", e.Trace)
+		}
+		r.store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
+		r.byModule[e.Module] = append(r.byModule[e.Module], e.Trace)
+		r.res.Adoptions++
+		_ = r.mgr.Insert(codecache.Fragment{
+			ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
+		})
+
+	case tracelog.KindAccess:
+		m, ok := r.lookup(e.Trace)
+		if !ok {
+			return fmt.Errorf("sim: access to unknown trace %d", e.Trace)
+		}
+		if m.dead {
+			return fmt.Errorf("sim: access to trace %d from unmapped module %d", e.Trace, m.module)
+		}
+		r.res.Accesses++
+		if r.mgr.Access(e.Trace) {
+			r.res.Hits++
+			return nil
+		}
+		// Conflict miss: the trace must be re-generated and re-inserted,
+		// paying trace generation plus the surrounding context switches.
+		r.res.Misses++
+		r.res.Regenerations++
+		r.acc.ChargeTraceGen(int(m.size))
+		_ = r.mgr.Insert(codecache.Fragment{
+			ID: e.Trace, Size: uint64(m.size), Module: m.module, HeadAddr: m.head,
+		})
+
+	case tracelog.KindUnmap:
+		victims := r.mgr.DeleteModule(e.Module)
+		r.res.ForcedDeletes += uint64(len(victims))
+		// Deletion work is charged per evicted trace; program-forced
+		// deletions cost the same eviction labor.
+		for _, v := range victims {
+			r.acc.ChargeEviction(int(v.Size))
+		}
+		for _, id := range r.byModule[e.Module] {
+			if m, ok := r.lookup(id); ok && !m.dead {
+				m.dead = true
+				r.store(id, m)
+			}
+		}
+		r.byModule[e.Module] = r.byModule[e.Module][:0]
+
+	case tracelog.KindPin:
+		r.mgr.SetUndeletable(e.Trace, true)
+	case tracelog.KindUnpin:
+		r.mgr.SetUndeletable(e.Trace, false)
+	case tracelog.KindEnd:
+		// nothing to do
+	default:
+		return fmt.Errorf("sim: unknown event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Events returns how many events have been stepped.
+func (r *Replayer) Events() uint64 { return r.count }
+
+// Result returns a snapshot of the counters accumulated so far, without the
+// manager's final statistics; error paths report it as the partial result.
+func (r *Replayer) Result() Result { return r.res }
+
+// Finish closes the replay: it publishes the final progress event and fills
+// in the manager's own counter set.
+func (r *Replayer) Finish() Result {
+	total := r.total
+	if total == 0 {
+		total = r.count
+	}
+	obs.Emit(r.o, obs.Event{Kind: obs.KindProgress, Benchmark: r.res.Benchmark, Done: total, Total: total})
+	r.res.Manager = r.mgr.Stats()
+	return r.res
+}
+
 // ReplayObserved is Replay plus a progress stream: every ProgressStride log
 // events (and once at the end) it publishes a KindProgress event to o. Cache
 // lifecycle events are published by the manager's own observer, not o.
 func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager, acc *costmodel.Accum, o obs.Observer) (Result, error) {
-	res := Result{
-		Config:    mgr.Name(),
-		Benchmark: benchmark,
-		Overhead:  acc,
-	}
-	type meta struct {
-		size   uint32
-		module uint16
-		head   uint64
-		known  bool
-		dead   bool // module unmapped; must never be accessed again
-	}
-	// Trace IDs are assigned sequentially by the engine, so the per-access
-	// metadata lookup is a dense slice load; arbitrary IDs spill into a map.
-	const maxDenseTrace = 1 << 22
-	dense := make([]meta, 0, 1024)
-	var spill map[uint64]meta
-	lookup := func(id uint64) (meta, bool) {
-		if id < uint64(len(dense)) {
-			m := dense[id]
-			return m, m.known
-		}
-		m, ok := spill[id]
-		return m, ok
-	}
-	store := func(id uint64, m meta) {
-		m.known = true
-		if id < maxDenseTrace {
-			for uint64(len(dense)) <= id {
-				dense = append(dense, meta{})
-			}
-			dense[id] = m
-			return
-		}
-		if spill == nil {
-			spill = make(map[uint64]meta)
-		}
-		spill[id] = m
-	}
-	byModule := make(map[uint16][]uint64)
-
-	total := uint64(len(events))
-	for i, e := range events {
-		if o != nil && i > 0 && i%ProgressStride == 0 {
-			o.Observe(obs.Event{Kind: obs.KindProgress, Benchmark: benchmark, Done: uint64(i), Total: total})
-		}
-		switch e.Kind {
-		case tracelog.KindCreate:
-			if _, dup := lookup(e.Trace); dup {
-				return res, fmt.Errorf("sim: duplicate create of trace %d", e.Trace)
-			}
-			store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
-			byModule[e.Module] = append(byModule[e.Module], e.Trace)
-			res.ColdCreates++
-			acc.ChargeTraceGen(int(e.Size))
-			// Insertion failures (trace bigger than the nursery) leave the
-			// trace uncached; subsequent accesses are misses.
-			_ = mgr.Insert(codecache.Fragment{
-				ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
-			})
-
-		case tracelog.KindAdopt:
-			// The trace was adopted from a shared tier during the original
-			// run: no generation cost was paid. Replaying against a single
-			// private manager, the body still has to be present for the
-			// later accesses, so it is inserted — but charged nothing.
-			if _, dup := lookup(e.Trace); dup {
-				return res, fmt.Errorf("sim: duplicate adopt of trace %d", e.Trace)
-			}
-			store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
-			byModule[e.Module] = append(byModule[e.Module], e.Trace)
-			res.Adoptions++
-			_ = mgr.Insert(codecache.Fragment{
-				ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,
-			})
-
-		case tracelog.KindAccess:
-			m, ok := lookup(e.Trace)
-			if !ok {
-				return res, fmt.Errorf("sim: access to unknown trace %d", e.Trace)
-			}
-			if m.dead {
-				return res, fmt.Errorf("sim: access to trace %d from unmapped module %d", e.Trace, m.module)
-			}
-			res.Accesses++
-			if mgr.Access(e.Trace) {
-				res.Hits++
-				continue
-			}
-			// Conflict miss: the trace must be re-generated and re-inserted,
-			// paying trace generation plus the surrounding context switches.
-			res.Misses++
-			res.Regenerations++
-			acc.ChargeTraceGen(int(m.size))
-			_ = mgr.Insert(codecache.Fragment{
-				ID: e.Trace, Size: uint64(m.size), Module: m.module, HeadAddr: m.head,
-			})
-
-		case tracelog.KindUnmap:
-			victims := mgr.DeleteModule(e.Module)
-			res.ForcedDeletes += uint64(len(victims))
-			// Deletion work is charged per evicted trace; program-forced
-			// deletions cost the same eviction labor.
-			for _, v := range victims {
-				acc.ChargeEviction(int(v.Size))
-			}
-			for _, id := range byModule[e.Module] {
-				if m, ok := lookup(id); ok && !m.dead {
-					m.dead = true
-					store(id, m)
-				}
-			}
-			byModule[e.Module] = byModule[e.Module][:0]
-
-		case tracelog.KindPin:
-			mgr.SetUndeletable(e.Trace, true)
-		case tracelog.KindUnpin:
-			mgr.SetUndeletable(e.Trace, false)
-		case tracelog.KindEnd:
-			// nothing to do
-		default:
-			return res, fmt.Errorf("sim: unknown event kind %d", e.Kind)
+	rep := NewReplayer(benchmark, mgr, acc, o)
+	rep.SetTotal(uint64(len(events)))
+	for _, e := range events {
+		if err := rep.Step(e); err != nil {
+			return rep.Result(), err
 		}
 	}
-	obs.Emit(o, obs.Event{Kind: obs.KindProgress, Benchmark: benchmark, Done: total, Total: total})
-	res.Manager = mgr.Stats()
-	return res, nil
+	return rep.Finish(), nil
 }
 
 // CostObserver returns an observer that charges capacity evictions and

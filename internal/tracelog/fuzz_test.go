@@ -16,7 +16,23 @@ func FuzzReader(f *testing.F) {
 	w.Write(Event{Kind: KindEnd, Time: 4})
 	w.Flush()
 	f.Add(seed.Bytes())
+
+	// A version-2 seed: interleaved processes, time stepping backwards
+	// between them, an adoption — every v2-only codepath.
+	var seed2 bytes.Buffer
+	w2, _ := NewWriter(&seed2, Header{Benchmark: "seed2", DurationMicros: 99, Procs: 3})
+	w2.Write(Event{Kind: KindCreate, Time: 5, Proc: 0, Trace: 1, Size: 64, Module: 1, Head: 0x2000})
+	w2.Write(Event{Kind: KindAdopt, Time: 2, Proc: 1, Trace: 1, Size: 64, Module: 1, Head: 0x2000})
+	w2.Write(Event{Kind: KindAccess, Time: 7, Proc: 2, Trace: 1})
+	w2.Write(Event{Kind: KindPin, Time: 8, Proc: 0, Trace: 1})
+	w2.Write(Event{Kind: KindUnpin, Time: 9, Proc: 0, Trace: 1})
+	w2.Write(Event{Kind: KindUnmap, Time: 10, Proc: 1, Module: 1})
+	w2.Write(Event{Kind: KindEnd, Time: 11, Proc: 0})
+	w2.Flush()
+	f.Add(seed2.Bytes())
+
 	f.Add([]byte("CCLOG1\n"))
+	f.Add([]byte("CCLOG2\n"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

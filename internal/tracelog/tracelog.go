@@ -292,10 +292,28 @@ func NewReaderSize(r io.Reader, size int) (*Reader, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tracelog: reading process count: %w", err)
 		}
+		// A version-2 log exists only because it interleaves processes; a
+		// count of 0 or 1 is not something any writer produces, and a huge
+		// one is line noise. The decoder reads from the network in service
+		// deployments, so implausible headers are rejected here rather than
+		// allowed to corrupt downstream accounting (a Procs≤1 header would
+		// even re-encode as version 1).
+		if procs < 2 || procs > maxProcs {
+			return nil, fmt.Errorf("tracelog: implausible process count %d for a multi-process log", procs)
+		}
 		h.Procs = int(procs)
 	}
 	return &Reader{r: br, h: h, v2: v2}, nil
 }
+
+// Decoder plausibility bounds. Values past them mean a corrupt or hostile
+// stream, not a big workload: the writer never produces them (Module and
+// Size are physically narrower; process counts are bounded by the engine).
+const (
+	maxProcs     = 1 << 20
+	maxModuleID  = 1<<16 - 1
+	maxTraceSize = 1<<32 - 1
+)
 
 // Header returns the log's metadata.
 func (r *Reader) Header() Header { return r.h }
@@ -319,6 +337,9 @@ func (r *Reader) Next() (Event, error) {
 		if err != nil {
 			return Event{}, fmt.Errorf("tracelog: reading process: %w", err)
 		}
+		if proc > maxProcs {
+			return Event{}, fmt.Errorf("tracelog: implausible process ID %d", proc)
+		}
 		e.Proc = int(proc)
 		dt, err := binary.ReadVarint(r.r)
 		if err != nil {
@@ -329,6 +350,12 @@ func (r *Reader) Next() (Event, error) {
 		dt, err := binary.ReadUvarint(r.r)
 		if err != nil {
 			return Event{}, fmt.Errorf("tracelog: reading time: %w", err)
+		}
+		if r.lastTime+dt < r.lastTime {
+			// A version-1 clock is monotonic by contract; a delta that wraps
+			// the 64-bit clock is corruption, and letting it through would
+			// produce a stream the writer itself refuses to re-encode.
+			return Event{}, fmt.Errorf("tracelog: time delta %d overflows the clock", dt)
 		}
 		r.lastTime += dt
 	}
@@ -342,11 +369,13 @@ func (r *Reader) Next() (Event, error) {
 		if v, err = binary.ReadUvarint(r.r); err != nil {
 			return Event{}, err
 		}
+		if v > maxTraceSize {
+			return Event{}, fmt.Errorf("tracelog: implausible trace size %d", v)
+		}
 		e.Size = uint32(v)
-		if v, err = binary.ReadUvarint(r.r); err != nil {
+		if e.Module, err = r.readModule(); err != nil {
 			return Event{}, err
 		}
-		e.Module = uint16(v)
 		if e.Head, err = binary.ReadUvarint(r.r); err != nil {
 			return Event{}, err
 		}
@@ -355,17 +384,29 @@ func (r *Reader) Next() (Event, error) {
 			return Event{}, err
 		}
 	case KindUnmap:
-		var v uint64
-		if v, err = binary.ReadUvarint(r.r); err != nil {
+		if e.Module, err = r.readModule(); err != nil {
 			return Event{}, err
 		}
-		e.Module = uint16(v)
 	case KindEnd:
 		r.done = true
 	default:
 		return Event{}, fmt.Errorf("tracelog: unknown event kind %d", kb)
 	}
 	return e, nil
+}
+
+// readModule decodes a module ID, rejecting values that cannot have come
+// from a writer (module IDs are 16-bit; silent truncation would alias two
+// different modules and corrupt unmap accounting).
+func (r *Reader) readModule() (uint16, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return 0, err
+	}
+	if v > maxModuleID {
+		return 0, fmt.Errorf("tracelog: implausible module ID %d", v)
+	}
+	return uint16(v), nil
 }
 
 // ReadAll decodes every event in the stream.

@@ -17,3 +17,6 @@ go build ./...
 go test -race ./...
 # Benchmark smoke run: one iteration of everything, so benchmarks can't rot.
 go test -run '^$' -bench . -benchtime 1x .
+# Short fuzz run over the tracelog decoder: seeds the corpus and catches
+# regressions in the malformed-input hardening without a long fuzz budget.
+go test ./internal/tracelog -run '^$' -fuzz FuzzReader -fuzztime 10s

@@ -1,0 +1,86 @@
+#!/bin/sh
+# serve-smoke: end-to-end exercise of the gencached service under the race
+# detector. Starts the daemon on an ephemeral port, drives it with the
+# bundled loadtest client (overload check + 8 concurrent verified sessions),
+# shuts it down with SIGTERM, asserts a snapshot was written, then restarts
+# over the snapshot and requires the second round to warm-start and adopt.
+set -eu
+
+work=$(mktemp -d /tmp/serve-smoke.XXXXXX)
+pid=""
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building gencached (-race)"
+go build -race -o "$work/gencached" ./cmd/gencached
+
+start_daemon() {
+    rm -f "$work/addr"
+    "$work/gencached" serve \
+        -addr 127.0.0.1:0 -addr-file "$work/addr" \
+        -snapshot "$work/tier.ccpersist" \
+        -max-sessions 4 -queue 2 >"$work/$1.log" 2>&1 &
+    pid=$!
+    # Wait for the daemon to bind and publish its address.
+    i=0
+    while [ ! -s "$work/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$pid" 2>/dev/null; then
+            echo "serve-smoke: daemon never published its address" >&2
+            cat "$work/$1.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    addr="http://$(cat "$work/addr")"
+}
+
+stop_daemon() {
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "serve-smoke: daemon exited non-zero" >&2
+        cat "$work/$1.log" >&2
+        exit 1
+    fi
+    pid=""
+    grep -q "clean shutdown" "$work/$1.log" || {
+        echo "serve-smoke: daemon log missing clean-shutdown marker" >&2
+        cat "$work/$1.log" >&2
+        exit 1
+    }
+}
+
+start_daemon cold
+echo "serve-smoke: daemon on $addr (pid $pid)"
+
+# Overload first (hold = slots + queue saturates the 4+2 server), then eight
+# concurrent clients whose results are each verified bit-identical against an
+# offline replay of the same log.
+"$work/gencached" loadtest -addr "$addr" \
+    -overload-hold 6 \
+    -clients 8 -sessions 8 -bench word,gzip -scale 0.03 -min-sessions 8
+
+stop_daemon cold
+test -s "$work/tier.ccpersist" || { echo "serve-smoke: no snapshot written" >&2; exit 1; }
+test -s "$work/tier.ccpersist.modules.json" || { echo "serve-smoke: no module sidecar written" >&2; exit 1; }
+
+start_daemon warm
+echo "serve-smoke: restarted on $addr (pid $pid)"
+grep -q "warm start" "$work/warm.log" || {
+    echo "serve-smoke: restart did not warm-start from the snapshot" >&2
+    cat "$work/warm.log" >&2
+    exit 1
+}
+
+# The warm round must restore traces from the snapshot and adopt them.
+"$work/gencached" loadtest -addr "$addr" \
+    -clients 4 -sessions 4 -bench word,gzip -scale 0.03 -min-sessions 4 -expect-warm
+
+stop_daemon warm
+echo "serve-smoke: PASS"
