@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke
 
 ci: fmt vet build race bench-smoke
 
@@ -48,6 +48,15 @@ serve-smoke:
 # Short fuzz run over the tracelog decoder; seeds the corpus.
 fuzz-smoke:
 	$(GO) test ./internal/tracelog -run '^$$' -fuzz FuzzReader -fuzztime 10s
+
+# Policy-selection smoke: replay a log whose best static policy is not the
+# selector's starting one (eon favors the pseudo-circular sweep), under the
+# race detector, and require that the selector actually switched.
+policyselect-smoke:
+	$(GO) run ./cmd/tracegen -bench eon -scale 0.05 -o /tmp/policyselect-smoke.cclog
+	$(GO) run -race ./cmd/ccsim -log /tmp/policyselect-smoke.cclog -tiers 100 -policy auto -selepoch 256 | tee /tmp/policyselect-smoke.out
+	grep -q 'selector: [1-9][0-9]* switches' /tmp/policyselect-smoke.out
+	rm -f /tmp/policyselect-smoke.cclog /tmp/policyselect-smoke.out
 
 # Adaptive smoke: a short replay with the split controller attached, under
 # the race detector, on both the stock three-tier shape and a four-tier one.

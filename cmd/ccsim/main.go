@@ -11,6 +11,9 @@
 //	ccsim -log word.cclog -procs 4
 //	ccsim -log word.cclog -tiers 30-10-20-40@1,2,4
 //	ccsim -log word.cclog -adaptive -epoch 512
+//	ccsim -log word.cclog -tiers 30@lru-70@trrip
+//	ccsim -log word.cclog -policy auto
+//	ccsim -policies
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/policy"
 	"repro/internal/profiling"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,9 +44,12 @@ func main() {
 	layout := flag.String("layout", "45-10-45", "nursery-probation-persistent percentages")
 	threshold := flag.Uint64("threshold", 1, "probation promotion threshold")
 	unified := flag.Bool("unified", false, "simulate only the unified baseline")
-	tiers := flag.String("tiers", "", `replay an arbitrary tier graph instead of the stock generational chain, e.g. "30-10-20-40@1,2,4" (percentages, then per-edge promotion thresholds)`)
+	tiers := flag.String("tiers", "", `replay an arbitrary tier graph instead of the stock generational chain, e.g. "30-10-20-40@1,2,4" (percentages, then per-edge promotion thresholds) or "30@lru-70@trrip" (per-tier policies)`)
 	adaptive := flag.Bool("adaptive", false, "attach the adaptive split controller (re-balances tier capacities online)")
 	epoch := flag.Uint64("epoch", 0, "accesses between adaptive controller decisions (0 = controller default)")
+	policyFlag := flag.String("policy", "", `local-policy spec applied to every graph tier not already naming one ("lru", "trrip:cold=4", "auto" for online selection); implies the tier-graph replay path`)
+	selEpoch := flag.Uint64("selepoch", 0, "accesses between policy-selector decisions (0 = selector default)")
+	listPolicies := flag.Bool("policies", false, "list the policy registry and exit")
 	procs := flag.Int("procs", 1, "replay as this many processes over one shared persistent tier (1 = classic single-process replay)")
 	stagger := flag.Int("stagger", 0, "with -procs > 1: admit process p after p*stagger total events (0 = auto)")
 	parallel := flag.Int("parallel", 0, "worker pool size for the replays (0 = GOMAXPROCS, 1 = sequential); results are identical at every level")
@@ -55,6 +62,10 @@ func main() {
 
 	if *version {
 		fmt.Println(buildinfo.Version("ccsim"))
+		return
+	}
+	if *listPolicies {
+		fmt.Print(policy.Describe())
 		return
 	}
 	if err := pipeline.Validate(*parallel); err != nil {
@@ -122,10 +133,10 @@ func main() {
 		PromoteOnAccess:  *threshold <= 1,
 	}
 
-	graphMode := *tiers != "" || *adaptive
+	graphMode := *tiers != "" || *adaptive || *policyFlag != ""
 	if *procs > 1 {
 		if graphMode {
-			fmt.Fprintln(os.Stderr, "ccsim: -tiers and -adaptive do not combine with -procs")
+			fmt.Fprintln(os.Stderr, "ccsim: -tiers, -adaptive, and -policy do not combine with -procs")
 			os.Exit(2)
 		}
 		if err := runShared(h.Benchmark, events, cfg, *procs, *stagger, dump); err != nil {
@@ -156,6 +167,19 @@ func main() {
 		}
 		if *adaptive {
 			spec.Adaptive = &core.AdaptiveConfig{Epoch: *epoch}
+		}
+		if *policyFlag != "" {
+			for i := range spec.Tiers {
+				if spec.Tiers[i].Policy == "" {
+					spec.Tiers[i].Policy = *policyFlag
+				}
+			}
+		}
+		if *selEpoch > 0 {
+			spec.Selector = &core.SelectorConfig{Epoch: *selEpoch}
+		}
+		if err := spec.Validate(); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -210,6 +234,10 @@ func main() {
 			}
 			fmt.Fprintf(out, "  adaptive: %d resizes (%d reversals, %d blocked) over %d epochs, final split %s\n",
 				as.Resizes, as.Reversals, as.Blocked, as.Epochs, strings.Join(parts, "-"))
+		}
+		if ss, ok := graphMgr.SelectorStats(); ok {
+			fmt.Fprintf(out, "  selector: %d switches (%d reversals) over %d epochs, live policies %s\n",
+				ss.Switches, ss.Reversals, ss.Epochs, strings.Join(graphMgr.LivePolicies(), "-"))
 		}
 	}
 
@@ -284,6 +312,7 @@ type eventRecord struct {
 	To     string `json:"to,omitempty"`
 	Done   uint64 `json:"done,omitempty"`
 	Total  uint64 `json:"total,omitempty"`
+	Policy string `json:"policy,omitempty"`
 }
 
 // forConfig returns an observer writing records tagged with config, or nil
@@ -303,6 +332,8 @@ func (d *eventDumper) forConfig(config string) obs.Observer {
 			rec.From, rec.To = e.From.String(), e.To.String()
 		case obs.KindProgress:
 			rec.Done, rec.Total = e.Done, e.Total
+		case obs.KindPolicySwitch:
+			rec.From, rec.Policy = e.From.String(), e.Policy
 		}
 		if err := d.enc.Encode(rec); err != nil {
 			fatal(err)

@@ -21,12 +21,13 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/policy"
 	"repro/internal/profiling"
 )
 
 var experimentOrder = []string{
 	"table1", "fig1", "fig2", "fig3", "fig4", "fig6",
-	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "adaptive", "optimpact", "robustness", "shared",
+	"fig9", "fig10", "table2", "fig11", "cycles", "sweep", "capsweep", "ablations", "adaptive", "policyselect", "optimpact", "robustness", "shared",
 }
 
 func main() {
@@ -40,11 +41,16 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this long, e.g. 10m (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	listPolicies := flag.Bool("policies", false, "list the local-policy registry (the policyselect candidate zoo) and exit")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.Version("gencache"))
+		return
+	}
+	if *listPolicies {
+		fmt.Print(policy.Describe())
 		return
 	}
 	if err := pipeline.Validate(*parallel); err != nil {
@@ -242,6 +248,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(experiments.RenderAdaptiveVsStatic(rows))
+	}
+	if want["policyselect"] {
+		section("Extension: online policy selection vs the static policy zoo")
+		rows, err := experiments.PolicySelection(suite)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderPolicySelection(rows))
 	}
 	if want["ablations"] {
 		section("Ablations: design variants vs the paper's 45-10-45 @1")

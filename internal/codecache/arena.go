@@ -623,6 +623,19 @@ func (a *Arena) PlaceFirstFit(f Fragment) error {
 	return ErrNoSpace
 }
 
+// Visit calls fn for each resident fragment in address order, stopping early
+// when fn returns false. Unlike Fragments it allocates nothing, so eviction
+// scans on the insert path (TRRIP's victim search, the LRU fallback) and the
+// policy selector's shadow priming can walk residents without garbage. fn
+// must not mutate the arena.
+func (a *Arena) Visit(fn func(*Fragment) bool) {
+	for n := a.head; n != nil; n = n.next {
+		if n.frag != nil && !fn(n.frag) {
+			return
+		}
+	}
+}
+
 // Fragments returns the resident fragments in address order.
 func (a *Arena) Fragments() []*Fragment {
 	var out []*Fragment

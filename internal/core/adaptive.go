@@ -292,6 +292,12 @@ func (c *adaptiveController) shift(from, to int) bool {
 	}
 	// Growing cannot fail.
 	_ = r.arena.Resize(r.arena.Capacity()+delta, nil)
+	if c.g.sel != nil {
+		// Keep the policy selector's shadow arenas byte-matched to the new
+		// tier capacities.
+		c.g.sel.noteResize(from, d.arena.Capacity())
+		c.g.sel.noteResize(to, r.arena.Capacity())
+	}
 	return true
 }
 

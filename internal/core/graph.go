@@ -95,6 +95,14 @@ type TierSpec struct {
 	// the edge's gate admit it, rather than waiting for its eviction (§5.3's
 	// "each hit in the probation cache triggers an upgrade").
 	PromoteOnAccess bool
+
+	// Policy selects this tier's local policy by registry spec ("lru",
+	// "trrip:hot=8"; see policy.List). The special value "auto" enables the
+	// online policy selector for this tier — "auto:lru" names the starting
+	// policy, e.g. when resuming from a snapshot. Empty defers to
+	// GraphSpec.Local. Inside tier-layout strings the dash-free registry
+	// aliases must be used (tiers are separated by '-').
+	Policy string
 }
 
 // GraphSpec describes a whole tier graph. The stock shapes are built by
@@ -112,6 +120,10 @@ type GraphSpec struct {
 	// Adaptive, when non-nil, attaches the split controller of adaptive.go:
 	// tier capacities are re-balanced at deterministic epoch boundaries.
 	Adaptive *AdaptiveConfig
+
+	// Selector tunes the online policy selector for tiers whose Policy is
+	// "auto"; nil applies the defaults. It is ignored when no tier opts in.
+	Selector *SelectorConfig
 }
 
 // Validate checks the specification.
@@ -132,7 +144,40 @@ func (s GraphSpec) Validate() error {
 	if sum < 0.999 || sum > 1.001 {
 		return fmt.Errorf("core: tier fractions sum to %.3f, want 1", sum)
 	}
+	for i, t := range s.Tiers {
+		if t.Policy == "" || isAutoPolicy(t.Policy) && autoInitial(t.Policy) == "" {
+			continue
+		}
+		spec := t.Policy
+		if isAutoPolicy(t.Policy) {
+			spec = autoInitial(t.Policy)
+		}
+		if _, err := policy.Parse(spec); err != nil {
+			return fmt.Errorf("core: tier %d: %w", i, err)
+		}
+	}
+	if s.Selector != nil {
+		for _, c := range s.Selector.Candidates {
+			if _, err := policy.Parse(c); err != nil {
+				return fmt.Errorf("core: selector candidate: %w", err)
+			}
+		}
+	}
 	return nil
+}
+
+// isAutoPolicy reports whether a tier policy spec enables online selection.
+func isAutoPolicy(p string) bool {
+	return p == "auto" || strings.HasPrefix(p, "auto:")
+}
+
+// autoInitial extracts the starting-policy spec from "auto:NAME" ("" for
+// plain "auto").
+func autoInitial(p string) string {
+	if rest, ok := strings.CutPrefix(p, "auto:"); ok {
+		return rest
+	}
+	return ""
 }
 
 // UnifiedSpec is the one-tier graph: the paper's unified baseline.
@@ -184,6 +229,7 @@ func levelFor(i, n int) Level {
 // tier is one cache of a graph plus its outgoing eviction edge.
 type tier struct {
 	level Level
+	idx   int // position in Graph.tiers
 	arena *codecache.Arena
 	local policy.Local
 
@@ -214,6 +260,7 @@ type Graph struct {
 	// errors only).
 	dropAnyErr bool
 	ctl        *adaptiveController
+	sel        *policySelector
 }
 
 // Unified is a single trace cache with a pluggable local policy: the
@@ -257,14 +304,20 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 		g.ctl = newAdaptiveController(g, *spec.Adaptive)
 		g.o = obs.Combine(g.ctl, o)
 	}
-	mk := func(l Level) policy.Local {
-		if spec.Local == nil {
-			return policy.PseudoCircular{}
+	mk := func(ts TierSpec, l Level) (policy.Local, error) {
+		if ts.Policy != "" && !isAutoPolicy(ts.Policy) {
+			fac, err := policy.Parse(ts.Policy)
+			if err != nil {
+				return nil, err
+			}
+			return fac.New(), nil
 		}
-		if p := spec.Local(l); p != nil {
-			return p
+		if spec.Local != nil {
+			if p := spec.Local(l); p != nil {
+				return p, nil
+			}
 		}
-		return policy.PseudoCircular{}
+		return policy.PseudoCircular{}, nil
 	}
 	// Size the tiers: each gets the floor of its fraction, with the last
 	// private tier of a fully private graph absorbing the rounding remainder
@@ -284,10 +337,15 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 		acc += b
 		ts := spec.Tiers[i]
 		lvl := levelFor(i, n)
+		local, err := mk(ts, lvl)
+		if err != nil {
+			return nil, fmt.Errorf("core: tier %d: %w", i, err)
+		}
 		t := &tier{
 			level:           lvl,
+			idx:             i,
 			arena:           codecache.New(b),
-			local:           mk(lvl),
+			local:           local,
 			promoteOnAccess: ts.PromoteOnAccess,
 		}
 		if ts.Predictor != nil {
@@ -298,6 +356,18 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 		t.arena.SetObserver(g.o, lvl)
 		t.arena.SetProcID(proc)
 		g.tiers = append(g.tiers, t)
+		if isAutoPolicy(ts.Policy) {
+			if g.sel == nil {
+				cfg := SelectorConfig{}
+				if spec.Selector != nil {
+					cfg = *spec.Selector
+				}
+				g.sel = newPolicySelector(g, cfg, nPriv)
+			}
+			if err := g.sel.attach(t, autoInitial(ts.Policy)); err != nil {
+				return nil, fmt.Errorf("core: tier %d: %w", i, err)
+			}
+		}
 	}
 	for i, t := range g.tiers {
 		if i+1 < len(g.tiers) {
@@ -316,6 +386,9 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 // historical names ("unified/pseudo-circular", "generational/45-10-45@1").
 func graphName(spec GraphSpec, g *Graph) string {
 	if len(spec.Tiers) == 1 {
+		if p := spec.Tiers[0].Policy; p != "" {
+			return "unified/" + p
+		}
 		return "unified/" + g.tiers[0].local.Name()
 	}
 	kind := "generational"
@@ -333,6 +406,10 @@ func graphName(spec GraphSpec, g *Graph) string {
 			b.WriteByte('-')
 		}
 		fmt.Fprintf(&b, "%.0f", t.Frac*100)
+		if t.Policy != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Policy)
+		}
 	}
 	gate := spec.Tiers[len(spec.Tiers)-2]
 	b.WriteByte('@')
@@ -391,6 +468,9 @@ func (g *Graph) promote(t *tier, v codecache.Fragment) {
 		err = n.local.Insert(n.arena, v, n.onEvict)
 		to = n.level
 		final = n.next == nil && g.shared == nil
+		if err == nil && g.sel != nil {
+			g.sel.noteInsert(n.idx, v)
+		}
 	}
 	if err != nil {
 		// The trace cannot live in the next tier (too big or fully pinned):
@@ -478,6 +558,9 @@ func (g *Graph) Insert(f codecache.Fragment) error {
 		}
 		return err
 	}
+	if g.sel != nil {
+		g.sel.noteInsert(0, f)
+	}
 	g.stats.Inserts++
 	obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: t.level, Proc: g.proc})
 	return nil
@@ -490,8 +573,17 @@ func (g *Graph) Access(id uint64) bool {
 	if g.ctl != nil {
 		g.ctl.tick(g.stats.Accesses)
 	}
+	if g.sel != nil {
+		g.sel.tick(g.stats.Accesses)
+	}
 	for i, t := range g.tiers {
-		if t.arena.Access(id) {
+		hit := t.arena.Access(id)
+		if g.sel != nil {
+			// Shadows see exactly the probes the live tier sees: every tier
+			// up to and including the hit tier.
+			g.sel.probe(i, id, hit, t.arena)
+		}
+		if hit {
 			g.stats.Hits++
 			if g.ctl != nil {
 				g.ctl.noteHit(i)
@@ -527,6 +619,12 @@ func (g *Graph) upgradeOnAccess(t *tier, id uint64) {
 		return
 	}
 	if v, err := t.arena.Delete(id, false); err == nil {
+		if g.sel != nil {
+			// A promote-on-access upgrade is gate-driven, not a local-policy
+			// decision: it would have happened under any policy, so mirror
+			// the removal into this tier's shadows.
+			g.sel.noteRemove(t.idx, id)
+		}
 		g.promote(t, v)
 	}
 }
@@ -563,6 +661,13 @@ func (g *Graph) DeleteModule(m uint16) []codecache.Fragment {
 	for _, t := range g.tiers {
 		out = append(out, t.arena.DeleteModule(m)...)
 	}
+	if g.sel != nil {
+		// Unmaps are program-forced: mirror them into every shadow directly.
+		// The live tiers may have evicted some of the module's traces already
+		// while a shadow still holds them, so the shadows drop their own
+		// copies rather than replaying the live victims.
+		g.sel.noteUnmap(m)
+	}
 	if g.shared != nil {
 		out = append(out, g.shared.UnmapModule(g.proc, m)...)
 	}
@@ -575,6 +680,11 @@ func (g *Graph) DeleteModule(m uint16) []codecache.Fragment {
 
 // SetUndeletable implements Manager.
 func (g *Graph) SetUndeletable(id uint64, pinned bool) bool {
+	if g.sel != nil {
+		// Pins apply wherever the fragment lives; a shadow may hold it even
+		// when the live tier that matched does not.
+		g.sel.notePinned(id, pinned)
+	}
 	for _, t := range g.tiers {
 		if t.arena.SetUndeletable(id, pinned) {
 			return true
@@ -660,6 +770,9 @@ func (g *Graph) InsertPersistent(f codecache.Fragment) error {
 		last := g.tiers[len(g.tiers)-1]
 		err = last.local.Insert(last.arena, f, last.onEvict)
 		if err == nil {
+			if g.sel != nil {
+				g.sel.noteInsert(last.idx, f)
+			}
 			obs.Emit(g.o, obs.Event{Kind: obs.KindInsert, Trace: f.ID, Size: f.Size, Module: f.Module, To: last.level, Proc: g.proc})
 		}
 	}
@@ -699,28 +812,52 @@ func (g *Graph) CheckInvariants() error {
 // ---------------------------------------------------------------------------
 // CLI tier-spec parsing
 
-// ParseTierSpec parses a tier layout string like "45-10-45@1" into a graph
-// specification over the given total capacity. The dash-separated fields are
-// tier percentages (they must sum to 100); the optional "@" suffix lists
-// promotion thresholds, in order, for the gated tiers (every tier but the
-// first and last — the probation generations); a single value applies to all
-// of them. Gated tiers with a threshold of at most 1 promote on access,
-// matching the paper's "@1" configurations.
+// ParseTierSpec parses a tier layout string into a graph specification over
+// the given total capacity. The dash-separated fields are tier percentages
+// (they must sum to 100), each optionally followed by "@policy" naming that
+// tier's local policy by its dash-free registry alias ("30@lru-70@trrip") or
+// enabling online selection ("50@auto-50"). The final field may additionally
+// end with an "@"-joined list of promotion thresholds, in order, for the
+// gated tiers (every tier but the first and last — the probation
+// generations); a single value applies to all of them. Gated tiers with a
+// threshold of at most 1 promote on access, matching the paper's "@1"
+// configurations. The legacy forms ("45-10-45@1") parse unchanged.
 func ParseTierSpec(s string, total uint64) (GraphSpec, error) {
 	spec := GraphSpec{TotalCapacity: total}
-	body, gates, hasGates := strings.Cut(s, "@")
-	parts := strings.Split(body, "-")
-	if len(parts) < 1 || parts[0] == "" {
+	parts := strings.Split(s, "-")
+	if len(parts) < 1 || strings.TrimSpace(parts[0]) == "" {
 		return GraphSpec{}, fmt.Errorf("core: empty tier spec %q", s)
 	}
 	var sum float64
-	for _, p := range parts {
-		pct, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+	var gateVals []string
+	hasGates := false
+	for pi, p := range parts {
+		toks := strings.Split(p, "@")
+		pct, err := strconv.ParseFloat(strings.TrimSpace(toks[0]), 64)
 		if err != nil {
-			return GraphSpec{}, fmt.Errorf("core: bad tier percentage %q in %q", p, s)
+			return GraphSpec{}, fmt.Errorf("core: bad tier percentage %q in %q", toks[0], s)
+		}
+		ts := TierSpec{Frac: pct / 100}
+		for ti, tok := range toks[1:] {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				return GraphSpec{}, fmt.Errorf("core: empty policy name in tier %d of %q", pi, s)
+			}
+			if vals, ok := parseGateList(tok); ok {
+				// A numeric list is the legacy threshold suffix; it must
+				// close the whole spec.
+				if pi != len(parts)-1 || ti != len(toks)-2 {
+					return GraphSpec{}, fmt.Errorf("core: thresholds %q must end the tier spec %q", tok, s)
+				}
+				gateVals, hasGates = vals, true
+			} else if ts.Policy != "" {
+				return GraphSpec{}, fmt.Errorf("core: tier %d of %q names two policies", pi, s)
+			} else {
+				ts.Policy = tok
+			}
 		}
 		sum += pct
-		spec.Tiers = append(spec.Tiers, TierSpec{Frac: pct / 100})
+		spec.Tiers = append(spec.Tiers, ts)
 	}
 	if len(spec.Tiers) > 1 && (sum < 99.9 || sum > 100.1) {
 		return GraphSpec{}, fmt.Errorf("core: tier percentages in %q sum to %.1f, want 100", s, sum)
@@ -729,17 +866,16 @@ func ParseTierSpec(s string, total uint64) (GraphSpec, error) {
 		if len(spec.Tiers) < 3 {
 			return GraphSpec{}, fmt.Errorf("core: tier spec %q has thresholds but no gated tier", s)
 		}
-		vals := strings.Split(gates, ",")
 		gated := len(spec.Tiers) - 2
-		if len(vals) > gated {
-			return GraphSpec{}, fmt.Errorf("core: tier spec %q lists %d thresholds for %d gated tiers", s, len(vals), gated)
+		if len(gateVals) > gated {
+			return GraphSpec{}, fmt.Errorf("core: tier spec %q lists %d thresholds for %d gated tiers", s, len(gateVals), gated)
 		}
 		var last uint64
 		for i := 0; i < gated; i++ {
-			if i < len(vals) {
-				v, err := strconv.ParseUint(strings.TrimSpace(vals[i]), 10, 64)
+			if i < len(gateVals) {
+				v, err := strconv.ParseUint(gateVals[i], 10, 64)
 				if err != nil {
-					return GraphSpec{}, fmt.Errorf("core: bad threshold %q in %q", vals[i], s)
+					return GraphSpec{}, fmt.Errorf("core: bad threshold %q in %q", gateVals[i], s)
 				}
 				last = v
 			}
@@ -751,4 +887,19 @@ func ParseTierSpec(s string, total uint64) (GraphSpec, error) {
 		return GraphSpec{}, err
 	}
 	return spec, nil
+}
+
+// parseGateList reports whether a tier-spec token is a comma-separated list
+// of unsigned thresholds (the legacy "@1" / "@1,10" gate suffix), returning
+// the trimmed values. Policy names never parse as one.
+func parseGateList(tok string) ([]string, bool) {
+	vals := strings.Split(tok, ",")
+	for i, v := range vals {
+		v = strings.TrimSpace(v)
+		if _, err := strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
 }

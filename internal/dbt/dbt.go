@@ -59,6 +59,10 @@ type Config struct {
 	// Adaptive, when set alongside Tiers, attaches the adaptive split
 	// controller to the engine-built graph (overriding Tiers.Adaptive).
 	Adaptive *core.AdaptiveConfig
+	// Policy, when set alongside Tiers, applies a local-policy spec ("lru",
+	// "trrip:hot=8", "auto" for online selection) to every private tier of
+	// the engine-built graph that does not already name one.
+	Policy string
 	// HotThreshold is the trace creation threshold (default 50, DynamoRIO's
 	// value per §4.1).
 	HotThreshold uint64

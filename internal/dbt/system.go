@@ -137,6 +137,22 @@ func (s *System) NewProcess(id int, img *program.Image, cfg Config) (*Process, e
 		if cfg.Adaptive != nil {
 			spec.Adaptive = cfg.Adaptive
 		}
+		if cfg.Policy != "" {
+			// Tiers share the spec's backing slice across processes; copy
+			// before writing per-tier policies.
+			tiers := make([]core.TierSpec, len(spec.Tiers))
+			copy(tiers, spec.Tiers)
+			nPriv := len(tiers)
+			if s.shared != nil {
+				nPriv-- // the shared tier keeps its own management
+			}
+			for i := 0; i < nPriv; i++ {
+				if tiers[i].Policy == "" {
+					tiers[i].Policy = cfg.Policy
+				}
+			}
+			spec.Tiers = tiers
+		}
 		var (
 			mgr *core.Graph
 			err error

@@ -41,13 +41,17 @@ const (
 	// split controller shifting bytes between generations). Size carries the
 	// new capacity; From names the resized cache.
 	KindResize
+	// KindPolicySwitch fires when the online policy selector swaps a tier's
+	// live local policy. From names the tier; Policy carries the new policy's
+	// spec string.
+	KindPolicySwitch
 
 	// NumKinds bounds the Kind space; counting consumers size arrays with it.
-	NumKinds = int(KindResize) + 1
+	NumKinds = int(KindPolicySwitch) + 1
 )
 
 var kindNames = [...]string{
-	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize",
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch",
 }
 
 func (k Kind) String() string {
@@ -99,6 +103,10 @@ type Event struct {
 	// back-end tiers serve several front-end processes at once, so every
 	// cache event carries its causing process; single-process systems use 0.
 	Proc int
+
+	// Policy is the spec string of the newly live policy (KindPolicySwitch
+	// only).
+	Policy string
 
 	// Replay progress (KindProgress only).
 	Benchmark string

@@ -33,15 +33,19 @@ import (
 	"repro/internal/trace"
 )
 
-// The current format is version 2: it carries, alongside the trace records,
-// the tier-graph specification the snapshot was taken under, so a warm start
-// can rebuild the same cache geometry without out-of-band configuration.
-// Version-1 files (traces only, no spec) still load; Image.Spec is nil for
-// them. Predictor gates do not persist — a spec round-trips its threshold
-// form, the only gate the paper's configurations use.
+// The current format is version 3: it carries, alongside the trace records,
+// the tier-graph specification the snapshot was taken under — including each
+// tier's local-policy spec, with "auto:NAME" recording the policy the online
+// selector had live at snapshot time — so a warm start rebuilds the same
+// cache geometry and resumes the selected policy without out-of-band
+// configuration. Version-2 files (spec without policies) and version-1 files
+// (traces only, no spec) still load; Image.Spec is nil for v1. Predictor
+// gates do not persist — a spec round-trips its threshold form, the only
+// gate the paper's configurations use.
 const (
 	magicV1 = "CCPERSIST1\n"
 	magicV2 = "CCPERSIST2\n"
+	magicV3 = "CCPERSIST3\n"
 
 	// magicPrefix is common to every format generation; a file carrying it
 	// under an unknown version digit is a snapshot from a different build,
@@ -88,6 +92,10 @@ type TierImage struct {
 	Frac            float64
 	Threshold       uint64
 	PromoteOnAccess bool
+
+	// Policy is the tier's local-policy spec ("lru", "auto:trrip"); empty
+	// for the default policy and for version-2 files.
+	Policy string
 }
 
 // SpecOf converts a graph specification into its serializable form.
@@ -100,6 +108,7 @@ func SpecOf(spec core.GraphSpec) *SpecImage {
 			Frac:            t.Frac,
 			Threshold:       t.Threshold,
 			PromoteOnAccess: t.PromoteOnAccess,
+			Policy:          t.Policy,
 		})
 	}
 	return si
@@ -113,6 +122,7 @@ func (si *SpecImage) GraphSpec() core.GraphSpec {
 			Frac:            t.Frac,
 			Threshold:       t.Threshold,
 			PromoteOnAccess: t.PromoteOnAccess,
+			Policy:          t.Policy,
 		})
 	}
 	return spec
@@ -124,6 +134,14 @@ func (si *SpecImage) GraphSpec() core.GraphSpec {
 // engine no longer knows are skipped.
 func Snapshot(benchmark string, g *core.Generational, lookup func(uint64) (*trace.Trace, bool)) Image {
 	img := Image{Benchmark: benchmark, Spec: SpecOf(g.Spec())}
+	// Record the live per-tier policies: a tier under online selection
+	// persists "auto:NAME" so the warm restart resumes the selected policy
+	// instead of restarting the race from scratch.
+	for i, p := range g.PersistPolicies() {
+		if i < len(img.Spec.Tiers) {
+			img.Spec.Tiers[i].Policy = p
+		}
+	}
 	for _, f := range g.PersistentFragments() {
 		rec := Record{
 			ID:       f.ID,
@@ -167,10 +185,10 @@ func SnapshotShared(benchmark string, sp *core.SharedPersistent, lookup func(uin
 	return img
 }
 
-// Save writes the image in the version-2 format.
+// Save writes the image in the version-3 format.
 func Save(w io.Writer, img Image) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(magicV2); err != nil {
+	if _, err := bw.WriteString(magicV3); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -186,9 +204,10 @@ func Save(w io.Writer, img Image) error {
 		return err
 	}
 	// The spec block: a tier count (0 = no spec recorded), then the total
-	// capacity and one (fraction bits, threshold, promote-on-access) triple
-	// per tier. Fractions travel as IEEE-754 bit patterns so geometry
-	// round-trips exactly.
+	// capacity and one (fraction bits, threshold, promote-on-access, policy
+	// string) record per tier. Fractions travel as IEEE-754 bit patterns so
+	// geometry round-trips exactly; the policy string is length-prefixed
+	// (version 3 adds it to the version-2 triple).
 	if img.Spec == nil {
 		if err := put(0); err != nil {
 			return err
@@ -210,6 +229,12 @@ func Save(w io.Writer, img Image) error {
 					return err
 				}
 			}
+			if err := put(uint64(len(t.Policy))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(t.Policy); err != nil {
+				return err
+			}
 		}
 	}
 	if err := put(uint64(len(img.Records))); err != nil {
@@ -230,15 +255,16 @@ func Save(w io.Writer, img Image) error {
 	return bw.Flush()
 }
 
-// Load reads an image in either the version-1 or version-2 format.
+// Load reads an image in the version-1, version-2, or version-3 format.
 func Load(r io.Reader) (Image, error) {
 	br := bufio.NewReader(r)
-	got := make([]byte, len(magicV2))
+	got := make([]byte, len(magicV3))
 	if _, err := io.ReadFull(br, got); err != nil {
 		return Image{}, fmt.Errorf("persist: reading magic: %w", err)
 	}
-	v2 := string(got) == magicV2
-	if !v2 && string(got) != magicV1 {
+	v3 := string(got) == magicV3
+	hasSpec := v3 || string(got) == magicV2
+	if !hasSpec && string(got) != magicV1 {
 		if strings.HasPrefix(string(got), magicPrefix) {
 			return Image{}, fmt.Errorf("persist: snapshot format %q: %w", got, ErrVersion)
 		}
@@ -257,7 +283,7 @@ func Load(r io.Reader) (Image, error) {
 		return Image{}, err
 	}
 	var spec *SpecImage
-	if v2 {
+	if hasSpec {
 		tiers, err := get()
 		if err != nil {
 			return Image{}, err
@@ -277,11 +303,26 @@ func Load(r io.Reader) (Image, error) {
 						return Image{}, fmt.Errorf("persist: spec tier %d: %w", i, err)
 					}
 				}
-				spec.Tiers = append(spec.Tiers, TierImage{
+				ti := TierImage{
 					Frac:            math.Float64frombits(vals[0]),
 					Threshold:       vals[1],
 					PromoteOnAccess: vals[2] != 0,
-				})
+				}
+				if v3 {
+					plen, err := get()
+					if err != nil {
+						return Image{}, fmt.Errorf("persist: spec tier %d: %w", i, err)
+					}
+					if plen > 1<<10 {
+						return Image{}, errors.New("persist: unreasonable policy length")
+					}
+					pol := make([]byte, plen)
+					if _, err := io.ReadFull(br, pol); err != nil {
+						return Image{}, fmt.Errorf("persist: spec tier %d policy: %w", i, err)
+					}
+					ti.Policy = string(pol)
+				}
+				spec.Tiers = append(spec.Tiers, ti)
 			}
 		}
 	}

@@ -495,3 +495,72 @@ func putUvarint(buf *bytes.Buffer, v uint64) {
 	n := binary.PutUvarint(tmp[:], v)
 	buf.Write(tmp[:n])
 }
+
+// TestSnapshotCarriesPolicies: a version-3 image must round-trip per-tier
+// policy specs, and a tier under online selection must persist as
+// "auto:NAME" with NAME the live candidate at snapshot time, so a warm
+// restart resumes the selected policy instead of restarting the race.
+func TestSnapshotCarriesPolicies(t *testing.T) {
+	spec := core.Config{
+		TotalCapacity:    3000,
+		NurseryFrac:      0.3,
+		ProbationFrac:    0.3,
+		PersistentFrac:   0.4,
+		PromoteThreshold: 1,
+		PromoteOnAccess:  true,
+	}.GraphSpec()
+	spec.Tiers[0].Policy = "auto:lru"
+	spec.Tiers[1].Policy = "trrip"
+	spec.Selector = &core.SelectorConfig{Epoch: 64}
+	g, err := core.NewGraph(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 12; id++ {
+		if err := g.Insert(codecache.Fragment{ID: id, Size: 100, HeadAddr: 0x1000 * id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(1); id <= 6; id++ {
+		g.Access(id)
+	}
+
+	img := Snapshot("word", g, nil)
+	if img.Spec == nil || len(img.Spec.Tiers) != 3 {
+		t.Fatalf("spec image = %+v", img.Spec)
+	}
+	if !strings.HasPrefix(img.Spec.Tiers[0].Policy, "auto:") {
+		t.Errorf("auto tier persisted as %q, want auto:NAME", img.Spec.Tiers[0].Policy)
+	}
+	if img.Spec.Tiers[1].Policy != "trrip" {
+		t.Errorf("static tier persisted as %q, want trrip", img.Spec.Tiers[1].Policy)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec == nil || len(got.Spec.Tiers) != len(img.Spec.Tiers) {
+		t.Fatalf("loaded spec = %+v", got.Spec)
+	}
+	for i := range img.Spec.Tiers {
+		if got.Spec.Tiers[i].Policy != img.Spec.Tiers[i].Policy {
+			t.Errorf("tier %d policy %q != saved %q", i, got.Spec.Tiers[i].Policy, img.Spec.Tiers[i].Policy)
+		}
+	}
+	// The loaded spec must rebuild a working graph: "auto:lru" restarts
+	// selection with lru live, "trrip" stays static.
+	rebuilt := got.Spec.GraphSpec()
+	rebuilt.Selector = &core.SelectorConfig{Epoch: 64}
+	g2, err := core.NewGraph(rebuilt, nil)
+	if err != nil {
+		t.Fatalf("rebuilding from loaded spec: %v", err)
+	}
+	if live := g2.LivePolicies(); live[0] != "lru" || live[1] != "trrip" {
+		t.Errorf("rebuilt live policies = %v, want [lru trrip ...]", live)
+	}
+}

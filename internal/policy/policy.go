@@ -6,7 +6,6 @@
 package policy
 
 import (
-	"container/heap"
 	"errors"
 
 	"repro/internal/codecache"
@@ -27,6 +26,17 @@ type Local interface {
 	// OnAccess lets the policy maintain recency bookkeeping. The arena has
 	// already recorded the access.
 	OnAccess(a *codecache.Arena, id uint64)
+}
+
+// Adopter is implemented by policies that can prime their bookkeeping from
+// an arena's current residents. The online policy selector installs fresh
+// policy instances mid-run; without adoption the new policy would see a full
+// cache it knows nothing about and make arbitrary victim choices until its
+// own bookkeeping catches up.
+type Adopter interface {
+	// Adopt primes the policy from a's residents. It is called once, before
+	// the policy serves its first Insert or OnAccess for a.
+	Adopt(a *codecache.Arena)
 }
 
 // PseudoCircular is the paper's §4.3 policy: a circular (FIFO) sweep that
@@ -51,6 +61,10 @@ func (PseudoCircular) OnAccess(*codecache.Arena, uint64) {}
 // alternate local policy for the generational ablation.
 type LRU struct {
 	h lruHeap
+
+	// held is victim()'s reusable scratch for entries set aside because their
+	// fragments are currently pinned or referenced.
+	held []lruEntry
 }
 
 // NewLRU returns an empty LRU policy.
@@ -61,19 +75,61 @@ type lruEntry struct {
 	last uint64
 }
 
+// lruHeap is a hand-rolled min-heap on last-access time. container/heap
+// would box every entry into an interface on Push — one allocation per cache
+// hit, twice over once the online selector shadows the policy — so the sift
+// loops are written out here and the hot path stays allocation-free.
 type lruHeap []lruEntry
 
-func (h lruHeap) Len() int           { return len(h) }
-func (h lruHeap) Less(i, j int) bool { return h[i].last < h[j].last }
-func (h lruHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *lruHeap) Push(x any)        { *h = append(*h, x.(lruEntry)) }
-func (h *lruHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h *lruHeap) push(e lruEntry)   { heap.Push(h, e) }
+func (h *lruHeap) push(e lruEntry) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent].last <= s[i].last {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
 func (h *lruHeap) popMin() (lruEntry, bool) {
-	if len(*h) == 0 {
+	s := *h
+	if len(s) == 0 {
 		return lruEntry{}, false
 	}
-	return heap.Pop(h).(lruEntry), true
+	min := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	h.siftDown(0)
+	return min, true
+}
+
+func (h *lruHeap) siftDown(i int) {
+	s := *h
+	n := len(s)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && s[r].last < s[child].last {
+			child = r
+		}
+		if s[i].last <= s[child].last {
+			return
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+}
+
+func (h *lruHeap) init() {
+	for i := len(*h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // Name implements Local.
@@ -84,7 +140,44 @@ func (l *LRU) Name() string { return "lru" }
 func (l *LRU) OnAccess(a *codecache.Arena, id uint64) {
 	if f, ok := a.Lookup(id); ok {
 		l.h.push(lruEntry{id: id, last: f.LastAccess})
+		l.maybeCompact(a)
 	}
+}
+
+// lruCompactSlack is how far past twice the resident count the heap may grow
+// before compaction; the slack keeps tiny caches from compacting on every
+// access.
+const lruCompactSlack = 64
+
+// maybeCompact bounds the heap. Pushes are lazy, so every re-access of a
+// resident fragment leaves a stale entry behind; a hot working set accessed
+// many times between evictions would otherwise grow the heap without bound.
+// Once stale entries outnumber live ones, rebuild the heap in place keeping
+// only entries that still record a resident fragment's current recency —
+// each resident has at most one such entry, so the compacted heap is
+// O(resident) and the retained capacity makes subsequent pushes
+// allocation-free.
+func (l *LRU) maybeCompact(a *codecache.Arena) {
+	if len(l.h) <= lruCompactSlack+2*a.Len() {
+		return
+	}
+	live := l.h[:0]
+	for _, e := range l.h {
+		if f, ok := a.Lookup(e.id); ok && f.LastAccess == e.last {
+			live = append(live, e)
+		}
+	}
+	l.h = live
+	l.h.init()
+}
+
+// Adopt implements Adopter: seed one current entry per resident so a freshly
+// installed LRU ranks the existing cache contents by their true recency.
+func (l *LRU) Adopt(a *codecache.Arena) {
+	a.Visit(func(f *codecache.Fragment) bool {
+		l.h.push(lruEntry{id: f.ID, last: f.LastAccess})
+		return true
+	})
 }
 
 // Insert implements Local.
@@ -125,9 +218,9 @@ func (l *LRU) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(code
 // refuses them; returning one would make Insert retry forever once only
 // referenced fragments remain.
 func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
-	var held []lruEntry
+	l.held = l.held[:0]
 	defer func() {
-		for _, e := range held {
+		for _, e := range l.held {
 			l.h.push(e)
 		}
 	}()
@@ -139,14 +232,15 @@ func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
 			var bestID uint64
 			var bestLast uint64
 			found := false
-			for _, f := range a.Fragments() {
+			a.Visit(func(f *codecache.Fragment) bool {
 				if f.Undeletable || f.Refs > 0 {
-					continue
+					return true
 				}
 				if !found || f.LastAccess < bestLast {
 					bestID, bestLast, found = f.ID, f.LastAccess, true
 				}
-			}
+				return true
+			})
 			return bestID, found
 		}
 		f, ok := a.Lookup(e.id)
@@ -154,7 +248,7 @@ func (l *LRU) victim(a *codecache.Arena) (uint64, bool) {
 			continue // stale entry
 		}
 		if f.Undeletable || f.Refs > 0 {
-			held = append(held, e)
+			l.held = append(l.held, e)
 			continue
 		}
 		return e.id, true

@@ -1,0 +1,163 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/codecache"
+)
+
+// TestLRUHeapStaysBounded is the compaction regression test: a hot working
+// set re-accessed many times between evictions pushes one lazy heap entry per
+// hit, and before maybeCompact the heap grew without bound. Churn a handful
+// of residents hard and assert the documented bound holds throughout.
+func TestLRUHeapStaysBounded(t *testing.T) {
+	l := NewLRU()
+	a := codecache.New(1000)
+	insertN(t, l, a, []uint64{1, 2, 3, 4, 5}, 100)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		id := uint64(1 + rng.Intn(5))
+		a.Access(id)
+		l.OnAccess(a, id)
+		if max := lruCompactSlack + 2*a.Len(); len(l.h) > max {
+			t.Fatalf("after %d accesses heap has %d entries, bound is %d", i+1, len(l.h), max)
+		}
+	}
+	// The bound must survive evictions too: fill the cache so victims leave
+	// stale entries behind, then churn again.
+	for id := uint64(10); id < 30; id++ {
+		if err := l.Insert(a, codecache.Fragment{ID: id, Size: 100}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		id := uint64(10 + rng.Intn(10))
+		if a.Access(id) {
+			l.OnAccess(a, id)
+		}
+		if max := lruCompactSlack + 2*a.Len(); len(l.h) > max {
+			t.Fatalf("post-eviction churn %d: heap has %d entries, bound is %d", i+1, len(l.h), max)
+		}
+	}
+	// Compaction must not change who the next victim is.
+	if v, ok := l.victim(a); ok {
+		if f, lookupOK := a.Lookup(v); !lookupOK {
+			t.Fatalf("victim %d not resident", v)
+		} else {
+			a.Visit(func(g *codecache.Fragment) bool {
+				if !g.Undeletable && g.LastAccess < f.LastAccess {
+					t.Errorf("victim %d (last %d) is not the LRU resident; %d is older (last %d)",
+						v, f.LastAccess, g.ID, g.LastAccess)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestShadowMatchesLiveLRU is the shadow-model equivalence test: a Shadow
+// wrapping a fresh LRU, fed exactly the stimulus a live LRU tier sees, must
+// reproduce the live tier's residency and hit count exactly. This is the
+// property the online selector leans on — a shadow of the live policy IS the
+// live tier, so any divergence between shadow scores measures the policies,
+// not the model.
+func TestShadowMatchesLiveLRU(t *testing.T) {
+	const capacity = 1200
+	live := NewLRU()
+	arena := codecache.New(capacity)
+	sh := NewShadow(capacity, NewLRU())
+
+	rng := rand.New(rand.NewSource(42))
+	var liveHits, liveProbes uint64
+	next := uint64(1)
+	for step := 0; step < 5000; step++ {
+		if next == 1 || rng.Intn(4) == 0 {
+			// A new trace arrives in both worlds.
+			f := codecache.Fragment{ID: next, Size: 80 + uint64(rng.Intn(5))*40}
+			next++
+			if err := live.Insert(arena, f, nil); err != nil {
+				t.Fatal(err)
+			}
+			sh.Insert(f)
+			continue
+		}
+		// A demand probe over the recent id space.
+		lo := uint64(1)
+		if next > 20 {
+			lo = next - 20
+		}
+		id := lo + uint64(rng.Int63n(int64(next-lo)))
+		liveProbes++
+		hit := arena.Access(id)
+		if hit {
+			liveHits++
+			live.OnAccess(arena, id)
+		}
+		if got := sh.Probe(id); got != hit {
+			t.Fatalf("step %d: shadow probe(%d) = %v, live = %v", step, id, got, hit)
+		}
+	}
+	if sh.TotalHits() != liveHits || sh.TotalProbes() != liveProbes {
+		t.Fatalf("shadow scored %d/%d, live %d/%d",
+			sh.TotalHits(), sh.TotalProbes(), liveHits, liveProbes)
+	}
+	// Residency must match fragment for fragment.
+	if sh.Arena().Len() != arena.Len() {
+		t.Fatalf("shadow holds %d fragments, live holds %d", sh.Arena().Len(), arena.Len())
+	}
+	arena.Visit(func(f *codecache.Fragment) bool {
+		if !sh.Arena().Contains(f.ID) {
+			t.Errorf("live resident %d missing from shadow", f.ID)
+		}
+		return true
+	})
+}
+
+// TestShadowMirrorsNonPolicyRemovals: removals the live tier suffers for
+// non-policy reasons (promotions, unmaps, pins) must reach the model, and
+// capacity shifts must never leave the model oversized.
+func TestShadowMirrorsNonPolicyRemovals(t *testing.T) {
+	sh := NewShadow(1000, NewLRU())
+	for id := uint64(1); id <= 5; id++ {
+		sh.Insert(codecache.Fragment{ID: id, Size: 100, Module: uint16(id % 2)})
+	}
+	sh.Remove(3)
+	if sh.Arena().Contains(3) {
+		t.Error("Remove left fragment 3 resident")
+	}
+	sh.Remove(3) // absent: must be a no-op
+	sh.UnmapModule(1)
+	if sh.Arena().Contains(1) || sh.Arena().Contains(5) {
+		t.Error("UnmapModule left module-1 fragments resident")
+	}
+	sh.SetPinned(2, true)
+	sh.Resize(150)
+	if sh.Arena().Capacity() != 150 {
+		t.Fatalf("capacity %d after Resize(150)", sh.Arena().Capacity())
+	}
+	if sh.Arena().Used() > 150 {
+		t.Fatalf("model oversized: %d bytes in a 150-byte arena", sh.Arena().Used())
+	}
+}
+
+// TestShadowProbeAllocationFree: the selector probes every shadow on every
+// tier access — the hot path must not allocate in steady state.
+func TestShadowProbeAllocationFree(t *testing.T) {
+	sh := NewShadow(1000, NewLRU())
+	for id := uint64(1); id <= 8; id++ {
+		sh.Insert(codecache.Fragment{ID: id, Size: 100})
+	}
+	// Warm up: let the lazy LRU heap reach its steady-state capacity.
+	for i := 0; i < 4096; i++ {
+		sh.Probe(uint64(1 + i%8))
+	}
+	id := uint64(0)
+	if avg := testing.AllocsPerRun(2048, func() {
+		sh.Probe(uint64(1 + id%8))
+		id++
+	}); avg != 0 {
+		t.Errorf("Shadow.Probe allocates %.2f per op on the hit path", avg)
+	}
+}

@@ -1,0 +1,204 @@
+package policy
+
+import (
+	"errors"
+
+	"repro/internal/codecache"
+)
+
+// TRRIP is a trace-cache adaptation of re-reference interval prediction
+// (SRRIP with temperature-seeded insertion). Every resident trace carries a
+// re-reference prediction value (RRPV): 0 predicts imminent re-execution,
+// Max predicts none. Insertions are classified by the heat the trace brings
+// with it — the access count accumulated while it was resident in the tier
+// it came from, which the dispatcher feeds from the same counters that drive
+// bb-cache trace selection. A promoted victim that ran hot inserts near 0, a
+// trace with some history inserts warm, and a freshly built trace (no
+// re-reference evidence yet) inserts cold, one step from eviction. Hits
+// promote to 0; when no victim is at Max the whole cache ages in one step.
+type TRRIP struct {
+	// Max is the distant-future RRPV; victims are taken from it.
+	Max uint8
+	// Cold is the insertion RRPV for traces with no prior accesses.
+	Cold uint8
+	// Warm is the insertion RRPV for traces with some prior accesses.
+	Warm uint8
+	// Hot is the prior-access count at or above which a trace inserts at 0.
+	Hot uint64
+
+	spec string
+
+	// rrpv is the dense prediction table, indexed by fragment ID (trace IDs
+	// are assigned sequentially); spill holds IDs past the dense bound. Only
+	// entries for resident fragments are meaningful.
+	rrpv  []uint8
+	spill map[uint64]uint8
+}
+
+// trripDenseIDs bounds the dense RRPV table, mirroring the arena's dense
+// fragment index.
+const trripDenseIDs = 1 << 21
+
+// NewTRRIP returns a TRRIP policy with the default geometry (3-bit RRPV:
+// max 7, cold 6, warm 4, hot threshold 2).
+func NewTRRIP() *TRRIP {
+	return &TRRIP{Max: 7, Cold: 6, Warm: 4, Hot: 2, spec: "trrip"}
+}
+
+// newTRRIPFrom builds a TRRIP instance from registry parameters. Insertion
+// values above max clamp to max.
+func newTRRIPFrom(p *paramSet) *TRRIP {
+	t := &TRRIP{
+		Max:  uint8(p.uint("max", 7)),
+		Cold: uint8(p.uint("cold", 6)),
+		Warm: uint8(p.uint("warm", 4)),
+		Hot:  p.uint("hot", 2),
+	}
+	if t.Max == 0 {
+		t.Max = 1
+	}
+	if t.Cold > t.Max {
+		t.Cold = t.Max
+	}
+	if t.Warm > t.Max {
+		t.Warm = t.Max
+	}
+	t.spec = "trrip"
+	return t
+}
+
+// Name implements Local.
+func (t *TRRIP) Name() string { return t.spec }
+
+// get returns the RRPV recorded for an ID (0 when never set).
+func (t *TRRIP) get(id uint64) uint8 {
+	if id < uint64(len(t.rrpv)) {
+		return t.rrpv[id]
+	}
+	return t.spill[id]
+}
+
+// set records the RRPV for an ID, growing the dense table on demand.
+func (t *TRRIP) set(id uint64, v uint8) {
+	if id < trripDenseIDs {
+		if id >= uint64(len(t.rrpv)) {
+			n := len(t.rrpv) * 2
+			if n < 64 {
+				n = 64
+			}
+			if uint64(n) <= id {
+				n = int(id) + 1
+			}
+			if n > trripDenseIDs {
+				n = trripDenseIDs
+			}
+			grown := make([]uint8, n)
+			copy(grown, t.rrpv)
+			t.rrpv = grown
+		}
+		t.rrpv[id] = v
+		return
+	}
+	if t.spill == nil {
+		t.spill = make(map[uint64]uint8)
+	}
+	t.spill[id] = v
+}
+
+// classify maps a trace's insertion heat to its starting RRPV.
+func (t *TRRIP) classify(f codecache.Fragment) uint8 {
+	switch {
+	case f.AccessCount >= t.Hot:
+		return 0
+	case f.AccessCount > 0:
+		return t.Warm
+	default:
+		return t.Cold
+	}
+}
+
+// OnAccess implements Local: a hit predicts imminent re-reference.
+func (t *TRRIP) OnAccess(a *codecache.Arena, id uint64) {
+	t.set(id, 0)
+}
+
+// Adopt implements Adopter: classify the residents a freshly installed
+// instance inherits by the heat they accumulated in place.
+func (t *TRRIP) Adopt(a *codecache.Arena) {
+	a.Visit(func(f *codecache.Fragment) bool {
+		t.set(f.ID, t.classify(*f))
+		return true
+	})
+}
+
+// Insert implements Local.
+func (t *TRRIP) Insert(a *codecache.Arena, f codecache.Fragment, onEvict func(codecache.Fragment)) error {
+	if f.Size > a.Capacity() {
+		return codecache.ErrTooBig
+	}
+	for {
+		err := a.PlaceFirstFit(f)
+		if err == nil {
+			t.set(f.ID, t.classify(f))
+			return nil
+		}
+		if !errors.Is(err, codecache.ErrNoSpace) {
+			return err
+		}
+		victim, ok := t.victim(a)
+		if !ok {
+			return codecache.ErrNoSpace
+		}
+		v, derr := a.Delete(victim, false)
+		if derr != nil {
+			continue // pinned or referenced since selection; rescan
+		}
+		if onEvict != nil {
+			onEvict(v)
+		}
+	}
+}
+
+// victim picks the first evictable fragment, in address order, holding the
+// largest RRPV currently present, then ages every other evictable resident
+// by the distance to Max — the single-step equivalent of RRIP's "increment
+// all and rescan" loop, without the rescans. Address order keeps the choice
+// deterministic.
+func (t *TRRIP) victim(a *codecache.Arena) (uint64, bool) {
+	var bestID uint64
+	var bestVal uint8
+	found := false
+	a.Visit(func(f *codecache.Fragment) bool {
+		if f.Undeletable || f.Refs > 0 {
+			return true
+		}
+		v := t.get(f.ID)
+		if v > t.Max {
+			v = t.Max
+		}
+		if !found || v > bestVal {
+			bestID, bestVal, found = f.ID, v, true
+			if bestVal == t.Max {
+				return false // nothing can outrank Max; stop at the first
+			}
+		}
+		return true
+	})
+	if !found {
+		return 0, false
+	}
+	if age := t.Max - bestVal; age > 0 {
+		a.Visit(func(f *codecache.Fragment) bool {
+			if f.Undeletable || f.Refs > 0 || f.ID == bestID {
+				return true
+			}
+			v := uint16(t.get(f.ID)) + uint16(age)
+			if v > uint16(t.Max) {
+				v = uint16(t.Max)
+			}
+			t.set(f.ID, uint8(v))
+			return true
+		})
+	}
+	return bestID, true
+}

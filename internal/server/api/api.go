@@ -41,6 +41,13 @@ const (
 	// ParamTiers replays an arbitrary tier graph (core.ParseTierSpec syntax)
 	// instead of the stock generational chain.
 	ParamTiers = "tiers"
+	// ParamPolicy applies a local-policy spec ("lru", "trrip:cold=4", "auto"
+	// for online selection) to every tier of the session's manager that does
+	// not already name one, ccsim's -policy.
+	ParamPolicy = "policy"
+	// ParamSelEpoch overrides the accesses between online policy-selector
+	// decisions (meaningful with "auto" policies), ccsim's -selepoch.
+	ParamSelEpoch = "selepoch"
 	// ParamUnified replays the single pseudo-circular baseline.
 	ParamUnified = "unified"
 	// ParamEvents switches the response to an NDJSON stream: the session's
@@ -149,6 +156,7 @@ type Event struct {
 	Proc   int    `json:"proc,omitempty"`
 	Done   uint64 `json:"done,omitempty"`
 	Total  uint64 `json:"total,omitempty"`
+	Policy string `json:"policy,omitempty"`
 }
 
 // FromObs converts a bus event into its wire form. From and To are set only
@@ -166,6 +174,9 @@ func FromObs(e obs.Event) Event {
 	case obs.KindProgress:
 		w.Done = e.Done
 		w.Total = e.Total
+	case obs.KindPolicySwitch:
+		w.From = e.From.String()
+		w.Policy = e.Policy
 	}
 	return w
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"repro/internal/obs"
@@ -69,6 +70,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counterM("gencached_warm_restored_total", s.warm.Restored, "traces restored from the startup snapshot")
 	counterM("gencached_warm_rejected_total", s.warm.Rejected, "snapshot records rejected at warm start")
+
+	// Live-policy info gauge: one series per tier level that has seen an
+	// online policy switch, valued 1, labelled with the policy now live there
+	// (most recent across sessions).
+	s.mu.Lock()
+	levels := make([]string, 0, len(s.livePol))
+	for l := range s.livePol {
+		levels = append(levels, l)
+	}
+	sort.Strings(levels)
+	if len(levels) > 0 {
+		fmt.Fprintf(&b, "# HELP gencached_tier_policy live local policy per tier level (online selection)\n")
+		fmt.Fprintf(&b, "# TYPE gencached_tier_policy gauge\n")
+		for _, l := range levels {
+			fmt.Fprintf(&b, "gencached_tier_policy{level=%q,policy=%q} 1\n", l, s.livePol[l])
+		}
+	}
+	s.mu.Unlock()
 
 	// Per-kind, per-level cache lifecycle events from the obs bus.
 	fmt.Fprintf(&b, "# HELP gencached_cache_events_total cache lifecycle events by kind and level\n")

@@ -99,6 +99,9 @@ type Server struct {
 	mu   sync.Mutex
 	agg  aggregate
 	warm persist.WarmStats
+	// livePol maps a tier level name to the policy spec most recently made
+	// live there by any session's online selector (KindPolicySwitch events).
+	livePol map[string]string
 }
 
 // aggregate sums per-session results into the server-wide /metrics view.
@@ -146,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 		adm:     newAdmission(cfg.MaxSessions, cfg.QueueDepth),
 		mods:    newModuleSpace(),
 		start:   time.Now(),
+		livePol: make(map[string]string),
 	}
 	if cfg.SnapshotPath != "" {
 		if err := s.warmStart(); err != nil {
@@ -281,6 +285,18 @@ func (s *Server) health() api.Health {
 		h.Status = "draining"
 	}
 	return h
+}
+
+// trackPolicy records live-policy switches for the /metrics tier-policy
+// gauge. Sessions run concurrently, so the map holds the most recent switch
+// seen per level across all of them.
+func (s *Server) trackPolicy(e obs.Event) {
+	if e.Kind != obs.KindPolicySwitch {
+		return
+	}
+	s.mu.Lock()
+	s.livePol[e.From.String()] = e.Policy
+	s.mu.Unlock()
 }
 
 // recordResult folds one finished session into the aggregate counters.

@@ -25,6 +25,8 @@ type sessionParams struct {
 	layout    string
 	threshold uint64
 	tiers     string
+	policy    string
+	selEpoch  uint64
 	unified   bool
 	events    bool
 }
@@ -60,6 +62,23 @@ func parseParams(r *http.Request) (sessionParams, error) {
 		p.threshold = n
 	}
 	p.tiers = q.Get(api.ParamTiers)
+	if v := q.Get(api.ParamPolicy); v != "" {
+		// Reject unknown policies before admission; a one-tier probe spec
+		// exercises the same validation the manager build will.
+		probe := core.UnifiedSpec(1, nil)
+		probe.Tiers[0].Policy = v
+		if err := probe.Validate(); err != nil {
+			return p, fmt.Errorf("bad %s %q: %w", api.ParamPolicy, v, err)
+		}
+		p.policy = v
+	}
+	if v := q.Get(api.ParamSelEpoch); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return p, fmt.Errorf("bad %s %q", api.ParamSelEpoch, v)
+		}
+		p.selEpoch = n
+	}
 	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events} {
 		if v := q.Get(name); v != "" {
 			b, err := strconv.ParseBool(v)
@@ -78,27 +97,54 @@ func parseParams(r *http.Request) (sessionParams, error) {
 func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra obs.Observer) (core.Manager, error) {
 	o := obs.Combine(sim.CostObserver(acc), extra)
 	if p.unified {
-		return core.NewUnified(capacity, nil, o), nil
+		if p.policy == "" {
+			return core.NewUnified(capacity, nil, o), nil
+		}
+		spec := core.UnifiedSpec(capacity, nil)
+		p.applyPolicy(&spec)
+		return core.NewGraph(spec, o)
 	}
 	if p.tiers != "" {
 		spec, err := core.ParseTierSpec(p.tiers, capacity)
 		if err != nil {
 			return nil, err
 		}
+		p.applyPolicy(&spec)
 		return core.NewGraph(spec, o)
 	}
 	fracs, err := api.ParseLayout(p.layout)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewGenerational(core.Config{
+	cfg := core.Config{
 		TotalCapacity:    capacity,
 		NurseryFrac:      fracs[0],
 		ProbationFrac:    fracs[1],
 		PersistentFrac:   fracs[2],
 		PromoteThreshold: p.threshold,
 		PromoteOnAccess:  p.threshold <= 1,
-	}, o)
+	}
+	if p.policy == "" {
+		return core.NewGenerational(cfg, o)
+	}
+	spec := cfg.GraphSpec()
+	p.applyPolicy(&spec)
+	return core.NewGraph(spec, o)
+}
+
+// applyPolicy fills the policy param into every tier not already naming one
+// and attaches the selector epoch override.
+func (p sessionParams) applyPolicy(spec *core.GraphSpec) {
+	if p.policy != "" {
+		for i := range spec.Tiers {
+			if spec.Tiers[i].Policy == "" {
+				spec.Tiers[i].Policy = p.policy
+			}
+		}
+	}
+	if p.selEpoch > 0 {
+		spec.Selector = &core.SelectorConfig{Epoch: p.selEpoch}
+	}
 }
 
 // countingReader tallies how many body bytes a session consumed.
@@ -465,7 +511,7 @@ func (s *Server) runSession(p sessionParams, sess *dbt.Session, body io.Reader, 
 func (s *Server) startRun(p sessionParams, sess *dbt.Session, bench string, capacity uint64, enc *ndjsonWriter) (*sessionRun, error) {
 	sr := newSessionRun(s, sess, bench, enc)
 	acc := costmodel.NewAccum(s.model)
-	mgr, err := p.buildManager(capacity, acc, obs.Combine(s.counter, obs.Func(sr.observe)))
+	mgr, err := p.buildManager(capacity, acc, obs.Combine(s.counter, obs.Func(s.trackPolicy), obs.Func(sr.observe)))
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,9 @@ const (
 	EventLinkSever = obs.KindLinkSever
 	EventFlush     = obs.KindFlush
 	EventProgress  = obs.KindProgress
+	// EventPolicySwitch reports the online selector making a new local
+	// policy live on a tier.
+	EventPolicySwitch = obs.KindPolicySwitch
 )
 
 // DefaultCostModel is Table 2 of the paper.
@@ -111,6 +114,22 @@ func PseudoCircularPolicy() LocalPolicy  { return policy.PseudoCircular{} }
 func LRUPolicy() LocalPolicy             { return policy.NewLRU() }
 func FlushWhenFullPolicy() LocalPolicy   { return &policy.FlushWhenFull{} }
 func PreemptiveFlushPolicy() LocalPolicy { return policy.NewPreemptiveFlush() }
+
+// The policy zoo (internal/policy registry): named, parameterized policy
+// specs resolvable at run time.
+type (
+	// PolicyFactory stamps out fresh instances of one configured policy.
+	PolicyFactory = policy.Factory
+	// PolicyInfo describes one registered policy.
+	PolicyInfo = policy.Info
+)
+
+// ParsePolicy resolves a registry spec ("lru", "trrip:cold=4") into a
+// factory of fresh policy instances.
+func ParsePolicy(spec string) (PolicyFactory, error) { return policy.Parse(spec) }
+
+// Policies lists the registered policies in registration order.
+func Policies() []PolicyInfo { return policy.List() }
 
 // NewGenerational creates the paper's generational manager. o may be nil.
 func NewGenerational(cfg GenerationalConfig, o Observer) (*core.Generational, error) {
@@ -137,6 +156,11 @@ type (
 	AdaptiveConfig = core.AdaptiveConfig
 	// AdaptiveStats counts split-controller activity.
 	AdaptiveStats = core.AdaptiveStats
+	// SelectorConfig tunes the online policy selector raced on tiers whose
+	// spec sets Policy: "auto".
+	SelectorConfig = core.SelectorConfig
+	// SelectorStats counts policy-selector activity.
+	SelectorStats = core.SelectorStats
 )
 
 // NewTierGraph builds a manager from a graph specification. o may be nil.

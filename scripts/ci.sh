@@ -20,3 +20,7 @@ go test -run '^$' -bench . -benchtime 1x .
 # Short fuzz run over the tracelog decoder: seeds the corpus and catches
 # regressions in the malformed-input hardening without a long fuzz budget.
 go test ./internal/tracelog -run '^$' -fuzz FuzzReader -fuzztime 10s
+# Policy-selection smoke: the online selector must actually switch, under the
+# race detector, on a log whose best static policy differs from its starting
+# one.
+make policyselect-smoke
