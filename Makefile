@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke
 
-ci: fmt vet build race bench-smoke
+ci: fmt vet build race bench-smoke serve-bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -31,6 +31,16 @@ bench:
 # One iteration of every benchmark so they cannot bit-rot; part of ci.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Full served-ingest benchmark (per-event path vs. block kernel), recorded
+# in BENCH_serve.json. Run on a quiet machine.
+serve-bench:
+	scripts/bench_serve.sh
+
+# One iteration of the served-ingest pair plus its equivalence anchor; part
+# of ci, so the acceptance benchmark cannot bit-rot.
+serve-bench-smoke:
+	$(GO) test -run 'TestServePathsAgree' -bench 'ServeIngest' -benchtime 1x .
 
 # Multi-process smoke: generate a tiny log and replay it as four processes
 # over one shared persistent tier, under the race detector.

@@ -267,6 +267,35 @@ func (a *Arena) Access(id uint64) bool {
 	return true
 }
 
+// AccessRun records hits for the longest leading prefix of ids resident in
+// this arena and returns its length, bumping the clock and the per-fragment
+// bookkeeping exactly as that many Access calls would. The first id not
+// resident here (dense or spilled) ends the prefix unprocessed — the caller
+// decides where that id lives. Batching the run keeps the clock and the
+// dense index in registers across the whole prefix.
+func (a *Arena) AccessRun(ids []uint64) int {
+	byID := a.byID
+	clock := a.clock
+	done := 0
+	for _, id := range ids {
+		var n *node
+		if id < uint64(len(byID)) {
+			n = byID[id]
+		} else {
+			n = a.spill[id]
+		}
+		if n == nil {
+			break
+		}
+		clock++
+		n.frag.AccessCount++
+		n.frag.LastAccess = clock
+		done++
+	}
+	a.clock = clock
+	return done
+}
+
 // SetUndeletable pins or unpins a resident fragment.
 func (a *Arena) SetUndeletable(id uint64, pinned bool) bool {
 	n := a.lookupNode(id)

@@ -81,6 +81,24 @@ type Manager interface {
 	Levels() map[Level]codecache.Stats
 }
 
+// RunAccessor is the batched form of Manager.Access, implemented by managers
+// that can absorb a run of accesses in one call. AccessRun processes the
+// longest leading prefix of ids that hit, exactly as if Access had been
+// called for each, and returns how many it processed; the id at the returned
+// index has not been accessed (it missed, or is not resident privately) and
+// the caller replays it through the per-event Access. A return of -1 means
+// the manager cannot batch at all right now (an adaptive controller or
+// policy selector needs to see every probe); the caller must fall back to
+// per-event Access permanently for this manager.
+//
+// The batched replay kernel (sim.StepBlock) is the intended caller: runs of
+// accesses are the overwhelming majority of any trace log, and hoisting the
+// per-event interface dispatch, statistics writes, and tier-probe order out
+// of the loop is where the kernel's throughput comes from.
+type RunAccessor interface {
+	AccessRun(ids []uint64) int
+}
+
 // NewUnified creates a unified cache of the given capacity with the given
 // local policy (nil defaults to pseudo-circular). Lifecycle events are
 // published to o (nil for none).

@@ -243,6 +243,16 @@ type tier struct {
 	// onEvict is this tier's capacity-eviction handler: route the victim
 	// along the outgoing edge, or kill it when this is the final tier.
 	onEvict func(codecache.Fragment)
+
+	// vbuf is scratch for onEvict: Admit takes a pointer, and handing it the
+	// stack copy makes every eviction heap-allocate a Fragment. Predictors
+	// are deterministic inspectors (see Predictor), so a reused buffer is
+	// observationally identical.
+	vbuf codecache.Fragment
+	// noopAccess records that local.OnAccess is statically a no-op, letting
+	// the batched access path skip the interface call per hit. Set only when
+	// no policy selector is attached (a selector may swap local at runtime).
+	noopAccess bool
 }
 
 // Graph is a tier-graph manager. Unified and Generational are aliases of it;
@@ -261,6 +271,13 @@ type Graph struct {
 	dropAnyErr bool
 	ctl        *adaptiveController
 	sel        *policySelector
+
+	// hint caches the tier index that last hit for each trace ID (dense, like
+	// the arena's fragment index). It is purely an ordering hint for
+	// AccessRun's tier probe: arena probes that miss are side-effect-free, so
+	// a stale entry costs one wasted probe and nothing else. The zero value
+	// (tier 0) reproduces the plain Access probe order.
+	hint []uint8
 }
 
 // Unified is a single trace cache with a pluggable local policy: the
@@ -379,6 +396,14 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 	if g.ctl != nil {
 		g.ctl.bind(g)
 	}
+	if g.sel == nil {
+		for _, t := range g.tiers {
+			switch t.local.(type) {
+			case policy.PseudoCircular, policy.Unbounded:
+				t.noopAccess = true
+			}
+		}
+	}
 	return g, nil
 }
 
@@ -428,9 +453,13 @@ func (g *Graph) victimHandler(t *tier) func(codecache.Fragment) {
 		return func(v codecache.Fragment) { g.die(v, t.level) }
 	}
 	return func(v codecache.Fragment) {
-		if t.pred != nil && !t.pred.Admit(&v, t.arena.Clock()) {
-			g.die(v, t.level)
-			return
+		if t.pred != nil {
+			t.vbuf = v
+			if !t.pred.Admit(&t.vbuf, t.arena.Clock()) {
+				g.die(v, t.level)
+				return
+			}
+			v = t.vbuf
 		}
 		g.promote(t, v)
 	}
@@ -603,6 +632,95 @@ func (g *Graph) Access(id uint64) bool {
 		g.ctl.noteMiss(id)
 	}
 	return false
+}
+
+// hintDenseLimit bounds the tier-hint index, mirroring the arena's dense
+// fragment index: sequentially assigned trace IDs all land below it, and
+// arbitrary IDs simply go unhinted (probed in tier order).
+const hintDenseLimit = 1 << 21
+
+// noteHint remembers which tier a trace last hit in.
+func (g *Graph) noteHint(id uint64, tier int) {
+	if id >= uint64(len(g.hint)) {
+		if id >= hintDenseLimit {
+			return
+		}
+		n := len(g.hint) * 2
+		if n < 64 {
+			n = 64
+		}
+		if uint64(n) <= id {
+			n = int(id) + 1
+		}
+		grown := make([]uint8, n)
+		copy(grown, g.hint)
+		g.hint = grown
+	}
+	g.hint[id] = uint8(tier)
+}
+
+// AccessRun implements RunAccessor: the leading run of private-tier hits is
+// absorbed in one call, with the statistics flushed once at the end and the
+// probe for each trace starting at the tier it last hit in (a stale hint
+// wastes one side-effect-free probe, nothing more). Managers with an
+// adaptive controller or policy selector attached refuse batching (-1):
+// both need to observe every probe in order. A trace resident only in the
+// shared tier ends the run — the caller's per-event Access performs the
+// shared probe with its full bookkeeping.
+func (g *Graph) AccessRun(ids []uint64) int {
+	if g.ctl != nil || g.sel != nil {
+		return -1
+	}
+	tiers := g.tiers
+	done := 0
+	for done < len(ids) {
+		id := ids[done]
+		hi := 0
+		if id < uint64(len(g.hint)) {
+			hi = int(g.hint[id])
+		}
+		t := tiers[hi]
+		if t.noopAccess && !t.promoteOnAccess {
+			// Pure tier — a hit carries no per-hit policy or promotion work,
+			// so the arena can absorb the longest prefix of the run resident
+			// in it in one call. Single residency makes this equivalent to
+			// per-id probing: each processed id could only ever have hit this
+			// arena. The id that ends the prefix falls through to the per-id
+			// probe below (it may be resident in another tier, or a miss).
+			if n := t.arena.AccessRun(ids[done:]); n > 0 {
+				done += n
+				continue
+			}
+		} else if t.arena.Access(id) {
+			t.local.OnAccess(t.arena, id)
+			if t.promoteOnAccess {
+				g.upgradeOnAccess(t, id)
+			}
+			done++
+			continue
+		}
+		t = nil
+		for i, c := range tiers {
+			if i != hi && c.arena.Access(id) {
+				t = c
+				g.noteHint(id, i)
+				break
+			}
+		}
+		if t == nil {
+			break
+		}
+		if !t.noopAccess {
+			t.local.OnAccess(t.arena, id)
+		}
+		if t.promoteOnAccess {
+			g.upgradeOnAccess(t, id)
+		}
+		done++
+	}
+	g.stats.Accesses += uint64(done)
+	g.stats.Hits += uint64(done)
+	return done
 }
 
 // upgradeOnAccess promotes a resident of tier t along its edge if the gate

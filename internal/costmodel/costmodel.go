@@ -85,16 +85,56 @@ type Accum struct {
 	EvictionCost    float64
 	Promotions      uint64
 	PromotionCost   float64
+
+	// genMemo caches Model.TraceGen per size. Regenerations dominate the
+	// charges on a served replay and draw from a small set of trace sizes,
+	// while size^0.8 costs more than the rest of the charge combined. The
+	// memo is derived state: identical charge sequences build identical
+	// memos, so value comparisons of equivalent accumulators still agree.
+	genMemo []float64
+}
+
+// genMemoLimit bounds the memo; charges for larger traces fall back to the
+// direct formula.
+const genMemoLimit = 1 << 12
+
+// traceGen is Model.TraceGen through the memo.
+func (a *Accum) traceGen(sizeBytes int) float64 {
+	if sizeBytes <= 0 || sizeBytes >= genMemoLimit {
+		return a.Model.TraceGen(sizeBytes)
+	}
+	if sizeBytes >= len(a.genMemo) {
+		n := len(a.genMemo)
+		if n == 0 {
+			n = 256
+		}
+		for n <= sizeBytes {
+			n *= 2
+		}
+		grown := make([]float64, n)
+		copy(grown, a.genMemo)
+		a.genMemo = grown
+	}
+	c := a.genMemo[sizeBytes]
+	if c == 0 {
+		c = a.Model.TraceGen(sizeBytes)
+		a.genMemo[sizeBytes] = c
+	}
+	return c
 }
 
 // NewAccum returns an accumulator using the given model.
 func NewAccum(m Model) *Accum { return &Accum{Model: m} }
 
+// Reset clears the accumulator for reuse under the given model, so pooled
+// accumulators start every run from the NewAccum state.
+func (a *Accum) Reset(m Model) { *a = Accum{Model: m} }
+
 // ChargeTraceGen records one trace generation (initial creation or
 // regeneration after a miss) plus the two context switches that bracket it.
 func (a *Accum) ChargeTraceGen(sizeBytes int) {
 	a.TraceGens++
-	a.TraceGenCost += a.Model.TraceGen(sizeBytes)
+	a.TraceGenCost += a.traceGen(sizeBytes)
 	a.ContextSwitches += 2
 }
 

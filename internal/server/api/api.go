@@ -8,7 +8,9 @@
 package api
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -126,6 +128,106 @@ func FromSim(r sim.Result) SessionResult {
 		}
 	}
 	return sr
+}
+
+// StatsContentType is the compact binary framing of a SessionResult. A
+// client that sends it as the Accept header of a non-events session gets the
+// result in this framing instead of JSON; JSON stays the default (and the
+// debug path — errors are always JSON). The framing is versioned by its
+// magic, MarshalBinary writes it, UnmarshalBinary reads it.
+const StatsContentType = "application/x-gencache-stats"
+
+// statsMagic versions the binary result framing.
+const statsMagic = "GCST1"
+
+func appendU64(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+func appendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// MarshalBinary encodes the result in the StatsContentType framing: the
+// magic, the two name strings length-prefixed, counters as varints, and
+// the instruction totals as fixed 64-bit floats.
+func (r SessionResult) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 160)
+	buf = append(buf, statsMagic...)
+	buf = appendStr(buf, r.Benchmark)
+	buf = appendStr(buf, r.Config)
+	buf = appendU64(buf, uint64(r.Session))
+	for _, v := range [...]uint64{
+		r.CapacityBytes, r.Events,
+		r.Accesses, r.Hits, r.Misses, r.ColdCreates, r.Regenerations,
+		r.Adoptions, r.ForcedDeletes,
+		r.Overhead.TraceGens, r.Overhead.Evictions, r.Overhead.Promotions,
+		r.Shared.Adoptions, r.Shared.Published,
+	} {
+		buf = appendU64(buf, v)
+	}
+	buf = appendF64(buf, r.MissRate)
+	buf = appendF64(buf, r.Overhead.TotalInstructions)
+	buf = appendF64(buf, r.Shared.SavedGenInstructions)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes the StatsContentType framing.
+func (r *SessionResult) UnmarshalBinary(data []byte) error {
+	if len(data) < len(statsMagic) || string(data[:len(statsMagic)]) != statsMagic {
+		return fmt.Errorf("api: bad stats magic")
+	}
+	data = data[len(statsMagic):]
+	u64 := func() uint64 {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			data = nil
+			return 0
+		}
+		data = data[n:]
+		return v
+	}
+	str := func() string {
+		n := u64()
+		if uint64(len(data)) < n {
+			data = nil
+			return ""
+		}
+		s := string(data[:n])
+		data = data[n:]
+		return s
+	}
+	f64 := func() float64 {
+		if len(data) < 8 {
+			data = nil
+			return 0
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data))
+		data = data[8:]
+		return v
+	}
+	r.Benchmark = str()
+	r.Config = str()
+	r.Session = int(u64())
+	for _, dst := range [...]*uint64{
+		&r.CapacityBytes, &r.Events,
+		&r.Accesses, &r.Hits, &r.Misses, &r.ColdCreates, &r.Regenerations,
+		&r.Adoptions, &r.ForcedDeletes,
+		&r.Overhead.TraceGens, &r.Overhead.Evictions, &r.Overhead.Promotions,
+		&r.Shared.Adoptions, &r.Shared.Published,
+	} {
+		*dst = u64()
+	}
+	r.MissRate = f64()
+	r.Overhead.TotalInstructions = f64()
+	r.Shared.SavedGenInstructions = f64()
+	if data == nil {
+		return fmt.Errorf("api: truncated binary stats")
+	}
+	return nil
 }
 
 // Health is the /healthz reply.

@@ -59,6 +59,10 @@ type SessionOptions struct {
 	HasThreshold  bool   // set to send Threshold even when it is 0
 	Tiers         string
 	Unified       bool
+	// BinaryStats requests the compact binary result framing
+	// (api.StatsContentType) instead of JSON. The decoded result is
+	// identical; the response is smaller and cheaper to parse.
+	BinaryStats bool
 }
 
 func (o SessionOptions) query() url.Values {
@@ -97,6 +101,9 @@ func (c *Client) Session(ctx context.Context, opts SessionOptions, body io.Reade
 		return out, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	if opts.BinaryStats {
+		req.Header.Set("Accept", api.StatsContentType)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return out, err
@@ -104,6 +111,16 @@ func (c *Client) Session(ctx context.Context, opts SessionOptions, body io.Reade
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
+		if resp.Header.Get("Content-Type") == api.StatsContentType {
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return out, fmt.Errorf("client: reading result: %w", err)
+			}
+			if err := out.UnmarshalBinary(data); err != nil {
+				return out, fmt.Errorf("client: decoding result: %w", err)
+			}
+			return out, nil
+		}
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return out, fmt.Errorf("client: decoding result: %w", err)
 		}

@@ -503,3 +503,64 @@ func TestMetricsExposed(t *testing.T) {
 		}
 	}
 }
+
+// TestBinaryStatsMatchesJSON: a session requesting the compact binary result
+// framing gets field-for-field the same result as a JSON session — and both
+// still match the offline replay, so the binary path is a pure re-encoding,
+// not a second code path.
+func TestBinaryStatsMatchesJSON(t *testing.T) {
+	data := syntheticLog(t, "word")
+	exp := offlineResult(t, data)
+	_, c := newTestServer(t, server.Config{MaxSessions: 2})
+	ctx := context.Background()
+
+	jsonRes, err := c.Session(ctx, client.SessionOptions{}, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binRes, err := c.Session(ctx, client.SessionOptions{BinaryStats: true}, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireMatch(t, exp, jsonRes)
+	requireMatch(t, exp, binRes)
+	// The framings must agree on the service-only fields too (modulo the
+	// session ID, which is unique per session by design).
+	jsonRes.Session, binRes.Session = 0, 0
+	// The second run adopts what the first published; shared savings are
+	// expected to differ. Everything else must be identical.
+	jsonRes.Shared, binRes.Shared = api.SharedSavings{}, api.SharedSavings{}
+	if !reflect.DeepEqual(jsonRes, binRes) {
+		t.Errorf("binary result diverges from JSON result:\n  json:   %+v\n  binary: %+v", jsonRes, binRes)
+	}
+}
+
+// TestBinaryStatsRoundTrip pins the binary codec itself: every field of a
+// fully-populated result survives MarshalBinary → UnmarshalBinary.
+func TestBinaryStatsRoundTrip(t *testing.T) {
+	in := api.SessionResult{
+		Session: 7, Benchmark: "word", Config: "gen(45-10-45)",
+		CapacityBytes: 123456, Events: 99999,
+		Accesses: 5000, Hits: 4800, Misses: 200, MissRate: 0.04,
+		ColdCreates: 120, Regenerations: 80, Adoptions: 3, ForcedDeletes: 17,
+		Overhead: api.Overhead{TotalInstructions: 1234567.25, TraceGens: 200, Evictions: 90, Promotions: 33},
+		Shared:   api.SharedSavings{Adoptions: 5, Published: 11, SavedGenInstructions: 4242.5},
+	}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out api.SessionResult
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the result:\n  in:  %+v\n  out: %+v", in, out)
+	}
+	if err := out.UnmarshalBinary(data[:len(data)-4]); err == nil {
+		t.Error("truncated binary stats decoded without error")
+	}
+	if err := out.UnmarshalBinary([]byte("JSON{}")); err == nil {
+		t.Error("bad magic decoded without error")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -207,22 +208,17 @@ type identState struct {
 	adopted bool   // session currently holds an adoption ref
 }
 
-// localTrace remembers a log-local trace's identity for the promote hook.
-type localTrace struct {
-	size   uint32
-	module uint16 // log-local module ID
-	head   uint64
-}
-
 // sessionRun carries one session's replay plus its shared-tier interplay.
 //
 // The replay itself runs against a fully private manager via the same
 // sim.Replayer the offline simulator uses, so the session's result is
 // bit-identical to `ccsim` on the same log regardless of what concurrent
-// sessions do. The shared tier rides alongside: KindCreate (and regenerating
-// misses) probe it for an adoptable trace, private promotions into the
-// persistent generation publish to it, and KindUnmap releases the session's
-// references — all bookkeeping layered beside the replay, never inside it.
+// sessions do. The shared tier rides alongside, attached through the
+// replayer's sim.Hooks callouts: Registered (KindCreate/KindAdopt) and
+// Regenerated (conflict misses) probe it for an adoptable trace, private
+// promotions into the persistent generation publish to it, and Unmapped
+// releases the session's references — all bookkeeping layered beside the
+// replay, never inside it.
 type sessionRun struct {
 	srv  *Server
 	sess *dbt.Session
@@ -232,7 +228,6 @@ type sessionRun struct {
 	gmods  map[uint16]uint16 // log-local module → global module
 	gmodOK map[uint16]bool
 	idents map[identKey]*identState
-	local  map[uint64]localTrace
 
 	adoptions uint64 // distinct identities adopted
 	published uint64 // distinct identities published
@@ -249,7 +244,6 @@ func newSessionRun(srv *Server, sess *dbt.Session, bench string, enc *ndjsonWrit
 		gmods:  make(map[uint16]uint16),
 		gmodOK: make(map[uint16]bool),
 		idents: make(map[identKey]*identState),
-		local:  make(map[uint64]localTrace),
 		enc:    enc,
 	}
 }
@@ -283,21 +277,24 @@ func (sr *sessionRun) observe(e obs.Event) {
 	if e.Kind != obs.KindPromote || e.To != obs.LevelPersistent {
 		return
 	}
-	lt, ok := sr.local[e.Trace]
+	if sr.rep == nil {
+		return
+	}
+	size, module, head, ok := sr.rep.TraceInfo(e.Trace)
 	if !ok {
 		return
 	}
-	gmod, ok := sr.globalModule(lt.module)
+	gmod, ok := sr.globalModule(module)
 	if !ok {
 		return
 	}
-	key := identKey{module: gmod, head: lt.head}
+	key := identKey{module: gmod, head: head}
 	st := sr.idents[key]
 	if st == nil {
 		st = &identState{}
 		sr.idents[key] = st
 	}
-	gid, err := sr.sess.Publish(st.gid, uint64(lt.size), gmod, lt.head)
+	gid, err := sr.sess.Publish(st.gid, uint64(size), gmod, head)
 	if err != nil {
 		// The trace cannot live in the shared tier (bigger than the whole
 		// tier); it simply is not shared.
@@ -336,40 +333,36 @@ func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) {
 	sr.savedGen += sr.srv.model.TraceGen(int(size))
 }
 
-// step feeds one log event through the session: shared-tier interplay first,
-// then the private replay step whose accounting is authoritative.
-func (sr *sessionRun) step(e tracelog.Event) error {
-	switch e.Kind {
-	case tracelog.KindCreate, tracelog.KindAdopt:
-		sr.local[e.Trace] = localTrace{size: e.Size, module: e.Module, head: e.Head}
-		sr.tryAdopt(e.Module, e.Head, e.Size)
-	case tracelog.KindUnmap:
-		if ok, seen := sr.gmodOK[e.Module]; seen && ok {
-			gmod := sr.gmods[e.Module]
-			sr.sess.UnmapModule(gmod)
-			// The refs under this module are gone; a reloaded module may
-			// re-adopt, so the identities forget their held state.
-			for key, st := range sr.idents {
-				if key.module == gmod {
-					st.adopted = false
-				}
+// sessionRun implements sim.Hooks: the replayer calls out at the fixed
+// interplay points, so the shared-tier bookkeeping runs inside the batched
+// kernel without a per-event wrapper around it.
+
+// Registered handles a KindCreate/KindAdopt entering the replay: the shared
+// tier may already hold this guest code, published by a peer.
+func (sr *sessionRun) Registered(trace uint64, size uint32, module uint16, head uint64) {
+	sr.tryAdopt(module, head, size)
+}
+
+// Regenerated handles a conflict miss: the private cache is regenerating
+// this trace; a shared-tier copy, if one appeared since creation, saves that
+// work too.
+func (sr *sessionRun) Regenerated(trace uint64, size uint32, module uint16, head uint64) {
+	sr.tryAdopt(module, head, size)
+}
+
+// Unmapped releases the session's shared-tier references under the module.
+func (sr *sessionRun) Unmapped(module uint16) {
+	if ok, seen := sr.gmodOK[module]; seen && ok {
+		gmod := sr.gmods[module]
+		sr.sess.UnmapModule(gmod)
+		// The refs under this module are gone; a reloaded module may
+		// re-adopt, so the identities forget their held state.
+		for key, st := range sr.idents {
+			if key.module == gmod {
+				st.adopted = false
 			}
 		}
-	case tracelog.KindAccess:
-		before := sr.rep.Result().Regenerations
-		if err := sr.rep.Step(e); err != nil {
-			return err
-		}
-		if sr.rep.Result().Regenerations > before {
-			// The private cache is regenerating this trace; a shared-tier
-			// copy, if one appeared since creation, saves that work too.
-			if lt, ok := sr.local[e.Trace]; ok {
-				sr.tryAdopt(lt.module, lt.head, lt.size)
-			}
-		}
-		return nil
 	}
-	return sr.rep.Step(e)
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -446,80 +439,143 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		SavedGenInstructions: sr.savedGen,
 	}
 	s.recordResult(out, body.n)
+	sr.recycle() // out is a value copy; the run's pooled scratch is done
 
 	if enc != nil {
 		enc.write(api.StreamLine{Result: &out})
 		enc.flush()
 		return
 	}
+	if r.Header.Get("Accept") == api.StatsContentType {
+		data, err := out.MarshalBinary()
+		if err == nil {
+			w.Header().Set("Content-Type", api.StatsContentType)
+			_, _ = w.Write(data)
+			return
+		}
+		// Fall through to JSON, the debug path, on any marshal surprise.
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
 }
 
-// runSession decodes the body and drives the replay, returning the completed
-// run and the capacity it simulated.
+// runSession decodes the body and drives the replay through the batched
+// kernel, returning the completed run and the capacity it simulated. Both
+// paths share one incremental decode loop (NextBlock); they differ only in
+// whether decoded blocks replay immediately (streaming, absolute capacity)
+// or are retained until the Summarizer has sized the cache (buffered,
+// fractional capacity — exactly offline ccsim's procedure, without ccsim's
+// full []Event materialization).
 func (s *Server) runSession(p sessionParams, sess *dbt.Session, body io.Reader, enc *ndjsonWriter) (*sessionRun, uint64, error) {
+	lr, err := tracelog.NewReader(body)
+	if err != nil {
+		return nil, 0, err
+	}
+
 	if p.capacity > 0 {
-		// Streaming: events replay as they decode off the wire.
-		lr, err := tracelog.NewReader(body)
-		if err != nil {
-			return nil, 0, err
-		}
+		// Streaming: blocks replay as they decode off the wire.
 		sr, err := s.startRun(p, sess, lr.Header().Benchmark, p.capacity, enc)
 		if err != nil {
 			return nil, 0, err
 		}
+		b := tracelog.GetBlock()
+		defer tracelog.PutBlock(b)
 		for {
-			e, err := lr.Next()
-			if errors.Is(err, io.EOF) {
+			derr := lr.NextBlock(b)
+			if b.N > 0 {
+				if err := sr.rep.StepBlock(b); err != nil {
+					return nil, 0, err
+				}
+			}
+			if errors.Is(derr, io.EOF) {
 				return sr, p.capacity, nil
 			}
-			if err != nil {
-				return nil, 0, err
-			}
-			if err := sr.step(e); err != nil {
-				return nil, 0, err
+			if derr != nil {
+				return nil, 0, derr
 			}
 		}
 	}
 
 	// Buffered: the capacity is a fraction of the log's unbounded peak, so
-	// the whole log must be read first — exactly offline ccsim's procedure.
-	h, events, err := tracelog.ReadAll(body)
-	if err != nil {
-		return nil, 0, err
+	// the whole log must be decoded before the first replay step. The
+	// decoded blocks are retained (pooled, struct-of-arrays) and the
+	// Summarizer scans them incrementally — no second decode, no full
+	// event-slice buffer.
+	z := tracelog.NewSummarizer(lr.Header())
+	var blocks []*tracelog.EventBlock
+	defer func() {
+		for _, b := range blocks {
+			tracelog.PutBlock(b)
+		}
+	}()
+	var total uint64
+	for {
+		b := tracelog.GetBlock()
+		derr := lr.NextBlock(b)
+		z.AddBlock(b)
+		total += uint64(b.N)
+		blocks = append(blocks, b)
+		if errors.Is(derr, io.EOF) {
+			break
+		}
+		if derr != nil {
+			return nil, 0, derr
+		}
 	}
-	sum := tracelog.Summarize(h, events)
-	capacity := uint64(float64(sum.MaxLiveBytes) * p.capFrac)
+	capacity := uint64(float64(z.Summary().MaxLiveBytes) * p.capFrac)
 	if capacity == 0 {
 		return nil, 0, fmt.Errorf("log has no live trace bytes to size a cache from")
 	}
-	sr, err := s.startRun(p, sess, h.Benchmark, capacity, enc)
+	sr, err := s.startRun(p, sess, lr.Header().Benchmark, capacity, enc)
 	if err != nil {
 		return nil, 0, err
 	}
-	sr.rep.SetTotal(uint64(len(events)))
-	for _, e := range events {
-		if err := sr.step(e); err != nil {
+	sr.rep.SetTotal(total)
+	for _, b := range blocks {
+		if err := sr.rep.StepBlock(b); err != nil {
 			return nil, 0, err
 		}
 	}
 	return sr, capacity, nil
 }
 
-// startRun builds the private manager and replayer for a session.
+// accPool recycles cost accumulators across sessions; startRun draws one,
+// recycleRun returns it with the rest of the replay scratch.
+var accPool = sync.Pool{New: func() any { return new(costmodel.Accum) }}
+
+// startRun builds the private manager and replayer for a session. The
+// replay progress observer is attached only in events mode: without one the
+// kernel takes its counter-only fast path, and nothing else consumes
+// progress events.
 func (s *Server) startRun(p sessionParams, sess *dbt.Session, bench string, capacity uint64, enc *ndjsonWriter) (*sessionRun, error) {
 	sr := newSessionRun(s, sess, bench, enc)
-	acc := costmodel.NewAccum(s.model)
+	acc := accPool.Get().(*costmodel.Accum)
+	acc.Reset(s.model)
 	mgr, err := p.buildManager(capacity, acc, obs.Combine(s.counter, obs.Func(s.trackPolicy), obs.Func(sr.observe)))
 	if err != nil {
+		accPool.Put(acc)
 		return nil, err
 	}
 	if pm, ok := mgr.(interface{ SetProcID(int) }); ok {
 		pm.SetProcID(sess.ID())
 	}
-	sr.rep = sim.NewReplayer(bench, mgr, acc, obs.Func(sr.observe))
+	var po obs.Observer
+	if enc != nil {
+		po = obs.Func(sr.observe)
+	}
+	sr.rep = sim.NewReplayer(bench, mgr, acc, po)
+	sr.rep.SetHooks(sr)
 	return sr, nil
+}
+
+// recycle returns a finished run's pooled scratch — the replayer's meta
+// tables and the cost accumulator. Only safe once the response has been
+// built: the wire result is a value copy, nothing references the pools.
+func (sr *sessionRun) recycle() {
+	if res := sr.rep.Result(); res.Overhead != nil {
+		accPool.Put(res.Overhead)
+	}
+	sr.rep.Recycle()
 }
 
 // failSession reports a terminal session error in whichever framing the

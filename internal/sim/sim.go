@@ -69,9 +69,14 @@ const ProgressStride = 1 << 14
 // single-goroutine, like the manager it drives.
 type Replayer struct {
 	mgr core.Manager
-	acc *costmodel.Accum
-	o   obs.Observer
-	res Result
+	// ra is mgr's batched access entry point, when it offers one; StepBlock
+	// drains access runs through it. Cleared on the manager's first -1
+	// ("cannot batch") answer.
+	ra    core.RunAccessor
+	acc   *costmodel.Accum
+	o     obs.Observer
+	hooks Hooks
+	res   Result
 
 	dense    []meta
 	spill    map[uint64]meta
@@ -80,6 +85,29 @@ type Replayer struct {
 	count uint64 // events stepped so far
 	total uint64 // declared total for progress reporting; 0 = unknown
 }
+
+// Hooks receives callouts at fixed points of a replay, letting a host layer
+// context — gencached's shared persistent tier — ride alongside the replay
+// without wrapping every event in its own dispatch. The callout points are
+// part of the replay contract: Registered fires before a Create/Adopt is
+// replayed (even one the replay will then reject as a duplicate), Unmapped
+// fires before an Unmap is replayed, and Regenerated fires after a conflict
+// miss has been charged and re-inserted. Both the per-event and the block
+// kernel honor the same points, so hosts see an identical callout stream
+// either way.
+type Hooks interface {
+	// Registered announces a trace entering the replay via KindCreate or
+	// KindAdopt, before the private manager sees it.
+	Registered(trace uint64, size uint32, module uint16, head uint64)
+	// Regenerated announces a conflict miss that re-generated the trace.
+	Regenerated(trace uint64, size uint32, module uint16, head uint64)
+	// Unmapped announces a module unmap, before the private manager's
+	// deletion sweep.
+	Unmapped(module uint16)
+}
+
+// SetHooks attaches h to the replay; nil detaches.
+func (r *Replayer) SetHooks(h Hooks) { r.hooks = h }
 
 type meta struct {
 	size   uint32
@@ -97,8 +125,12 @@ const maxDenseTrace = 1 << 22
 // constructed manager. The manager's observer must be (or fan out to)
 // CostObserver(acc) so evictions and promotions are charged; o receives
 // KindProgress events only.
+//
+// The replayer's meta tables come from a pool; a caller that is done with
+// the replayer (and its Result) may return them with Recycle.
 func NewReplayer(benchmark string, mgr core.Manager, acc *costmodel.Accum, o obs.Observer) *Replayer {
-	return &Replayer{
+	s := scratchPool.Get().(*scratch)
+	r := &Replayer{
 		mgr: mgr,
 		acc: acc,
 		o:   o,
@@ -107,9 +139,11 @@ func NewReplayer(benchmark string, mgr core.Manager, acc *costmodel.Accum, o obs
 			Benchmark: benchmark,
 			Overhead:  acc,
 		},
-		dense:    make([]meta, 0, 1024),
-		byModule: make(map[uint16][]uint64),
+		dense:    s.dense[:0],
+		byModule: s.byModule,
 	}
+	r.ra, _ = mgr.(core.RunAccessor)
+	return r
 }
 
 // SetTotal declares how many events the stream will carry, for progress
@@ -150,8 +184,18 @@ func (r *Replayer) Step(e tracelog.Event) error {
 		r.o.Observe(obs.Event{Kind: obs.KindProgress, Benchmark: r.res.Benchmark, Done: r.count, Total: total})
 	}
 	r.count++
+	return r.step1(&e)
+}
+
+// step1 replays one event: the per-kind accounting shared by Step and the
+// non-access cases of the block kernel. Progress emission and the event
+// count live in the callers.
+func (r *Replayer) step1(e *tracelog.Event) error {
 	switch e.Kind {
 	case tracelog.KindCreate:
+		if r.hooks != nil {
+			r.hooks.Registered(e.Trace, e.Size, e.Module, e.Head)
+		}
 		if _, dup := r.lookup(e.Trace); dup {
 			return fmt.Errorf("sim: duplicate create of trace %d", e.Trace)
 		}
@@ -170,6 +214,9 @@ func (r *Replayer) Step(e tracelog.Event) error {
 		// run: no generation cost was paid. Replaying against a single
 		// private manager, the body still has to be present for the
 		// later accesses, so it is inserted — but charged nothing.
+		if r.hooks != nil {
+			r.hooks.Registered(e.Trace, e.Size, e.Module, e.Head)
+		}
 		if _, dup := r.lookup(e.Trace); dup {
 			return fmt.Errorf("sim: duplicate adopt of trace %d", e.Trace)
 		}
@@ -201,8 +248,14 @@ func (r *Replayer) Step(e tracelog.Event) error {
 		_ = r.mgr.Insert(codecache.Fragment{
 			ID: e.Trace, Size: uint64(m.size), Module: m.module, HeadAddr: m.head,
 		})
+		if r.hooks != nil {
+			r.hooks.Regenerated(e.Trace, m.size, m.module, m.head)
+		}
 
 	case tracelog.KindUnmap:
+		if r.hooks != nil {
+			r.hooks.Unmapped(e.Module)
+		}
 		victims := r.mgr.DeleteModule(e.Module)
 		r.res.ForcedDeletes += uint64(len(victims))
 		// Deletion work is charged per evicted trace; program-forced
@@ -233,6 +286,15 @@ func (r *Replayer) Step(e tracelog.Event) error {
 // Events returns how many events have been stepped.
 func (r *Replayer) Events() uint64 { return r.count }
 
+// TraceInfo reports the registered identity of a trace — the size, module,
+// and head address its Create or Adopt carried — including traces whose
+// module has since been unmapped. Hosts use it from observer callbacks
+// (e.g. a promotion hook) instead of keeping a duplicate identity table.
+func (r *Replayer) TraceInfo(id uint64) (size uint32, module uint16, head uint64, ok bool) {
+	m, ok := r.lookup(id)
+	return m.size, m.module, m.head, ok
+}
+
 // Result returns a snapshot of the counters accumulated so far, without the
 // manager's final statistics; error paths report it as the partial result.
 func (r *Replayer) Result() Result { return r.res }
@@ -252,11 +314,19 @@ func (r *Replayer) Finish() Result {
 // ReplayObserved is Replay plus a progress stream: every ProgressStride log
 // events (and once at the end) it publishes a KindProgress event to o. Cache
 // lifecycle events are published by the manager's own observer, not o.
+//
+// The replay runs through the batched kernel — the same StepBlock path the
+// gencached ingest uses — packed from the in-memory slice a block at a time,
+// so offline results and served results come off one code path.
 func ReplayObserved(benchmark string, events []tracelog.Event, mgr core.Manager, acc *costmodel.Accum, o obs.Observer) (Result, error) {
 	rep := NewReplayer(benchmark, mgr, acc, o)
+	defer rep.Recycle()
 	rep.SetTotal(uint64(len(events)))
-	for _, e := range events {
-		if err := rep.Step(e); err != nil {
+	b := tracelog.GetBlock()
+	defer tracelog.PutBlock(b)
+	for off := 0; off < len(events); {
+		off += b.Fill(events[off:])
+		if err := rep.StepBlock(b); err != nil {
 			return rep.Result(), err
 		}
 	}

@@ -1,7 +1,9 @@
 package tracelog
 
 import (
+	"bufio"
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -62,6 +64,98 @@ func FuzzReader(f *testing.F) {
 		for i := range events {
 			if events[i] != events2[i] {
 				t.Fatalf("event %d changed: %+v -> %+v", i, events[i], events2[i])
+			}
+		}
+	})
+}
+
+// FuzzNextBlock differentially fuzzes the block decoder against the
+// per-event decoder: for arbitrary bytes, both must agree on the decoded
+// event prefix and on whether the stream is acceptable — across windowed and
+// unwindowed sources and block capacities that force block-boundary and
+// window-edge straddles. It must never panic.
+func FuzzNextBlock(f *testing.F) {
+	// A v1 log big enough that a 3-event block straddles its runs, plus its
+	// truncations: the truncated-final-block and cut-mid-event cases.
+	var v1 bytes.Buffer
+	w, _ := NewWriter(&v1, Header{Benchmark: "blk", DurationMicros: 7})
+	for i := uint64(1); i <= 9; i++ {
+		w.Write(Event{Kind: KindCreate, Time: i, Trace: i, Size: uint32(10 * i), Module: uint16(i % 2), Head: 0x40 * i})
+		w.Write(Event{Kind: KindAccess, Time: i + 9, Trace: i})
+	}
+	w.Write(Event{Kind: KindUnmap, Time: 30, Module: 0})
+	w.Write(Event{Kind: KindEnd, Time: 31})
+	w.Flush()
+	f.Add(v1.Bytes())
+	f.Add(v1.Bytes()[:len(v1.Bytes())-3]) // truncated final block
+	f.Add(v1.Bytes()[:len(v1.Bytes())/2]) // cut mid-stream
+
+	// A v2 log: per-event procs, signed time deltas, adoption — the bounds
+	// the PR-5 decoder hardening added are shared by both decode paths.
+	var v2 bytes.Buffer
+	w2, _ := NewWriter(&v2, Header{Benchmark: "blk2", DurationMicros: 9, Procs: 4})
+	w2.Write(Event{Kind: KindCreate, Time: 8, Proc: 0, Trace: 1, Size: 128, Module: 3, Head: 0x800})
+	w2.Write(Event{Kind: KindAdopt, Time: 2, Proc: 3, Trace: 1, Size: 128, Module: 3, Head: 0x800})
+	w2.Write(Event{Kind: KindAccess, Time: 5, Proc: 1, Trace: 1})
+	w2.Write(Event{Kind: KindEnd, Time: 12, Proc: 0})
+	w2.Flush()
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())-2])
+
+	// Implausible-bounds seeds: a huge module ID and a clock-wrapping delta
+	// hand-assembled past a valid v1 header.
+	head := []byte("CCLOG1\n\x03bad\x05")
+	f.Add(append(append([]byte{}, head...), byte(KindUnmap), 0x01, 0xff, 0xff, 0x7f))
+	f.Add(append(append([]byte{}, head...), byte(KindAccess), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wantH, want, wantErr := ReadAll(bytes.NewReader(data))
+
+		for name, wrap := range map[string]func() io.Reader{
+			"plain":    func() io.Reader { return bytes.NewReader(data) },
+			"windowed": func() io.Reader { return bufio.NewReaderSize(struct{ io.Reader }{bytes.NewReader(data)}, 1<<10) },
+		} {
+			for _, blockCap := range []int{1, 3, BlockEvents} {
+				r, err := NewReader(wrap())
+				if err != nil {
+					if wantErr == nil {
+						t.Fatalf("%s/cap=%d: header rejected (%v), per-event accepted", name, blockCap, err)
+					}
+					continue
+				}
+				if r.Header() != wantH {
+					t.Fatalf("%s/cap=%d: header %+v, want %+v", name, blockCap, r.Header(), wantH)
+				}
+				b := NewEventBlock(blockCap)
+				var got []Event
+				var gotErr error
+				for {
+					err := r.NextBlock(b)
+					for i := 0; i < b.N; i++ {
+						got = append(got, b.Event(i))
+					}
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						gotErr = err
+						break
+					}
+					if b.N == 0 {
+						t.Fatalf("%s/cap=%d: empty block without EOF", name, blockCap)
+					}
+				}
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("%s/cap=%d: block err = %v, per-event err = %v", name, blockCap, gotErr, wantErr)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s/cap=%d: %d events, per-event decoded %d", name, blockCap, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/cap=%d: event %d = %+v, want %+v", name, blockCap, i, got[i], want[i])
+					}
+				}
 			}
 		}
 	})

@@ -445,54 +445,170 @@ type Summary struct {
 
 // Summarize scans a slice of events.
 func Summarize(h Header, events []Event) Summary {
-	s := Summary{Header: h, Events: len(events)}
-	type meta struct {
-		size   uint32
-		module uint16
-		live   bool
-	}
-	traces := make(map[uint64]*meta)
-	byModule := make(map[uint16][]uint64)
-	var live uint64
+	z := NewSummarizer(h)
 	for _, e := range events {
-		switch e.Kind {
-		case KindCreate:
-			s.Creates++
-			s.CreatedBytes += uint64(e.Size)
-			traces[e.Trace] = &meta{size: e.Size, module: e.Module, live: true}
-			byModule[e.Module] = append(byModule[e.Module], e.Trace)
-			live += uint64(e.Size)
-			if live > s.MaxLiveBytes {
-				s.MaxLiveBytes = live
-			}
-			s.TraceSizes = append(s.TraceSizes, e.Size)
-		case KindAdopt:
-			// The trace body already lives in the shared tier (its creator's
-			// KindCreate accounted the bytes); the adoption only registers the
-			// trace for this process's later accesses and unmaps.
-			s.Adoptions++
-			if traces[e.Trace] == nil {
-				traces[e.Trace] = &meta{size: e.Size, module: e.Module}
-				byModule[e.Module] = append(byModule[e.Module], e.Trace)
-			}
-		case KindAccess:
-			s.Accesses++
-		case KindUnmap:
-			s.Unmaps++
-			for _, id := range byModule[e.Module] {
-				if m := traces[id]; m != nil && m.live {
-					m.live = false
-					s.UnmappedBytes += uint64(m.size)
-					live -= uint64(m.size)
-				}
-			}
-			byModule[e.Module] = byModule[e.Module][:0]
-		case KindEnd:
-			s.EndTime = e.Time
-		}
+		z.Add(e)
 	}
-	if s.EndTime == 0 && len(events) > 0 {
-		s.EndTime = events[len(events)-1].Time
+	return z.Summary()
+}
+
+// Summarizer is the incremental form of Summarize: the same aggregation, fed
+// one event (or one EventBlock) at a time, so streaming consumers — the
+// gencached buffered session path sizes its cache from a log it never holds
+// as a decoded []Event — share the batch scanner's exact accounting.
+type Summarizer struct {
+	s Summary
+	// dense is the trace table for small IDs (the overwhelmingly common
+	// case: writers assign IDs sequentially), indexed by trace ID; spill
+	// holds the rest. Same two-level layout as the replay kernel's meta
+	// table — a create costs an indexed store, not a map insert plus a
+	// heap cell.
+	dense    []sumMeta
+	spill    map[uint64]*sumMeta
+	byModule map[uint16][]uint64
+	live     uint64
+	lastTime uint64
+	seen     bool
+}
+
+type sumMeta struct {
+	size   uint32
+	module uint16
+	known  bool
+	live   bool
+}
+
+// sumDenseLimit bounds the dense trace table; IDs at or above it spill to
+// the map.
+const sumDenseLimit = 1 << 21
+
+// NewSummarizer starts an aggregation for one log.
+func NewSummarizer(h Header) *Summarizer {
+	return &Summarizer{
+		s:        Summary{Header: h},
+		byModule: make(map[uint16][]uint64),
+	}
+}
+
+// trace returns the table cell for id, growing the dense table or lazily
+// creating a spill entry as needed. The cell pointer is valid until the
+// next trace call.
+func (z *Summarizer) trace(id uint64) *sumMeta {
+	if id < sumDenseLimit {
+		if id >= uint64(len(z.dense)) {
+			n := len(z.dense)
+			if n == 0 {
+				n = 1024
+			}
+			for uint64(n) <= id {
+				n *= 2
+			}
+			if n > sumDenseLimit {
+				n = sumDenseLimit
+			}
+			grown := make([]sumMeta, n)
+			copy(grown, z.dense)
+			z.dense = grown
+		}
+		return &z.dense[id]
+	}
+	if z.spill == nil {
+		z.spill = make(map[uint64]*sumMeta)
+	}
+	m := z.spill[id]
+	if m == nil {
+		m = &sumMeta{}
+		z.spill[id] = m
+	}
+	return m
+}
+
+// lookup returns the cell for id if it was ever registered, without growing
+// anything.
+func (z *Summarizer) lookup(id uint64) *sumMeta {
+	if id < uint64(len(z.dense)) {
+		if m := &z.dense[id]; m.known {
+			return m
+		}
+		return nil
+	}
+	if m := z.spill[id]; m != nil && m.known {
+		return m
+	}
+	return nil
+}
+
+// Add folds one event into the summary.
+func (z *Summarizer) Add(e Event) {
+	z.s.Events++
+	z.seen = true
+	z.lastTime = e.Time
+	switch e.Kind {
+	case KindCreate:
+		z.s.Creates++
+		z.s.CreatedBytes += uint64(e.Size)
+		*z.trace(e.Trace) = sumMeta{size: e.Size, module: e.Module, known: true, live: true}
+		z.byModule[e.Module] = append(z.byModule[e.Module], e.Trace)
+		z.live += uint64(e.Size)
+		if z.live > z.s.MaxLiveBytes {
+			z.s.MaxLiveBytes = z.live
+		}
+		z.s.TraceSizes = append(z.s.TraceSizes, e.Size)
+	case KindAdopt:
+		// The trace body already lives in the shared tier (its creator's
+		// KindCreate accounted the bytes); the adoption only registers the
+		// trace for this process's later accesses and unmaps.
+		z.s.Adoptions++
+		if z.lookup(e.Trace) == nil {
+			*z.trace(e.Trace) = sumMeta{size: e.Size, module: e.Module, known: true}
+			z.byModule[e.Module] = append(z.byModule[e.Module], e.Trace)
+		}
+	case KindAccess:
+		z.s.Accesses++
+	case KindUnmap:
+		z.s.Unmaps++
+		for _, id := range z.byModule[e.Module] {
+			if m := z.lookup(id); m != nil && m.live {
+				m.live = false
+				z.s.UnmappedBytes += uint64(m.size)
+				z.live -= uint64(m.size)
+			}
+		}
+		z.byModule[e.Module] = z.byModule[e.Module][:0]
+	case KindEnd:
+		z.s.EndTime = e.Time
+	}
+}
+
+// AddBlock folds a decoded block into the summary. Runs of accesses — the
+// bulk of any log — fold as counter bumps without materializing Events;
+// every other kind goes through Add, so the accounting is Add's exactly.
+func (z *Summarizer) AddBlock(b *EventBlock) {
+	kinds := b.Kind
+	for i := 0; i < b.N; {
+		if kinds[i] == KindAccess {
+			j := i
+			for j < b.N && kinds[j] == KindAccess {
+				j++
+			}
+			z.s.Events += j - i
+			z.s.Accesses += uint64(j - i)
+			z.lastTime = b.Time[j-1]
+			z.seen = true
+			i = j
+			continue
+		}
+		z.Add(b.Event(i))
+		i++
+	}
+}
+
+// Summary finalizes and returns the aggregation. The Summarizer remains
+// usable; further Adds extend the same summary.
+func (z *Summarizer) Summary() Summary {
+	s := z.s
+	if s.EndTime == 0 && z.seen {
+		s.EndTime = z.lastTime
 	}
 	return s
 }

@@ -17,6 +17,9 @@ go build ./...
 go test -race ./...
 # Benchmark smoke run: one iteration of everything, so benchmarks can't rot.
 go test -run '^$' -bench . -benchtime 1x .
+# Served-ingest smoke: the block-kernel acceptance pair plus its equivalence
+# anchor (block path == per-event path, counter for counter).
+make serve-bench-smoke
 # Short fuzz run over the tracelog decoder: seeds the corpus and catches
 # regressions in the malformed-input hardening without a long fuzz budget.
 go test ./internal/tracelog -run '^$' -fuzz FuzzReader -fuzztime 10s
