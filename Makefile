@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke prodday-smoke
 
 ci: fmt vet build race bench-smoke serve-bench-smoke
 
@@ -67,6 +67,22 @@ policyselect-smoke:
 	$(GO) run -race ./cmd/ccsim -log /tmp/policyselect-smoke.cclog -tiers 100 -policy auto -selepoch 256 | tee /tmp/policyselect-smoke.out
 	grep -q 'selector: [1-9][0-9]* switches' /tmp/policyselect-smoke.out
 	rm -f /tmp/policyselect-smoke.cclog /tmp/policyselect-smoke.out
+
+# Production-day smoke: the compressed standard day (24h in ~2 virtual
+# minutes: diurnal mixes, a 4am deploy, an evening flash crowd) under the
+# race detector. Requires at least one admission resize, zero offline
+# verification failures, the deploy and crowd visible in the event stream,
+# and the timeline CSV schema unchanged.
+prodday-smoke:
+	$(GO) run -race ./cmd/gencached prodday -sessions 24 -parallel 2 \
+		-csv /tmp/prodday-smoke.csv -ndjson /tmp/prodday-smoke.ndjson \
+		| tee /tmp/prodday-smoke.out
+	grep -q 'resizes=[1-9][0-9]* verify-failures=0' /tmp/prodday-smoke.out
+	grep -q 'prodday: PASS' /tmp/prodday-smoke.out
+	head -1 /tmp/prodday-smoke.csv | grep -qx 'hour,arrivals,admitted,rejected,completed,queued,slots,queue_cap,resizes,accesses,misses,miss_rate,adoptions,published,shared_used,mean_latency_ms'
+	grep -q '"kind":"deploy"' /tmp/prodday-smoke.ndjson
+	grep -q '"crowd":true' /tmp/prodday-smoke.ndjson
+	rm -f /tmp/prodday-smoke.csv /tmp/prodday-smoke.ndjson /tmp/prodday-smoke.out
 
 # Adaptive smoke: a short replay with the split controller attached, under
 # the race detector, on both the stock three-tier shape and a four-tier one.

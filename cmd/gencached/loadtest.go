@@ -8,18 +8,17 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"reflect"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/costmodel"
+	"repro/internal/dayload"
+	"repro/internal/server"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
-	"repro/internal/sim"
+	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/tracelog"
 )
@@ -27,8 +26,14 @@ import (
 // loadtestMain drives N concurrent synthetic clients against a running
 // gencached server and reports throughput and latency. With -verify (the
 // default) every served result is compared field-for-field against an
-// offline replay of the identical log — the service's core guarantee is
-// that concurrency never changes a session's numbers.
+// offline replay of the identical log (server.OfflineReplay, the same
+// ground truth the production-day engine verifies against) — the service's
+// core guarantee is that concurrency never changes a session's numbers.
+//
+// The driver is a thin wrapper over the dayload plane: the session work
+// list is a compiled dayload schedule (a flat one-hour day over the named
+// benchmarks), and all pacing and latency measurement runs on a
+// simclock.Clock rather than bare time calls.
 func loadtestMain(args []string) {
 	fs := flag.NewFlagSet("gencached loadtest", flag.ExitOnError)
 	addr := fs.String("addr", "", "server base URL, e.g. http://127.0.0.1:8344 (required)")
@@ -55,9 +60,15 @@ func loadtestMain(args []string) {
 		total = *clients
 	}
 
+	// The driver's time plane: a real clock here, but every deadline,
+	// backoff, and latency measurement below goes through it, so the whole
+	// driver can run on a virtual clock unchanged.
+	clk := simclock.Default(nil)
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 	c := client.New(*addr)
+	c.Clock = clk
 	if err := c.WaitHealthy(ctx, 10*time.Second); err != nil {
 		fatal(err)
 	}
@@ -69,22 +80,32 @@ func loadtestMain(args []string) {
 		HasThreshold: true,
 		Unified:      *unified,
 	}
+	// The offline verification config mirrors the session options; both the
+	// served session and server.OfflineReplay build their managers from it.
+	vcfg := server.SessionConfig{
+		CapFrac:   *capFrac,
+		Layout:    *layout,
+		Threshold: *threshold,
+		Unified:   *unified,
+	}
 
 	// Synthesize each benchmark's log once; every session replays a private
 	// copy, so the offline expectation is computed once per benchmark too.
 	benches := strings.Split(*bench, ",")
 	logs := make([][]byte, len(benches))
+	benchIdx := make(map[string]int, len(benches))
 	expected := make([]api.SessionResult, len(benches))
 	for i, name := range benches {
 		name = strings.TrimSpace(name)
 		benches[i] = name
+		benchIdx[name] = i
 		data, err := client.SyntheticLog(name, *scale)
 		if err != nil {
 			fatal(err)
 		}
 		logs[i] = data
 		if *verify {
-			exp, err := offlineExpected(data, opts)
+			exp, err := server.OfflineReplay(vcfg, nil, data)
 			if err != nil {
 				fatal(err)
 			}
@@ -93,8 +114,17 @@ func loadtestMain(args []string) {
 		fmt.Printf("loadtest: %s: %s log bytes\n", name, stats.FmtBytes(uint64(len(data))))
 	}
 
+	// The work list is a compiled dayload schedule: a flat one-hour day
+	// splitting the session total across the benchmarks. The loadtest is
+	// the degenerate production day — no diurnal shape, no deploys, no
+	// crowds, issued as fast as the clients can go.
+	arrivals, err := loadtestSchedule(benches, total)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *overloadHold > 0 {
-		if err := overloadCheck(ctx, c, *overloadHold); err != nil {
+		if err := overloadCheck(ctx, clk, c, *overloadHold); err != nil {
 			fatal(err)
 		}
 	}
@@ -111,7 +141,7 @@ func loadtestMain(args []string) {
 		outcomes = make([]outcome, total)
 		wg       sync.WaitGroup
 	)
-	start := time.Now()
+	start := clk.Now()
 	for cl := 0; cl < *clients; cl++ {
 		wg.Add(1)
 		go func() {
@@ -121,8 +151,8 @@ func loadtestMain(args []string) {
 				if n >= total {
 					return
 				}
-				b := n % len(benches)
-				t0 := time.Now()
+				b := benchIdx[arrivals[n].Bench]
+				t0 := clk.Now()
 				var res api.SessionResult
 				var err error
 				for attempt := 0; ; attempt++ {
@@ -133,15 +163,15 @@ func loadtestMain(args []string) {
 					retries.Add(1)
 					select {
 					case <-ctx.Done():
-					case <-time.After(100 * time.Millisecond):
+					case <-clk.After(100 * time.Millisecond):
 					}
 				}
-				outcomes[n] = outcome{bench: b, res: res, dur: time.Since(t0), err: err}
+				outcomes[n] = outcome{bench: b, res: res, dur: clk.Since(t0), err: err}
 			}
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	var (
 		ok, failed, mismatched int
@@ -162,7 +192,7 @@ func loadtestMain(args []string) {
 		published += o.res.Shared.Published
 		saved += o.res.Shared.SavedGenInstructions
 		durs = append(durs, o.dur)
-		if *verify && !resultsMatch(expected[o.bench], o.res) {
+		if *verify && !server.ResultsEquivalent(o.res, expected[o.bench]) {
 			mismatched++
 			fmt.Fprintf(os.Stderr, "loadtest: session %d result diverges from offline replay:\n  offline: %+v\n  served:  %+v\n",
 				o.res.Session, expected[o.bench], o.res)
@@ -212,51 +242,27 @@ func loadtestMain(args []string) {
 	}
 }
 
-// offlineExpected replays the log locally, exactly as the server will, and
-// renders the expectation in wire form.
-func offlineExpected(logBytes []byte, opts client.SessionOptions) (api.SessionResult, error) {
-	h, events, err := tracelog.ReadAll(bytes.NewReader(logBytes))
-	if err != nil {
-		return api.SessionResult{}, err
+// loadtestSchedule compiles the loadtest's work list through the dayload
+// plane: a flat one-hour day splitting total sessions evenly across the
+// benchmarks, seeded so the issue order is reproducible.
+func loadtestSchedule(benches []string, total int) ([]dayload.Arrival, error) {
+	spec := dayload.Spec{
+		Name:      "loadtest",
+		Seed:      1,
+		DayLength: time.Hour,
 	}
-	sum := tracelog.Summarize(h, events)
-	capacity := uint64(float64(sum.MaxLiveBytes) * opts.CapFrac)
-	var res sim.Result
-	if opts.Unified {
-		res, err = sim.ReplayUnified(h.Benchmark, events, capacity, costmodel.DefaultModel)
-	} else {
-		fracs, ferr := api.ParseLayout(opts.Layout)
-		if ferr != nil {
-			return api.SessionResult{}, ferr
+	share := total / len(benches)
+	for i, b := range benches {
+		n := share
+		if i < total%len(benches) {
+			n++
 		}
-		res, err = sim.ReplayGenerational(h.Benchmark, events, core.Config{
-			TotalCapacity:    capacity,
-			NurseryFrac:      fracs[0],
-			ProbationFrac:    fracs[1],
-			PersistentFrac:   fracs[2],
-			PromoteThreshold: opts.Threshold,
-			PromoteOnAccess:  opts.Threshold <= 1,
-		}, costmodel.DefaultModel)
+		if n == 0 {
+			continue
+		}
+		spec.Mixes = append(spec.Mixes, dayload.Mix{Bench: b, Sessions: n})
 	}
-	if err != nil {
-		return api.SessionResult{}, err
-	}
-	exp := api.FromSim(res)
-	exp.CapacityBytes = capacity
-	exp.Events = uint64(len(events))
-	return exp, nil
-}
-
-// resultsMatch compares a served result against the offline expectation,
-// ignoring the fields only the service sets (session ID, shared-tier
-// savings). Everything else — every counter, the cost accounting, the
-// derived miss rate — must be bit-identical.
-func resultsMatch(exp, got api.SessionResult) bool {
-	got.Session = 0
-	got.Shared = api.SharedSavings{}
-	exp.Session = 0
-	exp.Shared = api.SharedSavings{}
-	return reflect.DeepEqual(exp, got)
+	return spec.Arrivals()
 }
 
 // overloadCheck holds streaming sessions open until the server's replay
@@ -264,7 +270,7 @@ func resultsMatch(exp, got api.SessionResult) bool {
 // 429, then releases the held streams and requires every one of them to
 // complete cleanly — overload must shed new load, never degrade admitted
 // sessions.
-func overloadCheck(ctx context.Context, c *client.Client, hold int) error {
+func overloadCheck(ctx context.Context, clk simclock.Clock, c *client.Client, hold int) error {
 	fmt.Printf("loadtest: overload check: holding %d streaming sessions open\n", hold)
 	release := make(chan struct{})
 	results := make(chan error, hold)
@@ -303,7 +309,7 @@ func overloadCheck(ctx context.Context, c *client.Client, hold int) error {
 		case <-ctx.Done():
 			close(release)
 			return fmt.Errorf("loadtest: overload check: server never saturated: %w", ctx.Err())
-		case <-time.After(50 * time.Millisecond):
+		case <-clk.After(50 * time.Millisecond):
 		}
 		h, err := c.Health(ctx)
 		if err != nil {

@@ -10,6 +10,7 @@
 //
 //	gencached serve [-addr 127.0.0.1:8344] [-snapshot gencached.ccpersist] ...
 //	gencached loadtest -addr http://127.0.0.1:8344 [-clients 8] [-bench word] ...
+//	gencached prodday [-sessions 40] [-time-scale 720] [-verify] ...
 //	gencached -version
 package main
 
@@ -42,12 +43,15 @@ func main() {
 		case "loadtest":
 			loadtestMain(args[1:])
 			return
+		case "prodday":
+			proddayMain(args[1:])
+			return
 		case "-version", "--version", "version":
 			fmt.Println(buildinfo.Version("gencached"))
 			return
 		}
 	}
-	fmt.Fprintln(os.Stderr, "usage: gencached {serve|loadtest|-version} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gencached {serve|loadtest|prodday|-version} [flags]")
 	os.Exit(2)
 }
 
@@ -57,8 +61,11 @@ func serveMain(args []string) {
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts that pass port 0)")
 	snapshot := fs.String("snapshot", "", "shared-tier snapshot path: loaded warm at startup, written at shutdown")
 	sharedCap := fs.Uint64("shared-cap", 8<<20, "shared persistent tier capacity in bytes")
-	maxSessions := fs.Int("max-sessions", 16, "concurrently replaying sessions")
+	maxSessions := fs.Int("max-sessions", 16, "concurrently replaying sessions (the autoscaler's starting point when -autoscale is set)")
 	queue := fs.Int("queue", 64, "sessions allowed to wait for a replay slot before 429")
+	autoscale := fs.Bool("autoscale", false, "let the admission autoscaler move the session and queue limits with load")
+	autoscaleMax := fs.Int("autoscale-max", 64, "autoscaler slot ceiling")
+	autoscaleTick := fs.Duration("autoscale-tick", 5*time.Second, "autoscaler decision cadence")
 	maxSessionBytes := fs.Int64("max-session-bytes", 256<<20, "per-session request body limit")
 	keepWarm := fs.Bool("keep-warm", true, "keep published traces resident after their sessions close")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -77,16 +84,34 @@ func serveMain(args []string) {
 	stopProfiles = stop
 	defer stop()
 
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		SharedCapacity:  *sharedCap,
 		MaxSessions:     *maxSessions,
 		QueueDepth:      *queue,
 		MaxSessionBytes: *maxSessionBytes,
 		SnapshotPath:    *snapshot,
 		KeepWarm:        *keepWarm,
-	})
+	}
+	if *autoscale {
+		cfg.Autoscale = &server.AutoscaleConfig{MaxSlots: *autoscaleMax}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *autoscale {
+		// The server never ticks itself; the daemon drives decisions from
+		// the wall clock (the day engine drives the same path virtually).
+		ticker := time.NewTicker(*autoscaleTick)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if srv.AutoscaleTick() {
+					slots, q, _ := srv.AdmissionLimits()
+					log.Printf("gencached: admission resized to %d slots, queue %d", slots, q)
+				}
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

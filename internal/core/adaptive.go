@@ -96,6 +96,17 @@ type adaptiveController struct {
 	pendFrom int
 	pendTo   int
 
+	// pressure is the current external load pressure in [0, 1], set through
+	// Graph.SetLoadPressure. Under high arrival intensity the cost of running
+	// a stale split for two more confirmation epochs dwarfs the churn cost of
+	// a mistaken shift, so pressure at or above pressureHigh trades damping
+	// for reaction speed: single-window confirmation, a lower evidence floor,
+	// and proportionally larger steps. The oscillation guard still wins —
+	// once the walk has bracketed its equilibrium (reversals >= 2), pressure
+	// no longer bypasses confirmation, or a loaded system would stand-and-
+	// oscillate exactly when it can least afford the resize churn.
+	pressure float64
+
 	stats AdaptiveStats
 }
 
@@ -116,6 +127,28 @@ const bootstrapEpochs = 8
 // away from the starting split.
 func (c *adaptiveController) bootstrapping() bool {
 	return c.warm && c.warmEpochs <= bootstrapEpochs
+}
+
+// pressureHigh is the load-pressure level at which the controller switches
+// from damped to reactive decisions.
+const pressureHigh = 0.5
+
+// pressured reports whether load pressure currently buys the controller out
+// of two-window confirmation. The post-bracketing oscillation guard is
+// deliberately not waivable.
+func (c *adaptiveController) pressured() bool {
+	return c.pressure >= pressureHigh && c.stats.Reversals < 2
+}
+
+// setPressure records the external load pressure, clamped to [0, 1].
+func (c *adaptiveController) setPressure(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.pressure = p
 }
 
 // bind sizes the controller's per-tier windows once the graph's tiers exist.
@@ -195,7 +228,7 @@ func (c *adaptiveController) epoch() {
 	}
 	from, to := c.propose()
 	confirmed := from >= 0 && to >= 0 &&
-		(c.bootstrapping() || (from == c.pendFrom && to == c.pendTo))
+		(c.bootstrapping() || c.pressured() || (from == c.pendFrom && to == c.pendTo))
 	c.pendFrom, c.pendTo = from, to
 	if confirmed && from != to && c.shift(from, to) {
 		if !c.bootstrapping() && from == c.lastTo && to == c.lastFrom {
@@ -255,6 +288,8 @@ func (c *adaptiveController) propose() (from, to int) {
 		floor = 2
 	case c.stats.Reversals >= 2:
 		floor = 16
+	case c.pressured():
+		floor = 2
 	}
 	if from >= 0 && (maxMiss < floor || maxMiss < 2*c.missFrom[from]) {
 		return -1, -1
@@ -263,7 +298,9 @@ func (c *adaptiveController) propose() (from, to int) {
 }
 
 func (c *adaptiveController) stepBytes() uint64 {
-	return uint64(float64(c.g.spec.TotalCapacity) * c.cfg.Step)
+	// Pressure scales the step up to 2x: a loaded system wants to reach a
+	// better split in fewer (churn-causing) resizes.
+	return uint64(float64(c.g.spec.TotalCapacity) * c.cfg.Step * (1 + c.pressure))
 }
 
 func (c *adaptiveController) minBytes() uint64 {
@@ -308,4 +345,21 @@ func (g *Graph) AdaptiveStats() (AdaptiveStats, bool) {
 		return AdaptiveStats{}, false
 	}
 	return g.ctl.stats, true
+}
+
+// SetLoadPressure feeds external arrival intensity (0 = idle, 1 = saturated)
+// into the adaptive split controller; see adaptiveController.pressure for
+// how it trades damping for reaction speed. Static graphs ignore it. Callers
+// that only hold a Manager reach it with the same type-assertion idiom as
+// SetProcID:
+//
+//	if lp, ok := mgr.(interface{ SetLoadPressure(float64) }); ok { ... }
+//
+// Determinism: pressure is ordinary controller input — two runs that set the
+// same pressure values at the same access counts decide identically.
+func (g *Graph) SetLoadPressure(p float64) {
+	if g.ctl == nil {
+		return
+	}
+	g.ctl.setPressure(p)
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestProductionDayAutoWins is the PR's headline acceptance gate: over the
+// standard production day, the autoscaled, load-reactive arm beats every
+// static (slots, queue, split) configuration — strictly better service than
+// arms at comparable memory, no worse service than arms provisioned above
+// it — with every served session verified bit-identical to its offline
+// replay and at least one admission resize actually happening.
+func TestProductionDayAutoWins(t *testing.T) {
+	res, err := ProductionDay(ProductionDayOptions{Verify: true, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("auto arm %s: %d served, %d rejected, %d resizes, p95 %s, %.2f avg slots",
+		res.Auto.Arm, res.Auto.Served, res.Auto.Rejected, res.Auto.Resizes,
+		res.Auto.P95Latency, res.Auto.AvgSlots)
+	if res.Auto.Resizes == 0 {
+		t.Error("autoscaled arm never resized admission")
+	}
+	if res.Auto.VerifyFailed != 0 {
+		t.Errorf("%d served sessions diverged from offline replay", res.Auto.VerifyFailed)
+	}
+	for i, v := range res.Verdicts {
+		st := res.Statics[i]
+		t.Logf("vs %s (%d rejected, p95 %s, %.2f avg slots): beats=%v — %s",
+			v.Arm, st.Rejected, st.P95Latency, st.AvgSlots, v.AutoBeats, v.Reason)
+		if st.VerifyFailed != 0 {
+			t.Errorf("arm %s: %d verification divergences", st.Arm, st.VerifyFailed)
+		}
+		if !v.AutoBeats {
+			t.Errorf("autoscaled arm does not beat %s: %s", v.Arm, v.Reason)
+		}
+	}
+	if !res.AutoWins {
+		t.Error("AutoWins = false")
+	}
+}
+
+// TestProductionDayDeterministicAcrossParallelism proves arms are truly
+// independent: the whole study run sequentially and run 8-wide produces
+// byte-identical timeline CSV and NDJSON for every arm.
+func TestProductionDayDeterministicAcrossParallelism(t *testing.T) {
+	seq, err := ProductionDay(ProductionDayOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ProductionDay(ProductionDayOptions{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := func(r ProductionDayResult) []*struct {
+		arm, csv, nd string
+	} {
+		var out []*struct{ arm, csv, nd string }
+		out = append(out, &struct{ arm, csv, nd string }{r.Auto.Arm, r.Auto.CSV, r.Auto.NDJSON})
+		for _, st := range r.Statics {
+			out = append(out, &struct{ arm, csv, nd string }{st.Arm, st.CSV, st.NDJSON})
+		}
+		return out
+	}
+	a, b := all(seq), all(par)
+	if len(a) != len(b) {
+		t.Fatalf("arm counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].arm != b[i].arm {
+			t.Fatalf("arm %d name differs: %s vs %s", i, a[i].arm, b[i].arm)
+		}
+		if a[i].csv != b[i].csv {
+			t.Errorf("arm %s: timeline CSV differs between -parallel 1 and 8", a[i].arm)
+		}
+		if a[i].nd != b[i].nd {
+			t.Errorf("arm %s: NDJSON stream differs between -parallel 1 and 8", a[i].arm)
+		}
+	}
+}

@@ -45,13 +45,17 @@ const (
 	// live local policy. From names the tier; Policy carries the new policy's
 	// spec string.
 	KindPolicySwitch
+	// KindAdmissionResize fires when the gencached admission controller's
+	// limits change (the autoscaler or an operator resizing capacity). Size
+	// carries the new slot count, Total the new queue depth.
+	KindAdmissionResize
 
 	// NumKinds bounds the Kind space; counting consumers size arrays with it.
-	NumKinds = int(KindPolicySwitch) + 1
+	NumKinds = int(KindAdmissionResize) + 1
 )
 
 var kindNames = [...]string{
-	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch",
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch", "admission-resize",
 }
 
 func (k Kind) String() string {

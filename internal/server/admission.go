@@ -12,17 +12,37 @@ import (
 // degrade accepted replays.
 var errOverloaded = errors.New("server: too many sessions")
 
-// admission is the service's two-stage admission controller: up to maxRun
+// admission is the service's two-stage admission controller: up to slots
 // sessions replay at once, up to maxQueue more wait for a slot, and everyone
-// past that is turned away immediately.
+// past that is turned away immediately. Both limits are dynamic — Resize
+// moves them while acquires and releases are in flight, which is what the
+// autoscaler does all day.
+//
+// Two client planes share the same counters. The HTTP handlers use the
+// blocking pair acquire/release, with a FIFO waiter list standing in for
+// queued requests. The deterministic day engine uses the non-blocking
+// primitives tryAcquire/tryEnqueue/promoteQueued/release: its queued
+// sessions are virtual (the engine owns their order on the virtual clock),
+// so the admission object only counts them. The planes share one queued
+// total but cannot steal each other's capacity: promoteLocked grants only
+// blocking waiters, promoteQueued promotes only the sim-counted excess.
 type admission struct {
-	slots chan struct{}
-
 	mu       sync.Mutex
+	slots    int
 	maxQueue int
 	running  int
-	queued   int
+	queued   int // waiting sessions: len(waiters) on the HTTP plane, a bare count on the sim plane
 	rejected uint64
+	resizes  uint64
+	waiters  []*waiter
+}
+
+// waiter is one queued blocking acquire. grant passes slot ownership: the
+// granter increments running and sets granted before signalling, so a waiter
+// that loses the grant/ctx race knows it owns a slot it must give back.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
 }
 
 func newAdmission(maxRun, maxQueue int) *admission {
@@ -32,59 +52,170 @@ func newAdmission(maxRun, maxQueue int) *admission {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admission{slots: make(chan struct{}, maxRun), maxQueue: maxQueue}
+	return &admission{slots: maxRun, maxQueue: maxQueue}
 }
 
 // acquire claims a replay slot, waiting in the queue if every slot is busy.
 // It returns errOverloaded when the queue itself is full, or the context's
 // error if the client goes away while waiting.
 func (a *admission) acquire(ctx context.Context) error {
-	// Fast path: a slot is free, no queueing involved.
-	select {
-	case a.slots <- struct{}{}:
-		a.mu.Lock()
+	a.mu.Lock()
+	if a.running < a.slots {
 		a.running++
 		a.mu.Unlock()
 		return nil
-	default:
 	}
-
-	// Every slot is busy: join the waiting room if it has space.
-	a.mu.Lock()
 	if a.queued >= a.maxQueue {
 		a.rejected++
 		a.mu.Unlock()
 		return errOverloaded
 	}
+	w := &waiter{ch: make(chan struct{}, 1)}
 	a.queued++
+	a.waiters = append(a.waiters, w)
 	a.mu.Unlock()
 
 	select {
-	case a.slots <- struct{}{}:
-		a.mu.Lock()
-		a.queued--
-		a.running++
-		a.mu.Unlock()
+	case <-w.ch:
 		return nil
 	case <-ctx.Done():
 		a.mu.Lock()
-		a.queued--
+		if w.granted {
+			// The grant raced the cancellation: we own a slot nobody will
+			// use. Hand it on.
+			a.running--
+			a.promoteLocked()
+		} else {
+			for i, q := range a.waiters {
+				if q == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					a.queued--
+					break
+				}
+			}
+		}
 		a.mu.Unlock()
 		return ctx.Err()
 	}
 }
 
-// release returns a slot claimed by acquire.
+// release returns a slot claimed by acquire (or by the sim-plane
+// primitives), waking the longest-waiting queued request if one fits.
 func (a *admission) release() {
-	<-a.slots
 	a.mu.Lock()
 	a.running--
+	a.promoteLocked()
 	a.mu.Unlock()
 }
+
+// promoteLocked grants free slots to FIFO waiters. Callers hold a.mu.
+func (a *admission) promoteLocked() {
+	for a.running < a.slots && len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters[0] = nil
+		a.waiters = a.waiters[1:]
+		a.queued--
+		a.running++
+		w.granted = true
+		w.ch <- struct{}{}
+	}
+}
+
+// tryAcquire claims a slot without blocking; the day engine's admission
+// probe at virtual session arrival. It does not count a rejection — the
+// caller decides between tryEnqueue and giving up.
+func (a *admission) tryAcquire() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running < a.slots {
+		a.running++
+		return true
+	}
+	return false
+}
+
+// tryEnqueue counts a virtual session into the waiting room, or counts a
+// rejection (the 429) when the room is full. The caller owns the queued
+// session's identity and FIFO order; the controller only tracks occupancy.
+func (a *admission) tryEnqueue() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued >= a.maxQueue {
+		a.rejected++
+		return false
+	}
+	a.queued++
+	return true
+}
+
+// promoteQueued moves one virtual session from the waiting room into a free
+// slot; the day engine calls it after release() frees capacity, then starts
+// the session it pops from its own queue. Only sim-plane sessions (queued
+// count in excess of blocking waiters) are promotable here — blocking
+// waiters are granted by promoteLocked in FIFO order.
+func (a *admission) promoteQueued() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued > len(a.waiters) && a.running < a.slots {
+		a.queued--
+		a.running++
+		return true
+	}
+	return false
+}
+
+// Resize moves the admission limits. Growth promotes waiters into the new
+// slots immediately; shrinking never preempts — running sessions finish and
+// already-queued waiters keep their place, the tighter limits bind new
+// arrivals only. Inputs are clamped the same way the constructor clamps.
+func (a *admission) Resize(slots, queue int) {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	a.mu.Lock()
+	a.slots = slots
+	a.maxQueue = queue
+	a.resizes++
+	a.promoteLocked()
+	a.mu.Unlock()
+}
+
+// AdmissionPlane is the exported face of the sim-plane admission
+// primitives: the production-day engine decides admit/queue/reject on its
+// virtual clock through these, against the very same controller the HTTP
+// handlers block on — one set of limits, one occupancy, two planes.
+type AdmissionPlane struct{ a *admission }
+
+// Admission returns the server's admission controller as a sim plane.
+func (s *Server) Admission() AdmissionPlane { return AdmissionPlane{s.adm} }
+
+// TryAcquire claims a replay slot without blocking.
+func (p AdmissionPlane) TryAcquire() bool { return p.a.tryAcquire() }
+
+// TryEnqueue counts a virtual session into the waiting room; false counts
+// the 429.
+func (p AdmissionPlane) TryEnqueue() bool { return p.a.tryEnqueue() }
+
+// PromoteQueued moves one virtual queued session into a free slot.
+func (p AdmissionPlane) PromoteQueued() bool { return p.a.promoteQueued() }
+
+// Release returns a slot claimed by TryAcquire or PromoteQueued.
+func (p AdmissionPlane) Release() { p.a.release() }
 
 // load reports the controller's current occupancy.
 func (a *admission) load() (running, queued int, rejected uint64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.running, a.queued, a.rejected
+}
+
+// limits reports the current slot and queue capacities and how many times
+// they have been resized.
+func (a *admission) limits() (slots, queue int, resizes uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.slots, a.maxQueue, a.resizes
 }

@@ -55,6 +55,21 @@ const (
 	// ParamEvents switches the response to an NDJSON stream: the session's
 	// merged observer events as they happen, then one final result line.
 	ParamEvents = "events"
+	// ParamAdaptive attaches the adaptive split controller to the session's
+	// manager (ccsim's -adaptive): epoch-boundary capacity shifts between its
+	// tiers, driven by the session's own miss attribution.
+	ParamAdaptive = "adaptive"
+	// ParamAdaptEpoch overrides the accesses between adaptive-controller
+	// decisions (meaningful with adaptive=1), ccsim's -epoch.
+	ParamAdaptEpoch = "aepoch"
+	// ParamPressure is the load pressure in [0, 1] the session's adaptive
+	// controller starts under — the arrival intensity the admission layer
+	// observed when it let the session in. It is an explicit session
+	// parameter (not server-side ambient state) precisely so an offline
+	// verification replay can pass the same value and stay bit-identical.
+	// Clients should format it with strconv.FormatFloat(v, 'g', -1, 64) so
+	// the value round-trips exactly.
+	ParamPressure = "pressure"
 )
 
 // Overhead is the Table 2 instruction-cost accounting of one session.
@@ -235,6 +250,9 @@ type Health struct {
 	Status          string  `json:"status"` // "ok" or "draining"
 	ActiveSessions  int     `json:"activeSessions"`
 	QueuedSessions  int     `json:"queuedSessions"`
+	AdmissionSlots  int     `json:"admissionSlots"`  // current replay-slot limit
+	AdmissionQueue  int     `json:"admissionQueue"`  // current waiting-room limit
+	AdmissionResize uint64  `json:"admissionResize"` // times the limits have moved
 	SessionsServed  uint64  `json:"sessionsServed"`
 	SessionsDenied  uint64  `json:"sessionsDenied"`
 	SharedUsedBytes uint64  `json:"sharedUsedBytes"`
@@ -279,6 +297,9 @@ func FromObs(e obs.Event) Event {
 	case obs.KindPolicySwitch:
 		w.From = e.From.String()
 		w.Policy = e.Policy
+	case obs.KindAdmissionResize:
+		// Size carries the new slot count, Total the new queue depth.
+		w.Total = e.Total
 	}
 	return w
 }

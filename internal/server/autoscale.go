@@ -1,0 +1,94 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// AutoscaleConfig bounds the admission autoscaler. The zero value of any
+// field selects its default.
+type AutoscaleConfig struct {
+	// MinSlots is the floor the scaler never shrinks below (default 1).
+	MinSlots int
+	// MaxSlots is the ceiling it never grows past (default 64).
+	MaxSlots int
+	// QueueFactor sets the waiting room as a multiple of the slot count
+	// (default 2), so queueing capacity tracks replay capacity.
+	QueueFactor int
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.MinSlots < 1 {
+		c.MinSlots = 1
+	}
+	if c.MaxSlots == 0 {
+		c.MaxSlots = 64
+	}
+	if c.MaxSlots < c.MinSlots {
+		c.MaxSlots = c.MinSlots
+	}
+	if c.QueueFactor < 1 {
+		c.QueueFactor = 2
+	}
+	return c
+}
+
+// autoscaler resizes the admission controller from windowed observations.
+// It holds no clock and spawns nothing: the owner calls Tick at whatever
+// cadence its time plane provides — the day engine on virtual-clock
+// boundaries, the live daemon from a real ticker — so a decision sequence
+// is exactly as deterministic as its inputs.
+//
+// The rules are deliberately coarse (multiplicative growth, slower decay):
+//
+//	grow   when the window saw queueing or rejections: slots += max(1, slots/2)
+//	shrink when fewer than half the slots were in use:  slots -= max(1, slots/4)
+//	queue  follows as QueueFactor × slots
+//
+// Growth reacts to a single bad window because a too-small limit turns
+// sessions away (a user-visible 429); shrink waits for clear idleness
+// because the only cost of a too-large limit is memory headroom.
+type autoscaler struct {
+	adm *admission
+	cfg AutoscaleConfig
+	o   obs.Observer
+
+	lastRejected uint64
+	resizes      uint64
+}
+
+func newAutoscaler(adm *admission, cfg AutoscaleConfig, o obs.Observer) *autoscaler {
+	_, _, rejected := adm.load()
+	return &autoscaler{adm: adm, cfg: cfg.withDefaults(), o: o, lastRejected: rejected}
+}
+
+// Tick makes one scaling decision from the controller's state since the
+// last tick. It reports whether the limits changed; the new limits are
+// announced as a KindAdmissionResize event (Size = slots, Total = queue).
+func (s *autoscaler) Tick() bool {
+	running, queued, rejected := s.adm.load()
+	slots, _, _ := s.adm.limits()
+	rejectedDelta := rejected - s.lastRejected
+	s.lastRejected = rejected
+
+	next := slots
+	switch {
+	case queued > 0 || rejectedDelta > 0:
+		next = slots + max(1, slots/2)
+		if next > s.cfg.MaxSlots {
+			next = s.cfg.MaxSlots
+		}
+	case running < (slots+1)/2 && slots > s.cfg.MinSlots:
+		next = slots - max(1, slots/4)
+		if next < s.cfg.MinSlots {
+			next = s.cfg.MinSlots
+		}
+	}
+	if next == slots {
+		return false
+	}
+	queue := s.cfg.QueueFactor * next
+	s.adm.Resize(next, queue)
+	s.resizes++
+	obs.Emit(s.o, obs.Event{Kind: obs.KindAdmissionResize, Size: uint64(next), Total: uint64(queue)})
+	return true
+}

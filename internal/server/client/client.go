@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dbt"
 	"repro/internal/server/api"
+	"repro/internal/simclock"
 	"repro/internal/tracelog"
 	"repro/internal/workload"
 )
@@ -37,10 +38,16 @@ type Client struct {
 	// HTTPClient is the transport; nil uses a client with no timeout
 	// (sessions stream arbitrarily long bodies).
 	HTTPClient *http.Client
+	// Clock is the client's time plane for deadlines and backoff pacing;
+	// nil means the wall clock. Load drivers inject their own so pacing is
+	// part of the same (possibly virtual) timeline as everything else.
+	Clock simclock.Clock
 }
 
 // New returns a client for the given base URL.
 func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) clock() simclock.Clock { return simclock.Default(c.Clock) }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -59,6 +66,15 @@ type SessionOptions struct {
 	HasThreshold  bool   // set to send Threshold even when it is 0
 	Tiers         string
 	Unified       bool
+	// Policy applies a local-policy spec to tiers that don't name one.
+	Policy string
+	// Adaptive attaches the adaptive split controller to the session.
+	Adaptive bool
+	// AdaptEpoch overrides the adaptive controller's decision epoch.
+	AdaptEpoch uint64
+	// Pressure is the load pressure in [0, 1] the session starts under;
+	// formatted round-trippably so the server parses the exact value back.
+	Pressure float64
 	// BinaryStats requests the compact binary result framing
 	// (api.StatsContentType) instead of JSON. The decoded result is
 	// identical; the response is smaller and cheaper to parse.
@@ -84,6 +100,18 @@ func (o SessionOptions) query() url.Values {
 	}
 	if o.Unified {
 		q.Set(api.ParamUnified, "1")
+	}
+	if o.Policy != "" {
+		q.Set(api.ParamPolicy, o.Policy)
+	}
+	if o.Adaptive {
+		q.Set(api.ParamAdaptive, "1")
+	}
+	if o.AdaptEpoch > 0 {
+		q.Set(api.ParamAdaptEpoch, strconv.FormatUint(o.AdaptEpoch, 10))
+	}
+	if o.Pressure > 0 {
+		q.Set(api.ParamPressure, strconv.FormatFloat(o.Pressure, 'g', -1, 64))
 	}
 	return q
 }
@@ -165,19 +193,21 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 }
 
 // WaitHealthy polls /healthz until the server answers or the deadline
-// passes — the loadtest's startup barrier.
+// passes — the loadtest's startup barrier. Both the deadline and the retry
+// pacing run on the client's clock.
 func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	clk := c.clock()
+	start := clk.Now()
 	for {
 		if _, err := c.Health(ctx); err == nil {
 			return nil
-		} else if time.Now().After(deadline) {
+		} else if clk.Since(start) > timeout {
 			return fmt.Errorf("client: server not healthy after %s: %w", timeout, err)
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-clk.After(50 * time.Millisecond):
 		}
 	}
 }

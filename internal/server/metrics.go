@@ -39,8 +39,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
 	}
 
+	slots, queueCap, resizes := s.adm.limits()
 	gauge("gencached_sessions_active", running, "sessions currently replaying")
 	gauge("gencached_sessions_queued", queued, "sessions waiting for a replay slot")
+	gauge("gencached_admission_slots", slots, "current replay-slot limit (autoscaler-controlled)")
+	gauge("gencached_admission_queue_depth", queueCap, "current waiting-room limit (autoscaler-controlled)")
+	counterM("gencached_admission_resizes_total", resizes, "admission limit changes (autoscaler or operator)")
 	gauge("gencached_draining", boolToInt(s.draining.Load()), "1 while the server refuses new sessions for shutdown")
 	counterM("gencached_sessions_served_total", a.sessionsServed, "sessions completed successfully")
 	counterM("gencached_sessions_failed_total", a.sessionsFailed, "sessions ended by an error")

@@ -50,6 +50,22 @@ func (ms *moduleSpace) global(bench string, local uint16) (uint16, bool) {
 	return g, true
 }
 
+// benchModules returns every global module ID ever mapped for a benchmark,
+// sorted, so callers iterating it (deploy unmaps) act in deterministic
+// order.
+func (ms *moduleSpace) benchModules(bench string) []uint16 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	var out []uint16
+	for k, g := range ms.byKey {
+		if k.Bench == bench {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // moduleSidecar is the JSON document saved next to a snapshot: the module
 // namespace the snapshot's records are expressed in, plus the trace-ID
 // watermark new publications must stay above.

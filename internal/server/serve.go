@@ -1,0 +1,253 @@
+// The exported serving plane: the production-day engine drives sessions
+// through Server.ServeSession without HTTP, goroutines, or blocking — the
+// replay runs synchronously on the caller's goroutine, in whatever order the
+// caller's (virtual) clock dictates. OfflineReplay is the matching
+// verification path: the same configuration replayed against a fully
+// private manager with no shared tier, the way offline ccsim would run the
+// log. A served session's replay-visible counters must equal its
+// OfflineReplay bit-for-bit; that invariant is what "no session divergence"
+// means in the ProductionDay experiment.
+
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strconv"
+
+	"repro/internal/costmodel"
+	"repro/internal/server/api"
+	"repro/internal/sim"
+	"repro/internal/tracelog"
+)
+
+// SessionConfig is the exported form of a session's parameters — the same
+// knobs the query string of POST /v1/sessions carries, for callers that
+// drive the server in-process.
+type SessionConfig struct {
+	// CapacityBytes, when >0, is the absolute simulated cache capacity.
+	CapacityBytes uint64
+	// CapFrac sizes the cache as a fraction of the log's unbounded peak when
+	// CapacityBytes is 0. Zero means the service default (0.5).
+	CapFrac float64
+	// Layout is the N-P-S percentage split; empty means "45-10-45".
+	Layout string
+	// Threshold is the probation promotion threshold; zero means 1.
+	Threshold uint64
+	// Tiers, when set, replays an arbitrary tier graph (core.ParseTierSpec).
+	Tiers string
+	// Policy applies a local-policy spec to tiers that don't name one.
+	Policy string
+	// SelEpoch overrides the online policy-selector epoch.
+	SelEpoch uint64
+	// Unified replays the single pseudo-circular baseline.
+	Unified bool
+	// Adaptive attaches the adaptive split controller.
+	Adaptive bool
+	// AdaptEpoch overrides the adaptive controller's decision epoch.
+	AdaptEpoch uint64
+	// Pressure is the load pressure in [0, 1] the session starts under.
+	// Callers must pass the same value to ServeSession and the verifying
+	// OfflineReplay, or the adaptive controller will decide differently.
+	Pressure float64
+}
+
+func (c SessionConfig) params() sessionParams {
+	p := sessionParams{
+		capacity:   c.CapacityBytes,
+		capFrac:    c.CapFrac,
+		layout:     c.Layout,
+		threshold:  c.Threshold,
+		tiers:      c.Tiers,
+		policy:     c.Policy,
+		selEpoch:   c.SelEpoch,
+		unified:    c.Unified,
+		adaptive:   c.Adaptive,
+		adaptEpoch: c.AdaptEpoch,
+		pressure:   c.Pressure,
+	}
+	if p.capFrac == 0 {
+		p.capFrac = 0.5
+	}
+	if p.layout == "" {
+		p.layout = "45-10-45"
+	}
+	if p.threshold == 0 {
+		p.threshold = 1
+	}
+	return p
+}
+
+// Query renders the configuration as POST /v1/sessions query parameters, so
+// an HTTP client and an in-process caller express one configuration the
+// same way. Pressure uses the round-trippable float formatting the server
+// parses back exactly.
+func (c SessionConfig) Query() string {
+	var b bytes.Buffer
+	add := func(k, v string) {
+		if b.Len() > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	if c.CapacityBytes > 0 {
+		add(api.ParamCapacity, formatUint(c.CapacityBytes))
+	}
+	if c.CapFrac > 0 && c.CapFrac != 0.5 {
+		add(api.ParamCapFrac, formatFloat(c.CapFrac))
+	}
+	if c.Layout != "" && c.Layout != "45-10-45" {
+		add(api.ParamLayout, c.Layout)
+	}
+	if c.Threshold > 1 {
+		add(api.ParamThreshold, formatUint(c.Threshold))
+	}
+	if c.Tiers != "" {
+		add(api.ParamTiers, c.Tiers)
+	}
+	if c.Policy != "" {
+		add(api.ParamPolicy, c.Policy)
+	}
+	if c.SelEpoch > 0 {
+		add(api.ParamSelEpoch, formatUint(c.SelEpoch))
+	}
+	if c.Unified {
+		add(api.ParamUnified, "1")
+	}
+	if c.Adaptive {
+		add(api.ParamAdaptive, "1")
+	}
+	if c.AdaptEpoch > 0 {
+		add(api.ParamAdaptEpoch, formatUint(c.AdaptEpoch))
+	}
+	if c.Pressure > 0 {
+		add(api.ParamPressure, formatFloat(c.Pressure))
+	}
+	return b.String()
+}
+
+// ServeSession runs one session synchronously on the caller's goroutine:
+// open, replay, publish/adopt against the shared tier, close. It is the
+// in-process equivalent of POST /v1/sessions minus admission — the caller
+// owns admission (the day engine decides admit/queue/reject on its virtual
+// clock before ever calling this).
+func (s *Server) ServeSession(cfg SessionConfig, logData []byte) (api.SessionResult, error) {
+	p := cfg.params()
+	sess, err := s.sys.OpenSession()
+	if err != nil {
+		s.recordFailure()
+		return api.SessionResult{}, err
+	}
+	defer sess.Close()
+	sr, capacity, err := s.runSession(p, sess, bytes.NewReader(logData), nil)
+	if err != nil {
+		s.recordFailure()
+		return api.SessionResult{}, err
+	}
+	res := sr.rep.Finish()
+	out := api.FromSim(res)
+	out.Session = sess.ID()
+	out.CapacityBytes = capacity
+	out.Events = sr.rep.Events()
+	out.Shared = api.SharedSavings{
+		Adoptions:            sr.adoptions,
+		Published:            sr.published,
+		SavedGenInstructions: sr.savedGen,
+	}
+	s.recordResult(out, uint64(len(logData)))
+	sr.recycle()
+	return out, nil
+}
+
+// OfflineReplay replays a log against a fully private manager built from
+// the same configuration — the offline ccsim ground truth a served session
+// is verified against. No shared tier, no server: the result's Session and
+// Shared fields are zero, and everything else must match the served result
+// bit-for-bit. A nil model selects costmodel.DefaultModel.
+func OfflineReplay(cfg SessionConfig, model *costmodel.Model, logData []byte) (api.SessionResult, error) {
+	p := cfg.params()
+	m := costmodel.DefaultModel
+	if model != nil {
+		m = *model
+	}
+	lr, err := tracelog.NewReader(bytes.NewReader(logData))
+	if err != nil {
+		return api.SessionResult{}, err
+	}
+	// Decode every block up front; the offline path has no reason to stream.
+	z := tracelog.NewSummarizer(lr.Header())
+	var blocks []*tracelog.EventBlock
+	defer func() {
+		for _, b := range blocks {
+			tracelog.PutBlock(b)
+		}
+	}()
+	var total uint64
+	for {
+		b := tracelog.GetBlock()
+		derr := lr.NextBlock(b)
+		z.AddBlock(b)
+		total += uint64(b.N)
+		blocks = append(blocks, b)
+		if errors.Is(derr, io.EOF) {
+			break
+		}
+		if derr != nil {
+			return api.SessionResult{}, derr
+		}
+	}
+	capacity := p.capacity
+	if capacity == 0 {
+		capacity = uint64(float64(z.Summary().MaxLiveBytes) * p.capFrac)
+		if capacity == 0 {
+			return api.SessionResult{}, errors.New("log has no live trace bytes to size a cache from")
+		}
+	}
+	acc := accPool.Get().(*costmodel.Accum)
+	acc.Reset(m)
+	mgr, err := p.buildManager(capacity, acc, nil)
+	if err != nil {
+		accPool.Put(acc)
+		return api.SessionResult{}, err
+	}
+	if p.pressure > 0 {
+		if lp, ok := mgr.(interface{ SetLoadPressure(float64) }); ok {
+			lp.SetLoadPressure(p.pressure)
+		}
+	}
+	rep := sim.NewReplayer(lr.Header().Benchmark, mgr, acc, nil)
+	rep.SetTotal(total)
+	for _, b := range blocks {
+		if err := rep.StepBlock(b); err != nil {
+			return api.SessionResult{}, err
+		}
+	}
+	res := rep.Finish()
+	out := api.FromSim(res)
+	out.CapacityBytes = capacity
+	out.Events = rep.Events()
+	if ov := rep.Result(); ov.Overhead != nil {
+		accPool.Put(ov.Overhead)
+	}
+	rep.Recycle()
+	return out, nil
+}
+
+// ResultsEquivalent reports whether a served session and its offline
+// verification replay agree on every replay-visible field. Session identity
+// and shared-tier interplay are service-side bookkeeping, excluded by
+// construction.
+func ResultsEquivalent(served, offline api.SessionResult) bool {
+	served.Session, offline.Session = 0, 0
+	served.Shared, offline.Shared = api.SharedSavings{}, api.SharedSavings{}
+	return served == offline
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// formatFloat renders a float so that strconv.ParseFloat returns the exact
+// same value — the round-trip the pressure parameter depends on.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

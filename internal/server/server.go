@@ -31,6 +31,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/profiling"
 	"repro/internal/server/api"
+	"repro/internal/simclock"
 	"repro/internal/stats"
 )
 
@@ -57,6 +58,15 @@ type Config struct {
 	Model *costmodel.Model
 	// Logf receives operational log lines; nil selects log.Printf.
 	Logf func(format string, args ...any)
+	// Clock is the server's time plane. The live daemon leaves it nil (the
+	// wall clock); the production-day engine injects a simclock.Virtual so
+	// uptime and every timestamped output are deterministic.
+	Clock simclock.Clock
+	// Autoscale, when set, attaches the admission autoscaler. It only wires
+	// the scaler up — nothing ticks it; the owner drives Tick from its own
+	// time plane (cmd/gencached serve from a real ticker, the day engine
+	// from the virtual clock).
+	Autoscale *AutoscaleConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -87,8 +97,10 @@ type Server struct {
 	counter *stats.EventCounter
 	router  *obsRouter
 	adm     *admission
+	scaler  *autoscaler // nil unless cfg.Autoscale was set
 	mods    *moduleSpace
-	start   time.Time
+	clock   simclock.Clock
+	start   time.Time // on the injected clock's plane
 
 	draining atomic.Bool
 
@@ -139,6 +151,7 @@ func New(cfg Config) (*Server, error) {
 	sp := core.NewSharedPersistent(cfg.SharedCapacity, nil, obs.Combine(counter, router))
 	sys := dbt.NewSystem(sp)
 	sys.SetKeepWarm(cfg.KeepWarm)
+	clock := simclock.Default(cfg.Clock)
 	s := &Server{
 		cfg:     cfg,
 		model:   model,
@@ -148,8 +161,15 @@ func New(cfg Config) (*Server, error) {
 		router:  router,
 		adm:     newAdmission(cfg.MaxSessions, cfg.QueueDepth),
 		mods:    newModuleSpace(),
-		start:   time.Now(),
+		clock:   clock,
+		start:   clock.Now(),
 		livePol: make(map[string]string),
+	}
+	if cfg.Autoscale != nil {
+		// Resize announcements reach the server-wide counter and, through
+		// the router, any observer attached under proc 0 (the day engine's
+		// timeline tap) — autoscaler events carry no causing session.
+		s.scaler = newAutoscaler(s.adm, *cfg.Autoscale, obs.Combine(counter, router))
 	}
 	if cfg.SnapshotPath != "" {
 		if err := s.warmStart(); err != nil {
@@ -265,9 +285,12 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// health assembles the current /healthz view.
+// health assembles the current /healthz view. Uptime runs on the injected
+// clock, so a virtual-clock server reports virtual uptime — deterministic
+// across runs.
 func (s *Server) health() api.Health {
 	running, queued, rejected := s.adm.load()
+	slots, queue, resizes := s.adm.limits()
 	s.mu.Lock()
 	served := s.agg.sessionsServed
 	s.mu.Unlock()
@@ -275,16 +298,64 @@ func (s *Server) health() api.Health {
 		Status:          "ok",
 		ActiveSessions:  running,
 		QueuedSessions:  queued,
+		AdmissionSlots:  slots,
+		AdmissionQueue:  queue,
+		AdmissionResize: resizes,
 		SessionsServed:  served,
 		SessionsDenied:  rejected,
 		SharedUsedBytes: s.sp.Used(),
 		WarmRestored:    s.warm.Restored,
-		UptimeSeconds:   time.Since(s.start).Seconds(),
+		UptimeSeconds:   s.clock.Since(s.start).Seconds(),
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
 	}
 	return h
+}
+
+// Clock returns the server's time plane.
+func (s *Server) Clock() simclock.Clock { return s.clock }
+
+// AdmissionLoad reports current admission occupancy: sessions replaying,
+// sessions waiting, and the running 429 total.
+func (s *Server) AdmissionLoad() (running, queued int, rejected uint64) {
+	return s.adm.load()
+}
+
+// AdmissionLimits reports the current admission capacities and how many
+// times they have been resized.
+func (s *Server) AdmissionLimits() (slots, queue int, resizes uint64) {
+	return s.adm.limits()
+}
+
+// AutoscaleTick runs one autoscaler decision and reports whether the
+// admission limits changed. The server never ticks itself: the owner calls
+// this from its own time plane (a real ticker in the daemon, the virtual
+// clock in the day engine), which is what keeps a simulated day
+// deterministic. No-op false without Config.Autoscale.
+func (s *Server) AutoscaleTick() bool {
+	if s.scaler == nil {
+		return false
+	}
+	return s.scaler.Tick()
+}
+
+// DeployUnmap models a production deploy or maintenance event for one
+// benchmark: every global module the server has ever mapped for it is
+// unmapped from the keep-warm owner, dropping the server's own references so
+// the bench's published traces drain from the shared tier (unless a live
+// session still holds them). Sessions in flight are untouched — their refs
+// are their own. Returns how many modules were unmapped. Without KeepWarm
+// the server holds no refs and this is a no-op.
+func (s *Server) DeployUnmap(bench string) int {
+	if !s.cfg.KeepWarm {
+		return 0
+	}
+	mods := s.mods.benchModules(bench)
+	for _, g := range mods {
+		s.sp.UnmapModule(dbt.KeepWarmOwner, g)
+	}
+	return len(mods)
 }
 
 // trackPolicy records live-policy switches for the /metrics tier-policy

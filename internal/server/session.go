@@ -21,15 +21,18 @@ import (
 
 // sessionParams is the parsed query-string configuration of one session.
 type sessionParams struct {
-	capacity  uint64 // absolute bytes; >0 selects the streaming path
-	capFrac   float64
-	layout    string
-	threshold uint64
-	tiers     string
-	policy    string
-	selEpoch  uint64
-	unified   bool
-	events    bool
+	capacity   uint64 // absolute bytes; >0 selects the streaming path
+	capFrac    float64
+	layout     string
+	threshold  uint64
+	tiers      string
+	policy     string
+	selEpoch   uint64
+	unified    bool
+	events     bool
+	adaptive   bool
+	adaptEpoch uint64
+	pressure   float64 // initial load pressure for the adaptive controller
 }
 
 func parseParams(r *http.Request) (sessionParams, error) {
@@ -80,7 +83,21 @@ func parseParams(r *http.Request) (sessionParams, error) {
 		}
 		p.selEpoch = n
 	}
-	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events} {
+	if v := q.Get(api.ParamAdaptEpoch); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || n == 0 {
+			return p, fmt.Errorf("bad %s %q", api.ParamAdaptEpoch, v)
+		}
+		p.adaptEpoch = n
+	}
+	if v := q.Get(api.ParamPressure); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			return p, fmt.Errorf("bad %s %q", api.ParamPressure, v)
+		}
+		p.pressure = f
+	}
+	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events, api.ParamAdaptive: &p.adaptive} {
 		if v := q.Get(name); v != "" {
 			b, err := strconv.ParseBool(v)
 			if err != nil {
@@ -98,11 +115,11 @@ func parseParams(r *http.Request) (sessionParams, error) {
 func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra obs.Observer) (core.Manager, error) {
 	o := obs.Combine(sim.CostObserver(acc), extra)
 	if p.unified {
-		if p.policy == "" {
+		if p.policy == "" && !p.adaptive {
 			return core.NewUnified(capacity, nil, o), nil
 		}
 		spec := core.UnifiedSpec(capacity, nil)
-		p.applyPolicy(&spec)
+		p.applySpec(&spec)
 		return core.NewGraph(spec, o)
 	}
 	if p.tiers != "" {
@@ -110,7 +127,7 @@ func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra
 		if err != nil {
 			return nil, err
 		}
-		p.applyPolicy(&spec)
+		p.applySpec(&spec)
 		return core.NewGraph(spec, o)
 	}
 	fracs, err := api.ParseLayout(p.layout)
@@ -125,17 +142,17 @@ func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra
 		PromoteThreshold: p.threshold,
 		PromoteOnAccess:  p.threshold <= 1,
 	}
-	if p.policy == "" {
+	if p.policy == "" && !p.adaptive {
 		return core.NewGenerational(cfg, o)
 	}
 	spec := cfg.GraphSpec()
-	p.applyPolicy(&spec)
+	p.applySpec(&spec)
 	return core.NewGraph(spec, o)
 }
 
-// applyPolicy fills the policy param into every tier not already naming one
-// and attaches the selector epoch override.
-func (p sessionParams) applyPolicy(spec *core.GraphSpec) {
+// applySpec fills the policy param into every tier not already naming one
+// and attaches the selector-epoch and adaptive-controller overrides.
+func (p sessionParams) applySpec(spec *core.GraphSpec) {
 	if p.policy != "" {
 		for i := range spec.Tiers {
 			if spec.Tiers[i].Policy == "" {
@@ -145,6 +162,9 @@ func (p sessionParams) applyPolicy(spec *core.GraphSpec) {
 	}
 	if p.selEpoch > 0 {
 		spec.Selector = &core.SelectorConfig{Epoch: p.selEpoch}
+	}
+	if p.adaptive {
+		spec.Adaptive = &core.AdaptiveConfig{Epoch: p.adaptEpoch}
 	}
 }
 
@@ -558,6 +578,14 @@ func (s *Server) startRun(p sessionParams, sess *dbt.Session, bench string, capa
 	}
 	if pm, ok := mgr.(interface{ SetProcID(int) }); ok {
 		pm.SetProcID(sess.ID())
+	}
+	if p.pressure > 0 {
+		// The pressure the session was admitted under is part of its
+		// configuration: an offline verification replay passes the same
+		// value, so the adaptive controller decides identically.
+		if lp, ok := mgr.(interface{ SetLoadPressure(float64) }); ok {
+			lp.SetLoadPressure(p.pressure)
+		}
 	}
 	var po obs.Observer
 	if enc != nil {

@@ -1,0 +1,33 @@
+// Package simclock is the system's one plane for time. Everything above the
+// replay kernel that asks "what time is it" or "wake me later" — the
+// gencached server's uptime and autoscaler, the loadtest driver's pacing and
+// deadlines, the production-day engine's whole existence — goes through a
+// Clock instead of the time package, so the same code runs against the real
+// clock in the live daemon and against a deterministic virtual clock in
+// simulation.
+//
+// Two implementations exist. Real delegates to package time and is the live
+// daemon's clock. Virtual (virtual.go) is a discrete-event clock: time
+// advances only when its owner advances it, timers fire in deterministic
+// (deadline, registration) order, and nothing ever touches the wall clock —
+// a simulated production day is bit-reproducible because its entire notion
+// of time is a counter.
+package simclock
+
+import "time"
+
+// Clock is the time plane. Implementations must order timers consistently;
+// Virtual additionally guarantees full determinism.
+type Clock interface {
+	// Now returns the current time on this clock's plane. Virtual clocks
+	// start at a fixed epoch and advance only explicitly.
+	Now() time.Time
+	// Since returns the elapsed time on this clock since t.
+	Since(t time.Time) time.Duration
+	// Sleep pauses the caller for d on this clock's plane. On a Virtual
+	// clock, Sleep from the owning goroutine advances virtual time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time once d has
+	// elapsed on its plane.
+	After(d time.Duration) <-chan time.Time
+}

@@ -1,0 +1,177 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want epoch %v", v.Now(), Epoch)
+	}
+	v.Advance(3 * time.Second)
+	if got := v.Since(Epoch); got != 3*time.Second {
+		t.Fatalf("Since(epoch) = %v, want 3s", got)
+	}
+}
+
+func TestVirtualFiringOrder(t *testing.T) {
+	v := NewVirtual()
+	var order []string
+	// Same deadline: registration order must break the tie. Different
+	// deadlines: deadline order wins regardless of registration order.
+	v.AfterFunc(20*time.Millisecond, func(time.Time) { order = append(order, "c") })
+	v.AfterFunc(10*time.Millisecond, func(time.Time) { order = append(order, "a1") })
+	v.AfterFunc(10*time.Millisecond, func(time.Time) { order = append(order, "a2") })
+	v.AfterFunc(15*time.Millisecond, func(time.Time) { order = append(order, "b") })
+	v.Advance(time.Second)
+	want := "a1,a2,b,c"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += ","
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("firing order = %q, want %q", got, want)
+	}
+}
+
+func TestVirtualCallbackSeesDeadline(t *testing.T) {
+	v := NewVirtual()
+	var at time.Time
+	v.AfterFunc(7*time.Millisecond, func(now time.Time) { at = now })
+	v.Advance(time.Second)
+	if want := Epoch.Add(7 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("callback time = %v, want %v", at, want)
+	}
+	if want := Epoch.Add(time.Second); !v.Now().Equal(want) {
+		t.Fatalf("final Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualReschedulingCallback(t *testing.T) {
+	// A periodic tick scheduled from inside its own callback must keep
+	// deterministic spacing: each firing happens at exactly deadline+period.
+	v := NewVirtual()
+	var fires []time.Duration
+	var tick func(time.Time)
+	tick = func(now time.Time) {
+		fires = append(fires, now.Sub(Epoch))
+		if len(fires) < 4 {
+			v.AfterFunc(10*time.Millisecond, tick)
+		}
+	}
+	v.AfterFunc(10*time.Millisecond, tick)
+	v.Advance(time.Second)
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(fires), len(want))
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestVirtualAfterAndSleep(t *testing.T) {
+	v := NewVirtual()
+	ch := v.After(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any advance")
+	default:
+	}
+	v.Sleep(5 * time.Millisecond)
+	select {
+	case now := <-ch:
+		if want := Epoch.Add(5 * time.Millisecond); !now.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", now, want)
+		}
+	default:
+		t.Fatal("After did not fire after Sleep crossed the deadline")
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	tm := v.AfterFunc(10*time.Millisecond, func(time.Time) { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() reported true")
+	}
+	v.Advance(time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestVirtualScheduleAtPastFiresImmediately(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(time.Second)
+	fired := false
+	v.ScheduleAt(Epoch.Add(100*time.Millisecond), func(time.Time) { fired = true })
+	v.Advance(0)
+	if !fired {
+		t.Fatal("past-deadline timer did not fire on next advance")
+	}
+	// Firing a past timer must not move the clock backwards.
+	if want := Epoch.Add(time.Second); !v.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v (no backwards motion)", v.Now(), want)
+	}
+}
+
+func TestVirtualDrain(t *testing.T) {
+	v := NewVirtual()
+	count := 0
+	v.AfterFunc(time.Minute, func(time.Time) {
+		count++
+		v.AfterFunc(time.Minute, func(time.Time) { count++ })
+	})
+	end := v.Drain()
+	if count != 2 {
+		t.Fatalf("drained %d timers, want 2 (incl. one scheduled mid-drain)", count)
+	}
+	if want := Epoch.Add(2 * time.Minute); !end.Equal(want) {
+		t.Fatalf("Drain ended at %v, want %v", end, want)
+	}
+}
+
+func TestCompressed(t *testing.T) {
+	if got := Compressed(24*time.Hour, 720); got != 2*time.Minute {
+		t.Fatalf("Compressed(24h, 720) = %v, want 2m", got)
+	}
+	if got := Compressed(time.Hour, 0); got != time.Hour {
+		t.Fatalf("Compressed(1h, 0) = %v, want 1h (no compression)", got)
+	}
+}
+
+func TestDefaultClock(t *testing.T) {
+	if _, ok := Default(nil).(Real); !ok {
+		t.Fatal("Default(nil) is not the wall clock")
+	}
+	v := NewVirtual()
+	if Default(v) != Clock(v) {
+		t.Fatal("Default(v) did not pass the injected clock through")
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	c := Real{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("wall clock did not advance across Sleep")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real After never fired")
+	}
+}

@@ -1,0 +1,205 @@
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a deterministic discrete-event clock. Time never advances on
+// its own: the owner advances it with Advance/AdvanceTo (or Sleep), and all
+// timers whose deadlines fall inside the advanced span fire in strict
+// (deadline, registration-order) order with the clock set to their exact
+// deadline. Two runs that register the same timers and advance the same way
+// observe byte-identical time — this is the substrate the production-day
+// simulation's bit-reproducibility stands on.
+//
+// Concurrency: registering timers (After, AfterFunc, Stop) is safe from any
+// goroutine, but advancing is owner-only — exactly one goroutine may call
+// Advance/AdvanceTo/Sleep. A discrete-event engine is that owner; timer
+// callbacks run on the owner's goroutine during the advance.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+	seq uint64
+	tq  timerQueue
+}
+
+// Epoch is every Virtual clock's start time: a fixed instant, so virtual
+// timestamps mean the same thing in every run and every report.
+var Epoch = time.Unix(0, 0).UTC()
+
+// NewVirtual returns a virtual clock set to Epoch.
+func NewVirtual() *Virtual { return &Virtual{now: Epoch} }
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration {
+	return v.Now().Sub(t)
+}
+
+// Sleep implements Clock by advancing virtual time: the single-owner
+// discrete-event engine "waits" by moving the clock, not by blocking.
+func (v *Virtual) Sleep(d time.Duration) { v.Advance(d) }
+
+// After implements Clock. The returned channel (buffer 1) receives the
+// clock's time when an Advance crosses the deadline.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.schedule(d, nil, ch)
+	return ch
+}
+
+// Timer is a cancellable virtual timer.
+type Timer struct {
+	v       *Virtual
+	idx     int // heap index, -1 once fired or stopped
+	at      time.Time
+	seq     uint64
+	fn      func(time.Time)
+	ch      chan time.Time
+	stopped bool
+}
+
+// Stop cancels the timer; it reports whether the timer had not yet fired.
+func (t *Timer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.stopped || t.idx < 0 {
+		return false
+	}
+	t.stopped = true
+	heap.Remove(&t.v.tq, t.idx)
+	return true
+}
+
+// AfterFunc schedules fn to run when the clock advances past d from now.
+// The callback runs on the advancing goroutine with the clock set to the
+// deadline; it may schedule further timers.
+func (v *Virtual) AfterFunc(d time.Duration, fn func(time.Time)) *Timer {
+	return v.schedule(d, fn, nil)
+}
+
+// ScheduleAt schedules fn at an absolute virtual time. Deadlines at or
+// before the current time fire on the next Advance (of any span).
+func (v *Virtual) ScheduleAt(at time.Time, fn func(time.Time)) *Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.scheduleLocked(at, fn, nil)
+}
+
+func (v *Virtual) schedule(d time.Duration, fn func(time.Time), ch chan time.Time) *Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.scheduleLocked(v.now.Add(d), fn, ch)
+}
+
+func (v *Virtual) scheduleLocked(at time.Time, fn func(time.Time), ch chan time.Time) *Timer {
+	v.seq++
+	t := &Timer{v: v, at: at, seq: v.seq, fn: fn, ch: ch}
+	heap.Push(&v.tq, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing due timers in order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves the clock to target, firing every timer with a deadline at
+// or before it in (deadline, registration) order. Each timer fires with the
+// clock set to its exact deadline, so a callback scheduling a relative
+// follow-up gets deterministic spacing. Callbacks run without the clock's
+// lock held.
+func (v *Virtual) AdvanceTo(target time.Time) {
+	for {
+		v.mu.Lock()
+		if len(v.tq) == 0 || v.tq[0].at.After(target) {
+			if target.After(v.now) {
+				v.now = target
+			}
+			v.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&v.tq).(*Timer)
+		if t.at.After(v.now) {
+			v.now = t.at
+		}
+		now := v.now
+		v.mu.Unlock()
+		if t.fn != nil {
+			t.fn(now)
+		}
+		if t.ch != nil {
+			t.ch <- now
+		}
+	}
+}
+
+// NextDeadline reports the earliest pending timer deadline, if any — the
+// discrete-event engine's "what happens next" probe.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.tq) == 0 {
+		return time.Time{}, false
+	}
+	return v.tq[0].at, true
+}
+
+// Drain advances through every pending timer (including ones scheduled by
+// fired callbacks) until none remain, and returns the final virtual time.
+func (v *Virtual) Drain() time.Time {
+	for {
+		at, ok := v.NextDeadline()
+		if !ok {
+			return v.Now()
+		}
+		v.AdvanceTo(at)
+	}
+}
+
+// Compressed maps a span of declared time onto the compressed plane: a 24h
+// production day at scale 720 becomes a 2-minute virtual day. Scale values
+// at or below 0 mean "no compression".
+func Compressed(d time.Duration, scale float64) time.Duration {
+	if scale <= 0 || scale == 1 {
+		return d
+	}
+	return time.Duration(float64(d) / scale)
+}
+
+// timerQueue is a (deadline, seq) min-heap of pending timers.
+type timerQueue []*Timer
+
+func (q timerQueue) Len() int { return len(q) }
+func (q timerQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q timerQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *timerQueue) Push(x any) {
+	t := x.(*Timer)
+	t.idx = len(*q)
+	*q = append(*q, t)
+}
+func (q *timerQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*q = old[:n-1]
+	return t
+}

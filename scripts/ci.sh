@@ -27,3 +27,20 @@ go test ./internal/tracelog -run '^$' -fuzz FuzzReader -fuzztime 10s
 # race detector, on a log whose best static policy differs from its starting
 # one.
 make policyselect-smoke
+# Virtual-time gate: nothing on the virtual-clock plane may touch the wall
+# clock. simclock/real.go is the single allowed call site (the Real clock);
+# everything else must go through an injected simclock.Clock, or a virtual
+# production day stops being bit-reproducible.
+leaks=$(grep -rn 'time\.Now(\|time\.Since(\|time\.Sleep(\|time\.After(' \
+    internal/server internal/core internal/dayload internal/workload \
+    internal/simclock internal/sim internal/dbt --include='*.go' \
+    | grep -v _test.go | grep -v 'simclock/real.go' || true)
+if [ -n "$leaks" ]; then
+    echo "wall-clock calls on the virtual-time plane:" >&2
+    echo "$leaks" >&2
+    exit 1
+fi
+# Production-day smoke: the compressed diurnal day under the race detector —
+# at least one admission resize, zero verification failures, schema-stable
+# timeline CSV.
+make prodday-smoke
