@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke prodday-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke prodday-smoke attrib-smoke
 
 ci: fmt vet build race bench-smoke serve-bench-smoke
 
@@ -79,10 +79,24 @@ prodday-smoke:
 		| tee /tmp/prodday-smoke.out
 	grep -q 'resizes=[1-9][0-9]* verify-failures=0' /tmp/prodday-smoke.out
 	grep -q 'prodday: PASS' /tmp/prodday-smoke.out
-	head -1 /tmp/prodday-smoke.csv | grep -qx 'hour,arrivals,admitted,rejected,completed,queued,slots,queue_cap,resizes,accesses,misses,miss_rate,adoptions,published,shared_used,mean_latency_ms'
+	head -1 /tmp/prodday-smoke.csv | grep -qx 'hour,arrivals,admitted,rejected,completed,queued,slots,queue_cap,resizes,accesses,misses,miss_rate,adoptions,published,shared_used,mean_latency_ms,cold,capacity,premature_demotion,never_promoted,unmap_forced,adoption_miss'
+	grep -q 'why: [0-9][0-9]* regenerations' /tmp/prodday-smoke.out
+	grep -q 'conserved true' /tmp/prodday-smoke.out
 	grep -q '"kind":"deploy"' /tmp/prodday-smoke.ndjson
 	grep -q '"crowd":true' /tmp/prodday-smoke.ndjson
 	rm -f /tmp/prodday-smoke.csv /tmp/prodday-smoke.ndjson /tmp/prodday-smoke.out
+
+# Attribution smoke: replay a log with the trace-lifecycle ledger attached,
+# under the race detector, and require the per-module "why" report to
+# conserve exactly and to attribute a nonzero share of middle-tier deaths to
+# premature demotion (gzip's probation gate reliably deletes hot traces).
+attrib-smoke:
+	$(GO) run ./cmd/tracegen -bench gzip -scale 0.0625 -o /tmp/attrib-smoke.cclog
+	$(GO) run -race ./cmd/ccsim -log /tmp/attrib-smoke.cclog -why | tee /tmp/attrib-smoke.out
+	grep -q 'conservation: [0-9][0-9]* cause counts == [0-9][0-9]* regenerations (exact)' /tmp/attrib-smoke.out
+	grep -q 'premature-demotion' /tmp/attrib-smoke.out
+	grep -q 'why: probation threshold' /tmp/attrib-smoke.out
+	rm -f /tmp/attrib-smoke.cclog /tmp/attrib-smoke.out
 
 # Adaptive smoke: a short replay with the split controller attached, under
 # the race detector, on both the stock three-tier shape and a four-tier one.

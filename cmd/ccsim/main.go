@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/attrib"
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -48,6 +49,9 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "attach the adaptive split controller (re-balances tier capacities online)")
 	epoch := flag.Uint64("epoch", 0, "accesses between adaptive controller decisions (0 = controller default)")
 	policyFlag := flag.String("policy", "", `local-policy spec applied to every graph tier not already naming one ("lru", "trrip:cold=4", "auto" for online selection); implies the tier-graph replay path`)
+	why := flag.Bool("why", false, "attach the attribution ledger and render the per-module miss-cause report; implies the tier-graph replay path")
+	whyEpoch := flag.Uint64("whyepoch", 0, "attribution epoch in accesses for -why (0 = ledger default)")
+	whyTop := flag.Int("whytop", 12, "modules shown in the -why report (0 = all)")
 	selEpoch := flag.Uint64("selepoch", 0, "accesses between policy-selector decisions (0 = selector default)")
 	listPolicies := flag.Bool("policies", false, "list the policy registry and exit")
 	procs := flag.Int("procs", 1, "replay as this many processes over one shared persistent tier (1 = classic single-process replay)")
@@ -133,10 +137,14 @@ func main() {
 		PromoteOnAccess:  *threshold <= 1,
 	}
 
-	graphMode := *tiers != "" || *adaptive || *policyFlag != ""
+	graphMode := *tiers != "" || *adaptive || *policyFlag != "" || *why
+	if *why && *unified {
+		fmt.Fprintln(os.Stderr, "ccsim: -why attributes the tier-graph replay; it does not combine with -unified")
+		os.Exit(2)
+	}
 	if *procs > 1 {
 		if graphMode {
-			fmt.Fprintln(os.Stderr, "ccsim: -tiers, -adaptive, and -policy do not combine with -procs")
+			fmt.Fprintln(os.Stderr, "ccsim: -tiers, -adaptive, -policy, and -why do not combine with -procs")
 			os.Exit(2)
 		}
 		if err := runShared(h.Benchmark, events, cfg, *procs, *stagger, dump); err != nil {
@@ -177,6 +185,9 @@ func main() {
 		}
 		if *selEpoch > 0 {
 			spec.Selector = &core.SelectorConfig{Epoch: *selEpoch}
+		}
+		if *why {
+			spec.Attrib = &attrib.Config{Epoch: *whyEpoch, EmitEvents: dump != nil}
 		}
 		if err := spec.Validate(); err != nil {
 			fatal(err)
@@ -238,6 +249,26 @@ func main() {
 		if ss, ok := graphMgr.SelectorStats(); ok {
 			fmt.Fprintf(out, "  selector: %d switches (%d reversals) over %d epochs, live policies %s\n",
 				ss.Switches, ss.Reversals, ss.Epochs, strings.Join(graphMgr.LivePolicies(), "-"))
+		}
+		if led := graphMgr.Ledger(); led != nil {
+			snap := led.Snapshot()
+			fmt.Fprintln(out)
+			gate := uint64(0)
+			for _, t := range spec.Tiers {
+				if t.Threshold > 0 {
+					gate = t.Threshold
+					break
+				}
+			}
+			if prem, middle, share := snap.PrematureShare(); middle > 0 && gate > 0 {
+				fmt.Fprintf(out, "why: probation threshold %d deleted %d of %d middle-tier casualties (%.1f%%) that re-heated within %d epoch(s)\n",
+					gate, prem, middle, share, snap.ReheatEpochs)
+			}
+			snap.WriteReport(out, *whyTop)
+			if !snap.Conserved() || snap.Regens != g.Regenerations {
+				fatal(fmt.Errorf("attribution conservation violated: %d cause counts, %d ledger regenerations, %d replay regenerations",
+					snap.RegenCauses(), snap.Regens, g.Regenerations))
+			}
 		}
 	}
 
@@ -313,6 +344,7 @@ type eventRecord struct {
 	Done   uint64 `json:"done,omitempty"`
 	Total  uint64 `json:"total,omitempty"`
 	Policy string `json:"policy,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // forConfig returns an observer writing records tagged with config, or nil
@@ -334,6 +366,8 @@ func (d *eventDumper) forConfig(config string) obs.Observer {
 			rec.Done, rec.Total = e.Done, e.Total
 		case obs.KindPolicySwitch:
 			rec.From, rec.Policy = e.From.String(), e.Policy
+		case obs.KindRegenerate:
+			rec.From, rec.Reason = e.From.String(), e.Reason.String()
 		}
 		if err := d.enc.Encode(rec); err != nil {
 			fatal(err)

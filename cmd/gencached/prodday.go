@@ -21,6 +21,7 @@ func proddayMain(args []string) {
 	timeScale := fs.Float64("time-scale", 720, "declared-to-virtual compression (720: a 24h day in 2 virtual minutes)")
 	scale := fs.Float64("scale", 0.02, "workload synthesis scale")
 	verify := fs.Bool("verify", true, "replay every served session offline and require bit-identical results")
+	why := fs.Bool("why", true, "attach miss attribution: per-interval cause columns in the CSV, conserved cause totals per arm")
 	parallel := fs.Int("parallel", 0, "arms running concurrently (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	csvPath := fs.String("csv", "", "write the autoscaled arm's timeline CSV to this file")
 	ndjsonPath := fs.String("ndjson", "", "write the autoscaled arm's merged NDJSON event stream to this file")
@@ -37,6 +38,7 @@ func proddayMain(args []string) {
 		TimeScale: *timeScale,
 		Scale:     *scale,
 		Verify:    *verify,
+		Why:       *why,
 		Parallel:  *parallel,
 		Progress:  func(line string) { fmt.Fprintln(os.Stderr, line) },
 	})

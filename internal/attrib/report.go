@@ -1,0 +1,275 @@
+package attrib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cell is one exported aggregation cell.
+type Cell struct {
+	Module uint16
+	Level  obs.Level
+	Epoch  uint32
+	Proc   int
+	Cause  obs.Reason
+	Count  uint64
+}
+
+// Snapshot is an immutable copy of a ledger's aggregates, cells sorted by
+// (module, level, epoch, proc, cause) so every derived rendering is
+// byte-reproducible.
+type Snapshot struct {
+	Cells        []Cell
+	Totals       [obs.NumReasons]uint64
+	Regens       uint64
+	Deaths       []uint64 // capacity deaths by tier level
+	MiddleDeaths uint64
+	EpochLen     uint64
+	ReheatEpochs uint64
+}
+
+// Snapshot copies the ledger's aggregates. Light ledgers return an empty
+// snapshot.
+func (l *Ledger) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Totals:       l.totals,
+		Regens:       l.regens,
+		Deaths:       append([]uint64(nil), l.deaths...),
+		MiddleDeaths: l.middleDeaths,
+		EpochLen:     l.cfg.Epoch,
+		ReheatEpochs: l.cfg.ReheatEpochs,
+	}
+	if l.cfg.Light {
+		return s
+	}
+	s.Cells = make([]Cell, 0, len(l.cells))
+	for k, n := range l.cells {
+		s.Cells = append(s.Cells, Cell{
+			Module: k.Module, Level: obs.Level(k.Level), Epoch: k.Epoch,
+			Proc: int(k.Proc), Cause: k.Cause, Count: n,
+		})
+	}
+	sortCells(s.Cells)
+	return s
+}
+
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Level != b.Level {
+			return a.Level < b.Level
+		}
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Cause < b.Cause
+	})
+}
+
+// regenReasons are the causes that sum to Regens, in report order. Cold is
+// excluded: cold compiles are first generations, not regenerations.
+var regenReasons = [...]obs.Reason{
+	obs.ReasonCapacity, obs.ReasonPrematureDemotion, obs.ReasonNeverPromoted,
+	obs.ReasonUnmapForced, obs.ReasonAdoptionMiss,
+}
+
+// RegenCauses sums the non-cold cause totals — the quantity the conservation
+// invariant pins to Regens.
+func (s *Snapshot) RegenCauses() uint64 {
+	var sum uint64
+	for _, r := range regenReasons {
+		sum += s.Totals[r]
+	}
+	return sum
+}
+
+// Conserved reports whether the cause counts sum exactly to the
+// regenerations classified.
+func (s *Snapshot) Conserved() bool { return s.RegenCauses() == s.Regens }
+
+// PrematureShare returns the premature-demotion count, the middle-tier death
+// count it is drawn from, and the percentage (0 when there were no middle
+// deaths).
+func (s *Snapshot) PrematureShare() (premature, middleDeaths uint64, pct float64) {
+	premature, middleDeaths = s.Totals[obs.ReasonPrematureDemotion], s.MiddleDeaths
+	if middleDeaths > 0 {
+		pct = 100 * float64(premature) / float64(middleDeaths)
+	}
+	return premature, middleDeaths, pct
+}
+
+// moduleRow is one module's folded cause counts.
+type moduleRow struct {
+	module uint16
+	counts [obs.NumReasons]uint64
+	regens uint64
+}
+
+func (s *Snapshot) moduleRows() []moduleRow {
+	idx := make(map[uint16]int)
+	var rows []moduleRow
+	for _, c := range s.Cells {
+		i, ok := idx[c.Module]
+		if !ok {
+			i = len(rows)
+			idx[c.Module] = i
+			rows = append(rows, moduleRow{module: c.Module})
+		}
+		rows[i].counts[c.Cause] += c.Count
+		if c.Cause != obs.ReasonNone && c.Cause != obs.ReasonCold {
+			rows[i].regens += c.Count
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].regens != rows[j].regens {
+			return rows[i].regens > rows[j].regens
+		}
+		return rows[i].module < rows[j].module
+	})
+	return rows
+}
+
+// TopCause returns the regeneration cause with the highest count (ties break
+// in report order) and its count; ReasonNone when nothing regenerated.
+func (s *Snapshot) TopCause() (obs.Reason, uint64) {
+	best, n := obs.ReasonNone, uint64(0)
+	for _, r := range regenReasons {
+		if s.Totals[r] > n {
+			best, n = r, s.Totals[r]
+		}
+	}
+	return best, n
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// WriteReport renders the deterministic text report: cause totals with
+// shares, the premature-demotion re-heat line, per-tier deaths, the
+// top-module table, and the conservation line. topModules <= 0 prints every
+// module.
+func (s *Snapshot) WriteReport(w io.Writer, topModules int) {
+	fmt.Fprintf(w, "attribution: %d regenerations, %d cold compiles (epoch %d accesses, re-heat window %d epoch(s))\n",
+		s.Regens, s.Totals[obs.ReasonCold], s.EpochLen, s.ReheatEpochs)
+	for _, r := range regenReasons {
+		fmt.Fprintf(w, "  %-20s %10d  %5.1f%%\n", r, s.Totals[r], pct(s.Totals[r], s.Regens))
+	}
+	prem, middle, share := s.PrematureShare()
+	fmt.Fprintf(w, "  middle-tier deaths: %d; premature-demotion re-heated %d (%.1f%%) within the window\n",
+		middle, prem, share)
+	if len(s.Deaths) > 0 {
+		fmt.Fprintf(w, "  deaths by tier:")
+		for lvl, n := range s.Deaths {
+			if n > 0 {
+				fmt.Fprintf(w, " %s=%d", obs.Level(lvl), n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	rows := s.moduleRows()
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "  %-8s %8s %10s %10s %10s %8s %9s %8s\n",
+			"module", "cold", "capacity", "premature", "never-pro", "unmap", "adoption", "regens")
+		shown := rows
+		if topModules > 0 && len(shown) > topModules {
+			shown = shown[:topModules]
+		}
+		for _, r := range shown {
+			fmt.Fprintf(w, "  %-8d %8d %10d %10d %10d %8d %9d %8d\n",
+				r.module, r.counts[obs.ReasonCold], r.counts[obs.ReasonCapacity],
+				r.counts[obs.ReasonPrematureDemotion], r.counts[obs.ReasonNeverPromoted],
+				r.counts[obs.ReasonUnmapForced], r.counts[obs.ReasonAdoptionMiss], r.regens)
+		}
+		if hidden := len(rows) - len(shown); hidden > 0 {
+			fmt.Fprintf(w, "  (+%d more modules)\n", hidden)
+		}
+	}
+	if s.Conserved() {
+		fmt.Fprintf(w, "conservation: %d cause counts == %d regenerations (exact)\n", s.RegenCauses(), s.Regens)
+	} else {
+		fmt.Fprintf(w, "conservation: VIOLATED: %d cause counts != %d regenerations\n", s.RegenCauses(), s.Regens)
+	}
+}
+
+// Aggregate folds snapshots from many ledgers (one per session or proc) into
+// one mergeable total. It is internally locked: serving layers add finished
+// sessions' snapshots from handler goroutines.
+type Aggregate struct {
+	mu           sync.Mutex
+	cells        map[Key]uint64
+	totals       [obs.NumReasons]uint64
+	regens       uint64
+	deaths       []uint64
+	middleDeaths uint64
+	epochLen     uint64
+	reheatEpochs uint64
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{cells: make(map[Key]uint64)}
+}
+
+// Add folds one snapshot in.
+func (a *Aggregate) Add(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, c := range s.Cells {
+		k := Key{Module: c.Module, Level: int16(c.Level), Epoch: c.Epoch, Proc: int32(c.Proc), Cause: c.Cause}
+		a.cells[k] += c.Count
+	}
+	for i, n := range s.Totals {
+		a.totals[i] += n
+	}
+	a.regens += s.Regens
+	for len(a.deaths) < len(s.Deaths) {
+		a.deaths = append(a.deaths, 0)
+	}
+	for lvl, n := range s.Deaths {
+		a.deaths[lvl] += n
+	}
+	a.middleDeaths += s.MiddleDeaths
+	if a.epochLen == 0 {
+		a.epochLen, a.reheatEpochs = s.EpochLen, s.ReheatEpochs
+	}
+}
+
+// Snapshot renders the aggregate as a sorted snapshot.
+func (a *Aggregate) Snapshot() *Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := &Snapshot{
+		Totals:       a.totals,
+		Regens:       a.regens,
+		Deaths:       append([]uint64(nil), a.deaths...),
+		MiddleDeaths: a.middleDeaths,
+		EpochLen:     a.epochLen,
+		ReheatEpochs: a.reheatEpochs,
+	}
+	s.Cells = make([]Cell, 0, len(a.cells))
+	for k, n := range a.cells {
+		s.Cells = append(s.Cells, Cell{
+			Module: k.Module, Level: obs.Level(k.Level), Epoch: k.Epoch,
+			Proc: int(k.Proc), Cause: k.Cause, Count: n,
+		})
+	}
+	sortCells(s.Cells)
+	return s
+}

@@ -64,16 +64,16 @@ type adaptiveController struct {
 	// position. evicts and promotes are fed by Observe from the graph's obs
 	// stream; hits and missFrom by noteHit/noteMiss from the graph's access
 	// path.
+	// missFrom is fed from Graph.noteMiss: the graph's attribution ledger
+	// (internal/attrib, run in light mode) replays each miss back to the
+	// capacity eviction that caused it, replacing the controller's old
+	// private diedFrom map — and, unlike it, a death superseded by a module
+	// unmap is never charged.
 	evicts   []uint64
 	promotes []uint64
 	hits     []uint64
 	missFrom []uint64
 	levelIdx map[Level]int
-
-	// diedFrom remembers, for every trace killed by capacity pressure, the
-	// tier it was evicted from, so a later miss on that trace can be charged
-	// to the tier that was too small to hold it. Persistent across epochs.
-	diedFrom map[uint64]int
 
 	// warmEpochs counts epochs since the first attributed miss — the moment
 	// the caches are demonstrably full enough for the split to matter. The
@@ -158,22 +158,19 @@ func (c *adaptiveController) bind(g *Graph) {
 	c.hits = make([]uint64, len(g.tiers))
 	c.missFrom = make([]uint64, len(g.tiers))
 	c.levelIdx = make(map[Level]int, len(g.tiers))
-	c.diedFrom = make(map[uint64]int)
 	for i, t := range g.tiers {
 		c.levelIdx[t.level] = i
 	}
 }
 
 // Observe implements obs.Observer: windowed per-tier sampling of the
-// graph's own lifecycle stream. A KindEvict is a trace leaving the system —
-// the controller remembers which tier killed it so a later re-access can be
-// charged to that tier.
+// graph's own lifecycle stream. The per-trace death bookkeeping lives in the
+// graph's attribution ledger; the controller only keeps windowed tallies.
 func (c *adaptiveController) Observe(e obs.Event) {
 	switch e.Kind {
 	case obs.KindEvict:
 		if i, ok := c.levelIdx[e.From]; ok {
 			c.evicts[i]++
-			c.diedFrom[e.Trace] = i
 		}
 	case obs.KindPromote:
 		if i, ok := c.levelIdx[e.From]; ok {
@@ -186,15 +183,6 @@ func (c *adaptiveController) Observe(e obs.Event) {
 // path; per-tier hit density is the donor-selection signal.
 func (c *adaptiveController) noteHit(i int) {
 	c.hits[i]++
-}
-
-// noteMiss charges a conflict miss to the tier whose eviction killed the
-// trace. Called from Graph.Access on the miss path.
-func (c *adaptiveController) noteMiss(id uint64) {
-	if i, ok := c.diedFrom[id]; ok {
-		c.missFrom[i]++
-		delete(c.diedFrom, id)
-	}
 }
 
 // tick runs the controller at deterministic epoch boundaries of the graph's

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/attrib"
 	"repro/internal/codecache"
 	"repro/internal/obs"
 	"repro/internal/policy"
@@ -124,6 +125,14 @@ type GraphSpec struct {
 	// Selector tunes the online policy selector for tiers whose Policy is
 	// "auto"; nil applies the defaults. It is ignored when no tier opts in.
 	Selector *SelectorConfig
+
+	// Attrib, when non-nil, attaches a full attribution ledger
+	// (internal/attrib): every miss is classified into a cause and
+	// aggregated per module × tier × epoch × proc, readable through
+	// Graph.Ledger. When nil but Adaptive is set, the graph still runs a
+	// light (state-machine-only) ledger internally to feed the controller's
+	// miss attribution.
+	Attrib *attrib.Config
 }
 
 // Validate checks the specification.
@@ -271,6 +280,7 @@ type Graph struct {
 	dropAnyErr bool
 	ctl        *adaptiveController
 	sel        *policySelector
+	led        *attrib.Ledger
 
 	// hint caches the tier index that last hit for each trace ID (dense, like
 	// the arena's fragment index). It is purely an ordering hint for
@@ -319,7 +329,21 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 	g := &Graph{spec: spec, shared: shared, proc: proc, o: o, dropAnyErr: n > 1}
 	if spec.Adaptive != nil {
 		g.ctl = newAdaptiveController(g, *spec.Adaptive)
-		g.o = obs.Combine(g.ctl, o)
+	}
+	// The attribution ledger: full when asked for, light when only the
+	// adaptive controller needs the per-trace state machine.
+	if spec.Attrib != nil {
+		g.led = attrib.New(*spec.Attrib)
+	} else if g.ctl != nil {
+		g.led = attrib.New(attrib.Config{Light: true})
+	}
+	if g.led != nil {
+		g.led.SetProc(proc)
+		if g.ctl != nil {
+			g.o = obs.Combine(obs.Observer(g.led), g.ctl, o)
+		} else {
+			g.o = obs.Combine(obs.Observer(g.led), o)
+		}
 	}
 	mk := func(ts TierSpec, l Level) (policy.Local, error) {
 		if ts.Policy != "" && !isAutoPolicy(ts.Policy) {
@@ -395,6 +419,16 @@ func newGraph(spec GraphSpec, shared *SharedPersistent, proc int, o obs.Observer
 	g.name = graphName(spec, g)
 	if g.ctl != nil {
 		g.ctl.bind(g)
+	}
+	if g.led != nil {
+		first := g.tiers[0].level
+		final := first
+		if shared != nil {
+			final = LevelPersistent
+		} else {
+			final = g.tiers[len(g.tiers)-1].level
+		}
+		g.led.SetShape(first, final, shared != nil)
 	}
 	if g.sel == nil {
 		for _, t := range g.tiers {
@@ -522,6 +556,19 @@ func (g *Graph) SetProcID(proc int) {
 	for _, t := range g.tiers {
 		t.arena.SetProcID(proc)
 	}
+	if g.led != nil {
+		g.led.SetProc(proc)
+	}
+}
+
+// Ledger returns the graph's full attribution ledger, or nil when none was
+// requested (the adaptive controller's internal light ledger holds no
+// aggregates and is not exposed).
+func (g *Graph) Ledger() *attrib.Ledger {
+	if g.led == nil || g.led.Light() {
+		return nil
+	}
+	return g.led
 }
 
 // Shared returns the shared persistent tier, or nil in private mode.
@@ -599,6 +646,9 @@ func (g *Graph) Insert(f codecache.Fragment) error {
 // trace along its edge as soon as the gate admits it.
 func (g *Graph) Access(id uint64) bool {
 	g.stats.Accesses++
+	if g.led != nil {
+		g.led.Tick(1)
+	}
 	if g.ctl != nil {
 		g.ctl.tick(g.stats.Accesses)
 	}
@@ -628,10 +678,29 @@ func (g *Graph) Access(id uint64) bool {
 		g.stats.Hits++
 		return true
 	}
-	if g.ctl != nil {
-		g.ctl.noteMiss(id)
+	if g.led != nil {
+		g.noteMiss(id)
 	}
 	return false
+}
+
+// noteMiss classifies a full miss through the attribution ledger, charges
+// the adaptive controller when the miss traces back to an unsuperseded
+// capacity eviction, and (in emitting mode) publishes the cause as a
+// KindRegenerate event.
+func (g *Graph) noteMiss(id uint64) {
+	mi := g.led.Miss(id)
+	if g.ctl != nil && mi.Charge {
+		if i, ok := g.ctl.levelIdx[mi.Level]; ok {
+			g.ctl.missFrom[i]++
+		}
+	}
+	if g.led.EmitEvents() {
+		obs.Emit(g.o, obs.Event{
+			Kind: obs.KindRegenerate, Trace: id, Size: mi.Size,
+			Module: mi.Module, From: mi.Level, Reason: mi.Cause, Proc: g.proc,
+		})
+	}
 }
 
 // hintDenseLimit bounds the tier-hint index, mirroring the arena's dense
@@ -720,6 +789,9 @@ func (g *Graph) AccessRun(ids []uint64) int {
 	}
 	g.stats.Accesses += uint64(done)
 	g.stats.Hits += uint64(done)
+	if g.led != nil {
+		g.led.Tick(uint64(done))
+	}
 	return done
 }
 
@@ -788,6 +860,12 @@ func (g *Graph) DeleteModule(m uint16) []codecache.Fragment {
 	}
 	if g.shared != nil {
 		out = append(out, g.shared.UnmapModule(g.proc, m)...)
+	}
+	if g.led != nil {
+		// After the per-trace unmap events: any unclaimed capacity death of
+		// this module is now superseded — a later re-heat is unmap-forced,
+		// never a capacity charge.
+		g.led.NoteModuleUnmap(m)
 	}
 	g.stats.ForcedDeletes += uint64(len(out))
 	for _, f := range out {

@@ -74,6 +74,11 @@ type SelectorStats struct {
 	Epochs    uint64 // decision points
 	Switches  uint64 // live-policy swaps applied
 	Reversals uint64 // swaps that undid the immediately preceding one
+	// MissCauses is the per-cause miss breakdown (indexed by obs.Reason)
+	// observed over the whole run by the graph's attribution ledger — the
+	// switch report's "what the selector was up against". All zeros unless a
+	// full ledger is attached (GraphSpec.Attrib).
+	MissCauses [obs.NumReasons]uint64
 }
 
 // selectorBootstrapEpochs is how many epochs after the shadows first diverge
@@ -406,7 +411,11 @@ func (g *Graph) SelectorStats() (SelectorStats, bool) {
 	if g.sel == nil {
 		return SelectorStats{}, false
 	}
-	return g.sel.stats, true
+	ss := g.sel.stats
+	if led := g.Ledger(); led != nil {
+		ss.MissCauses = led.Totals()
+	}
+	return ss, true
 }
 
 // PersistPolicies returns the per-tier policy specs a snapshot should carry:

@@ -166,6 +166,92 @@ func TestRunVerifiedAgainstOffline(t *testing.T) {
 	}
 }
 
+// TestRunAttribTimeline: an attribution day carries per-interval cause
+// columns that sum to the day totals, the totals conserve against the day's
+// regenerations, and offline verification still passes — the ledger
+// observes, never perturbs.
+func TestRunAttribTimeline(t *testing.T) {
+	spec := testDay(11, 30)
+	opts := autoOpts()
+	opts.Attrib = true
+	opts.Verify = true
+	r, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VerifyFailed != 0 {
+		t.Errorf("%d attrib sessions diverged from their offline replay", r.VerifyFailed)
+	}
+	if r.Regenerations == 0 {
+		t.Fatal("day produced no regenerations; nothing to attribute")
+	}
+	if !r.CausesConserved() {
+		t.Errorf("day-wide conservation violated: causes %+v vs %d regenerations", r.Causes, r.Regenerations)
+	}
+	var rowSum, regenSum uint64
+	for _, row := range r.Rows {
+		c := row.Causes
+		rowSum += c.Cold + c.Capacity + c.PrematureDemotion + c.NeverPromoted + c.UnmapForced + c.AdoptionMiss
+		regenSum += c.Capacity + c.PrematureDemotion + c.NeverPromoted + c.UnmapForced + c.AdoptionMiss
+	}
+	tot := r.Causes
+	if want := tot.Cold + tot.Capacity + tot.PrematureDemotion + tot.NeverPromoted + tot.UnmapForced + tot.AdoptionMiss; rowSum != want {
+		t.Errorf("interval cause columns sum to %d, day totals to %d", rowSum, want)
+	}
+	if regenSum != r.Regenerations {
+		t.Errorf("interval regen causes sum to %d, day regenerated %d", regenSum, r.Regenerations)
+	}
+	if !strings.Contains(r.String(), "why: ") {
+		t.Error("day report has no why line")
+	}
+}
+
+// TestRunAttribDeterministic: attribution output — CSV cause columns
+// included — is byte-reproducible.
+func TestRunAttribDeterministic(t *testing.T) {
+	spec := testDay(42, 20)
+	opts := autoOpts()
+	opts.Attrib = true
+	a, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV != b.CSV {
+		t.Error("attrib timeline CSV differs across identical runs")
+	}
+	if a.Causes != b.Causes || a.Regenerations != b.Regenerations {
+		t.Errorf("attrib totals differ: %+v/%d vs %+v/%d", a.Causes, a.Regenerations, b.Causes, b.Regenerations)
+	}
+}
+
+// TestRunAttribOffMatchesOn: attaching the ledger changes no replay-visible
+// outcome — the same day with and without attribution serves, rejects, and
+// queues identically, byte for byte on the event stream.
+func TestRunAttribOffMatchesOn(t *testing.T) {
+	spec := testDay(7, 20)
+	off, err := Run(spec, autoOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := autoOpts()
+	opts.Attrib = true
+	on, err := Run(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.NDJSON != on.NDJSON {
+		t.Error("attribution perturbed the day's event stream")
+	}
+	if off.Served != on.Served || off.Rejected != on.Rejected || off.P95Latency != on.P95Latency {
+		t.Errorf("attribution perturbed the day: (%d,%d,%s) vs (%d,%d,%s)",
+			off.Served, off.Rejected, off.P95Latency, on.Served, on.Rejected, on.P95Latency)
+	}
+}
+
 func TestCompileDeterministicSchedule(t *testing.T) {
 	spec := testDay(9, 25).withDefaults()
 	a, err := spec.compile()

@@ -36,6 +36,11 @@ type Options struct {
 	// same config and pressure) and counts divergences. Doubles the compute;
 	// the acceptance gate that served == ccsim bit-for-bit.
 	Verify bool
+	// Attrib attaches the attribution ledger to every session: each timeline
+	// row carries the interval's miss-cause breakdown and the day report ends
+	// with conserved cause totals. The ledger only observes, so every replay
+	// counter — and the Verify gate — is unchanged.
+	Attrib bool
 	// Logs supplies pre-synthesized tracelogs by benchmark name; missing
 	// benches are synthesized at Scale. Sharing one map across arms keeps
 	// an A/B comparison byte-identical on input.
@@ -238,6 +243,9 @@ func (e *engine) arrive(now time.Time, a arrival) {
 		cfg.Adaptive = true
 		cfg.Pressure = e.pressure()
 	}
+	if e.opts.Attrib {
+		cfg.Attrib = true
+	}
 	s := &session{arr: a, cfg: cfg, arrivedAt: now}
 	e.tl.arrival(now, a)
 	adm := e.srv.Admission()
@@ -375,6 +383,8 @@ func (e *engine) result(dayEndV time.Time) (*Result, error) {
 		SharedUsed:    e.srv.Shared().Used(),
 		TotalAccesses: e.tl.totAccesses,
 		TotalMisses:   e.tl.totMisses,
+		Causes:        e.tl.totCauses,
+		Regenerations: e.tl.totRegens,
 	}
 	daySec := dayEndV.Sub(simclock.Epoch).Seconds()
 	if last := e.lastMemAt.Sub(simclock.Epoch).Seconds(); last > daySec {

@@ -34,6 +34,9 @@ type Row struct {
 	// MeanLatencyMS averages arrival→completion over sessions completing in
 	// the interval, in declared milliseconds.
 	MeanLatencyMS float64
+	// Causes is the interval's miss-cause breakdown (Options.Attrib only;
+	// zero otherwise). Summed over sessions starting in the interval.
+	Causes api.CauseCounts
 }
 
 // rowState is the instantaneous server state sampled at an interval close.
@@ -46,7 +49,7 @@ type rowState struct {
 
 // CSVHeader is the timeline CSV schema, exported so scripts and CI can
 // assert it. ci.sh greps for it verbatim — keep additive changes at the end.
-const CSVHeader = "hour,arrivals,admitted,rejected,completed,queued,slots,queue_cap,resizes,accesses,misses,miss_rate,adoptions,published,shared_used,mean_latency_ms"
+const CSVHeader = "hour,arrivals,admitted,rejected,completed,queued,slots,queue_cap,resizes,accesses,misses,miss_rate,adoptions,published,shared_used,mean_latency_ms,cold,capacity,premature_demotion,never_promoted,unmap_forced,adoption_miss"
 
 // tlEvent is one merged-stream NDJSON line. Field order is the wire order;
 // the stream is a deterministic function of the day.
@@ -85,8 +88,12 @@ type timeline struct {
 	curMisses    uint64
 	curAdoptions uint64
 	curPublished uint64
+	curCauses    api.CauseCounts
 	curLatSum    time.Duration
 	curLatN      int
+
+	totCauses api.CauseCounts
+	totRegens uint64
 
 	rows   []Row
 	events []tlEvent
@@ -150,6 +157,11 @@ func (t *timeline) started(now time.Time, a arrival, res api.SessionResult, serv
 	t.curMisses += res.Misses
 	t.curAdoptions += res.Shared.Adoptions
 	t.curPublished += res.Shared.Published
+	if t.opts.Attrib {
+		addCauses(&t.curCauses, res.Causes)
+		addCauses(&t.totCauses, res.Causes)
+		t.totRegens += res.Regenerations
+	}
 	t.totAccesses += res.Accesses
 	t.totMisses += res.Misses
 	scale := t.spec.TimeScale
@@ -202,6 +214,7 @@ func (t *timeline) closeRow(now time.Time, st rowState) {
 		Misses:     t.curMisses,
 		Adoptions:  t.curAdoptions,
 		Published:  t.curPublished,
+		Causes:     t.curCauses,
 	}
 	if t.curAccesses > 0 {
 		r.MissRate = float64(t.curMisses) / float64(t.curAccesses)
@@ -216,7 +229,18 @@ func (t *timeline) closeRow(now time.Time, st rowState) {
 	t.rows = append(t.rows, r)
 	t.curArrivals, t.curAdmitted, t.curRejected, t.curCompleted = 0, 0, 0, 0
 	t.curAccesses, t.curMisses, t.curAdoptions, t.curPublished = 0, 0, 0, 0
+	t.curCauses = api.CauseCounts{}
 	t.curLatSum, t.curLatN = 0, 0
+}
+
+// addCauses accumulates one session's cause counts into dst.
+func addCauses(dst *api.CauseCounts, c api.CauseCounts) {
+	dst.Cold += c.Cold
+	dst.Capacity += c.Capacity
+	dst.PrematureDemotion += c.PrematureDemotion
+	dst.NeverPromoted += c.NeverPromoted
+	dst.UnmapForced += c.UnmapForced
+	dst.AdoptionMiss += c.AdoptionMiss
 }
 
 // csv renders the timeline rows.
@@ -225,11 +249,13 @@ func (t *timeline) csv() string {
 	b.WriteString(CSVHeader)
 	b.WriteByte('\n')
 	for _, r := range t.rows {
-		fmt.Fprintf(&b, "%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.3f\n",
+		fmt.Fprintf(&b, "%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d\n",
 			r.Hour, r.Arrivals, r.Admitted, r.Rejected, r.Completed,
 			r.Queued, r.Slots, r.QueueCap, r.Resizes,
 			r.Accesses, r.Misses, r.MissRate, r.Adoptions, r.Published,
-			r.SharedUsed, r.MeanLatencyMS)
+			r.SharedUsed, r.MeanLatencyMS,
+			r.Causes.Cold, r.Causes.Capacity, r.Causes.PrematureDemotion,
+			r.Causes.NeverPromoted, r.Causes.UnmapForced, r.Causes.AdoptionMiss)
 	}
 	return b.String()
 }
@@ -279,9 +305,23 @@ type Result struct {
 	SharedUsed    uint64
 	TotalAccesses uint64
 	TotalMisses   uint64
+	// Causes and Regenerations are the day-wide attribution totals
+	// (Options.Attrib only). The non-cold causes sum to Regenerations
+	// exactly — the ledger's conservation invariant, aggregated over every
+	// served session.
+	Causes        api.CauseCounts
+	Regenerations uint64
 	Rows          []Row
 	CSV           string
 	NDJSON        string
+}
+
+// CausesConserved reports the day-wide conservation invariant: the non-cold
+// cause totals sum exactly to the regeneration total. Vacuously true without
+// Options.Attrib (all zeros).
+func (r *Result) CausesConserved() bool {
+	c := r.Causes
+	return c.Capacity+c.PrematureDemotion+c.NeverPromoted+c.UnmapForced+c.AdoptionMiss == r.Regenerations
 }
 
 // MissRate is the day-wide replay miss rate.
@@ -301,5 +341,11 @@ func (r *Result) String() string {
 		r.P50Latency, r.P95Latency, r.MissRate(), r.Resizes)
 	fmt.Fprintf(&b, "  avg memory %.0f bytes (time-integrated)  shared used %d  verify failures %d\n",
 		r.AvgMemBytes, r.SharedUsed, r.VerifyFailed)
+	if r.Regenerations > 0 || r.Causes != (api.CauseCounts{}) {
+		c := r.Causes
+		fmt.Fprintf(&b, "  why: %d regenerations — capacity %d, premature-demotion %d, never-promoted %d, unmap-forced %d, adoption-miss %d (cold %d; conserved %v)\n",
+			r.Regenerations, c.Capacity, c.PrematureDemotion, c.NeverPromoted,
+			c.UnmapForced, c.AdoptionMiss, c.Cold, r.CausesConserved())
+	}
 	return b.String()
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -38,6 +40,10 @@ type PolicySelectRow struct {
 	Switches uint64  // live-policy swaps the selector applied
 	Reverted uint64  // swaps that undid the previous one
 	Final    string  // live policy when the replay ended
+	// Causes is the selector run's per-cause miss breakdown (indexed by
+	// obs.Reason), from the attribution ledger riding the selector graph —
+	// the switch report's "what the selector was up against".
+	Causes [obs.NumReasons]uint64
 
 	// BeatsWorst: selector < worst static. WithinBest: selector is within
 	// PolicySelectTolerance (relative) of the best static.
@@ -83,6 +89,10 @@ func PolicySelection(s *Suite) ([]PolicySelectRow, error) {
 		spec := core.UnifiedSpec(capacity, nil)
 		spec.Tiers[0].Policy = "auto"
 		spec.Selector = &core.SelectorConfig{Epoch: 256, Candidates: candidates}
+		// The attribution ledger rides the selector graph so the switch
+		// report can say what kind of misses the selector was fighting. It
+		// only observes: miss rates and switch counts are unchanged.
+		spec.Attrib = &attrib.Config{}
 		acc := costmodel.NewAccum(s.Model)
 		mgr, err := core.NewGraph(spec, sim.CostObserver(acc))
 		if err != nil {
@@ -95,6 +105,7 @@ func PolicySelection(s *Suite) ([]PolicySelectRow, error) {
 		row.Selector = a.MissRate()
 		if ss, ok := mgr.SelectorStats(); ok {
 			row.Switches, row.Reverted = ss.Switches, ss.Reversals
+			row.Causes = ss.MissCauses
 		}
 		row.Final = strings.Join(mgr.LivePolicies(), "-")
 		best, worst := row.Static[row.BestStatic], row.Static[row.WorstStatic]
@@ -121,7 +132,7 @@ func RenderPolicySelection(rows []PolicySelectRow) string {
 	}
 	header := []string{"Benchmark"}
 	header = append(header, rows[0].Configs...)
-	header = append(header, "Selector", "Switches", "Final", "Verdict")
+	header = append(header, "Selector", "Switches", "Final", "Verdict", "Top cause")
 	t := stats.NewTable(header...)
 	for _, r := range rows {
 		cells := []string{r.Name}
@@ -139,10 +150,33 @@ func RenderPolicySelection(rows []PolicySelectRow) string {
 			fmt.Sprintf("%.3f%%", r.Selector*100),
 			fmt.Sprintf("%d (-%d)", r.Switches, r.Reverted),
 			r.Final,
-			policySelectVerdict(r))
+			policySelectVerdict(r),
+			TopCauseLabel(r.Causes))
 		t.AddRow(cells...)
 	}
 	return t.String()
+}
+
+// TopCauseLabel names the dominant regeneration cause in a per-cause miss
+// breakdown, with its share of all regenerations: "capacity 62%". Cold is a
+// compile, not a regeneration, so it never wins; "-" when nothing
+// regenerated.
+func TopCauseLabel(causes [obs.NumReasons]uint64) string {
+	var total uint64
+	top, topN := obs.ReasonNone, uint64(0)
+	for c := obs.Reason(1); int(c) < obs.NumReasons; c++ {
+		if c == obs.ReasonCold {
+			continue
+		}
+		total += causes[c]
+		if causes[c] > topN {
+			top, topN = c, causes[c]
+		}
+	}
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s %.0f%%", top.String(), float64(topN)/float64(total)*100)
 }
 
 func policySelectVerdict(r PolicySelectRow) string {

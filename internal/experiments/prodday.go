@@ -38,6 +38,11 @@ type ProductionDayOptions struct {
 	Scale float64
 	// Verify replays every served session offline and counts divergences.
 	Verify bool
+	// Why attaches the attribution ledger to every arm's sessions: timeline
+	// rows carry per-interval miss-cause columns, each day report ends with
+	// conserved cause totals, and the study fails if any arm's causes do not
+	// conserve against its regenerations.
+	Why bool
 	// Parallel bounds the arm pool (0 = GOMAXPROCS, 1 = sequential). Arms
 	// are independent servers, so parallelism cannot change any result.
 	Parallel int
@@ -99,17 +104,18 @@ func productionDayArms(o ProductionDayOptions, logs map[string][]byte) []dayload
 		TickEvery:    5 * time.Minute,
 		LoadReactive: true,
 		Verify:       o.Verify,
+		Attrib:       o.Why,
 		Logs:         logs,
 	}
 	arms := []dayload.Options{auto}
 	for _, slots := range []int{1, 2, 4, 8} {
 		arms = append(arms, dayload.Options{
-			Slots: slots, Queue: 2 * slots, Verify: o.Verify, Logs: logs,
+			Slots: slots, Queue: 2 * slots, Verify: o.Verify, Attrib: o.Why, Logs: logs,
 		})
 	}
 	for _, layout := range []string{"60-10-30", "30-10-60"} {
 		arms = append(arms, dayload.Options{
-			Slots: 4, Queue: 8, Layout: layout, Verify: o.Verify, Logs: logs,
+			Slots: 4, Queue: 8, Layout: layout, Verify: o.Verify, Attrib: o.Why, Logs: logs,
 		})
 	}
 	return arms
@@ -167,10 +173,16 @@ func ProductionDayContext(ctx context.Context, opts ProductionDayOptions) (Produ
 
 	res := ProductionDayResult{Auto: results[0], Statics: results[1:]}
 	res.AutoWins = res.Auto.Resizes > 0 && res.Auto.VerifyFailed == 0 && res.Auto.Failures == 0
+	if opts.Why && !res.Auto.CausesConserved() {
+		res.AutoWins = false
+	}
 	for _, st := range res.Statics {
 		v := compareArms(res.Auto, st)
 		res.Verdicts = append(res.Verdicts, v)
 		if !v.AutoBeats || st.VerifyFailed > 0 || st.Failures > 0 {
+			res.AutoWins = false
+		}
+		if opts.Why && !st.CausesConserved() {
 			res.AutoWins = false
 		}
 	}

@@ -49,13 +49,19 @@ const (
 	// limits change (the autoscaler or an operator resizing capacity). Size
 	// carries the new slot count, Total the new queue depth.
 	KindAdmissionResize
+	// KindRegenerate fires when a miss forces a trace to be regenerated, with
+	// Reason carrying the attributed cause (see internal/attrib). From names
+	// the tier the trace last died out of, where known. Managers emit it only
+	// when an attribution ledger is attached in emitting mode, so stock event
+	// streams are unchanged.
+	KindRegenerate
 
 	// NumKinds bounds the Kind space; counting consumers size arrays with it.
-	NumKinds = int(KindAdmissionResize) + 1
+	NumKinds = int(KindRegenerate) + 1
 )
 
 var kindNames = [...]string{
-	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch", "admission-resize",
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch", "admission-resize", "regenerate",
 }
 
 func (k Kind) String() string {
@@ -77,6 +83,10 @@ const (
 	LevelNursery
 	LevelProbation
 	LevelPersistent
+
+	// LevelNone marks events and attribution cells with no associated cache
+	// level (cold compiles, misses with no recorded death tier).
+	LevelNone Level = -1
 )
 
 // NumLevels bounds the Level space; counting consumers size arrays with it.
@@ -90,7 +100,65 @@ func (l Level) String() string {
 	if l >= 0 && int(l) < len(levelNames) {
 		return levelNames[l]
 	}
+	if l == LevelNone {
+		return "none"
+	}
 	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Reason classifies why a miss forced a regeneration (KindRegenerate). The
+// taxonomy lives here so the bus can carry causes without depending on the
+// attribution ledger that derives them.
+type Reason uint8
+
+const (
+	// ReasonNone marks an event with no attributed cause.
+	ReasonNone Reason = iota
+	// ReasonCold is a first compile: the trace had never been seen before.
+	ReasonCold
+	// ReasonCapacity is the default regeneration cause: the trace was evicted
+	// under capacity pressure and later re-heated.
+	ReasonCapacity
+	// ReasonUnmapForced means the trace was deleted because its module was
+	// unmapped (or its capacity death was superseded by a module unmap).
+	ReasonUnmapForced
+	// ReasonPrematureDemotion means the trace died out of a middle generation
+	// (probation) and re-heated within the ledger's re-heat window — the
+	// demotion threshold deleted a trace that was still hot.
+	ReasonPrematureDemotion
+	// ReasonNeverPromoted means the trace died out of the first generation
+	// without ever being promoted past the threshold.
+	ReasonNeverPromoted
+	// ReasonAdoptionMiss means the shared tier had no publisher for an
+	// identity this process had previously seen shared — the regeneration
+	// paid for a trace a peer once published.
+	ReasonAdoptionMiss
+
+	// NumReasons bounds the Reason space; counting consumers size arrays
+	// with it.
+	NumReasons = int(ReasonAdoptionMiss) + 1
+)
+
+var reasonNames = [NumReasons]string{
+	"none", "cold", "capacity", "unmap-forced", "premature-demotion", "never-promoted", "adoption-miss",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// ParseReason maps a reason name back to its Reason; ok is false for unknown
+// names.
+func ParseReason(s string) (Reason, bool) {
+	for i, n := range reasonNames {
+		if n == s {
+			return Reason(i), true
+		}
+	}
+	return ReasonNone, false
 }
 
 // Event is one observable cache-lifecycle event. Only the fields relevant to
@@ -100,8 +168,11 @@ type Event struct {
 	Trace  uint64 // KindInsert, KindEvict, KindPromote, KindUnmap, KindLinkSever
 	Size   uint64 // trace size in bytes, where known
 	Module uint16 // owning module (KindUnmap, KindInsert)
-	From   Level  // KindEvict, KindPromote, KindUnmap, KindFlush
+	From   Level  // KindEvict, KindPromote, KindUnmap, KindFlush, KindRegenerate
 	To     Level  // KindInsert, KindPromote
+
+	// Reason is the attributed cause of a regeneration (KindRegenerate only).
+	Reason Reason
 
 	// Proc is the ID of the process whose action caused the event. Shared
 	// back-end tiers serve several front-end processes at once, so every

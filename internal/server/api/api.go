@@ -70,7 +70,18 @@ const (
 	// Clients should format it with strconv.FormatFloat(v, 'g', -1, 64) so
 	// the value round-trips exactly.
 	ParamPressure = "pressure"
+	// ParamAttrib attaches the trace-lifecycle attribution ledger to the
+	// session's manager: the result carries per-cause miss counts (Causes),
+	// the session folds into the server-wide /v1/attrib aggregate, and — with
+	// events=1 — every classified miss streams a "regenerate" NDJSON event
+	// tagged with its cause.
+	ParamAttrib = "attrib"
 )
+
+// AttribPath is the server-wide attribution endpoint: GET the aggregated
+// miss-cause report (per module × tier × epoch × cause) over every attrib=1
+// session served since startup.
+const AttribPath = "/v1/attrib"
 
 // Overhead is the Table 2 instruction-cost accounting of one session.
 type Overhead struct {
@@ -97,6 +108,64 @@ type SharedSavings struct {
 	SavedGenInstructions float64 `json:"savedGenInstructions"`
 }
 
+// CauseCounts is the attribution ledger's per-cause miss accounting for one
+// session (attrib=1 only; zero otherwise). The regeneration causes —
+// everything but Cold — sum exactly to Regenerations: the ledger's
+// conservation invariant, which the server's offline verification leans on.
+type CauseCounts struct {
+	// Cold counts first compiles: the trace had never been seen.
+	Cold uint64 `json:"cold,omitempty"`
+	// Capacity counts re-heats of traces evicted under capacity pressure.
+	Capacity uint64 `json:"capacity,omitempty"`
+	// PrematureDemotion counts re-heats, within the re-heat window, of traces
+	// that died out of a middle generation — the probation threshold deleted
+	// a trace that was still hot.
+	PrematureDemotion uint64 `json:"prematureDemotion,omitempty"`
+	// NeverPromoted counts re-heats of traces that died out of the first
+	// generation without ever crossing the promotion threshold.
+	NeverPromoted uint64 `json:"neverPromoted,omitempty"`
+	// UnmapForced counts re-heats forced by a module unmap.
+	UnmapForced uint64 `json:"unmapForced,omitempty"`
+	// AdoptionMiss counts regenerations of identities known to the shared
+	// tier that had no publisher resident when the session needed them.
+	AdoptionMiss uint64 `json:"adoptionMiss,omitempty"`
+}
+
+// AttribReport is the GET /v1/attrib response: the server-wide miss-cause
+// aggregate over every attribution-enabled session since startup. Causes is a
+// map so new causes extend the wire format without breaking decoders;
+// encoding/json marshals map keys sorted, keeping the rendering
+// deterministic.
+type AttribReport struct {
+	// EpochAccesses is the ledger epoch length in accesses (re-heat windows
+	// are measured in these, never wall time).
+	EpochAccesses uint64 `json:"epochAccesses"`
+	// ReheatEpochs is the premature-demotion window: a middle-tier casualty
+	// re-heated within this many epochs was demoted prematurely.
+	ReheatEpochs uint64 `json:"reheatEpochs"`
+	// Regenerations is the total classified regeneration count. The non-cold
+	// cause totals sum to it exactly — conservation, asserted by Conserved.
+	Regenerations uint64 `json:"regenerations"`
+	// ColdCompiles is the cold (first-compile) total, outside conservation.
+	ColdCompiles uint64 `json:"coldCompiles"`
+	// Conserved reports the ledger's conservation invariant held.
+	Conserved bool `json:"conserved"`
+	// TopCause names the dominant regeneration cause, empty when no
+	// regenerations were classified.
+	TopCause string            `json:"topCause,omitempty"`
+	Causes   map[string]uint64 `json:"causes"`
+	// Modules are per-module rows under the query's filters, ranked by
+	// regenerations (or by ?cause=) descending.
+	Modules []AttribModule `json:"modules,omitempty"`
+}
+
+// AttribModule is one module's row in an AttribReport.
+type AttribModule struct {
+	Module uint16      `json:"module"`
+	Regens uint64      `json:"regens"`
+	Causes CauseCounts `json:"causes"`
+}
+
 // SessionResult is the reply to one completed session.
 type SessionResult struct {
 	Session       int    `json:"session"`
@@ -116,6 +185,7 @@ type SessionResult struct {
 
 	Overhead Overhead      `json:"overhead"`
 	Shared   SharedSavings `json:"shared"`
+	Causes   CauseCounts   `json:"causes"`
 }
 
 // FromSim converts a simulator result into its wire form. The service fills
@@ -152,8 +222,10 @@ func FromSim(r sim.Result) SessionResult {
 // magic, MarshalBinary writes it, UnmarshalBinary reads it.
 const StatsContentType = "application/x-gencache-stats"
 
-// statsMagic versions the binary result framing.
-const statsMagic = "GCST1"
+// statsMagic versions the binary result framing. GCST2 appended the
+// attribution cause counters; GCST1 payloads are rejected (stale peers fall
+// back to JSON, the always-compatible debug path).
+const statsMagic = "GCST2"
 
 func appendU64(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
 
@@ -181,6 +253,8 @@ func (r SessionResult) MarshalBinary() ([]byte, error) {
 		r.Adoptions, r.ForcedDeletes,
 		r.Overhead.TraceGens, r.Overhead.Evictions, r.Overhead.Promotions,
 		r.Shared.Adoptions, r.Shared.Published,
+		r.Causes.Cold, r.Causes.Capacity, r.Causes.PrematureDemotion,
+		r.Causes.NeverPromoted, r.Causes.UnmapForced, r.Causes.AdoptionMiss,
 	} {
 		buf = appendU64(buf, v)
 	}
@@ -233,6 +307,8 @@ func (r *SessionResult) UnmarshalBinary(data []byte) error {
 		&r.Adoptions, &r.ForcedDeletes,
 		&r.Overhead.TraceGens, &r.Overhead.Evictions, &r.Overhead.Promotions,
 		&r.Shared.Adoptions, &r.Shared.Published,
+		&r.Causes.Cold, &r.Causes.Capacity, &r.Causes.PrematureDemotion,
+		&r.Causes.NeverPromoted, &r.Causes.UnmapForced, &r.Causes.AdoptionMiss,
 	} {
 		*dst = u64()
 	}
@@ -277,6 +353,7 @@ type Event struct {
 	Done   uint64 `json:"done,omitempty"`
 	Total  uint64 `json:"total,omitempty"`
 	Policy string `json:"policy,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // FromObs converts a bus event into its wire form. From and To are set only
@@ -300,6 +377,9 @@ func FromObs(e obs.Event) Event {
 	case obs.KindAdmissionResize:
 		// Size carries the new slot count, Total the new queue depth.
 		w.Total = e.Total
+	case obs.KindRegenerate:
+		w.From = e.From.String()
+		w.Reason = e.Reason.String()
 	}
 	return w
 }

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzAttribQuery fuzzes the /v1/attrib query parser: whatever the query
+// string, the parser either rejects it or returns an in-range, internally
+// consistent filter — never a panic, never a half-set field.
+func FuzzAttribQuery(f *testing.F) {
+	f.Add("")
+	f.Add("module=3&cause=capacity&top=5")
+	f.Add("cause=premature-demotion")
+	f.Add("cause=adoption-miss&top=0")
+	f.Add("module=65535")
+	f.Add("module=70000")
+	f.Add("cause=none")
+	f.Add("cause=%00")
+	f.Add("top=-1")
+	f.Add("top=999999999999999999999")
+	f.Add("module=&cause=&top=")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Skip()
+		}
+		aq, err := parseAttribQuery(q)
+		if err != nil {
+			return
+		}
+		if aq.hasCause && (aq.cause == obs.ReasonNone || int(aq.cause) >= obs.NumReasons) {
+			t.Fatalf("accepted out-of-range cause %d from %q", aq.cause, raw)
+		}
+		if !aq.hasCause && aq.cause != obs.ReasonNone {
+			t.Fatalf("cause set without hasCause from %q", raw)
+		}
+		if aq.top < 0 || aq.top > 1<<16 {
+			t.Fatalf("accepted out-of-range top %d from %q", aq.top, raw)
+		}
+		if !aq.hasModule && aq.module != 0 {
+			t.Fatalf("module set without hasModule from %q", raw)
+		}
+	})
+}

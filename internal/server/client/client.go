@@ -75,6 +75,10 @@ type SessionOptions struct {
 	// Pressure is the load pressure in [0, 1] the session starts under;
 	// formatted round-trippably so the server parses the exact value back.
 	Pressure float64
+	// Attrib attaches the trace-lifecycle attribution ledger: the result's
+	// Causes field carries per-cause miss counts and the session folds into
+	// the server's /v1/attrib aggregate.
+	Attrib bool
 	// BinaryStats requests the compact binary result framing
 	// (api.StatsContentType) instead of JSON. The decoded result is
 	// identical; the response is smaller and cheaper to parse.
@@ -112,6 +116,9 @@ func (o SessionOptions) query() url.Values {
 	}
 	if o.Pressure > 0 {
 		q.Set(api.ParamPressure, strconv.FormatFloat(o.Pressure, 'g', -1, 64))
+	}
+	if o.Attrib {
+		q.Set(api.ParamAttrib, "1")
 	}
 	return q
 }
@@ -210,6 +217,32 @@ func (c *Client) WaitHealthy(ctx context.Context, timeout time.Duration) error {
 		case <-clk.After(50 * time.Millisecond):
 		}
 	}
+}
+
+// AttribReport fetches the server-wide miss-cause report. query is the raw
+// query string ("cause=capacity&top=5"), empty for the unfiltered report.
+func (c *Client) AttribReport(ctx context.Context, query string) (api.AttribReport, error) {
+	var rep api.AttribReport
+	u := c.BaseURL + api.AttribPath
+	if query != "" {
+		u += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("client: %s: %s", resp.Status, readError(resp.Body))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("client: decoding attrib report: %w", err)
+	}
+	return rep, nil
 }
 
 // Metrics fetches the raw /metrics text.

@@ -75,6 +75,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counterM("gencached_warm_restored_total", s.warm.Restored, "traces restored from the startup snapshot")
 	counterM("gencached_warm_rejected_total", s.warm.Rejected, "snapshot records rejected at warm start")
 
+	// Per-cause miss attribution across attrib=1 sessions. The series set is
+	// fixed (every reason, even at zero) so dashboards can rate() from the
+	// first scrape, and "none" is excluded — it is the ledger's non-cause.
+	attribSnap := s.attrib.Snapshot()
+	fmt.Fprintf(&b, "# HELP gencached_miss_cause_total classified misses by cause across attribution-enabled sessions\n")
+	fmt.Fprintf(&b, "# TYPE gencached_miss_cause_total counter\n")
+	for c := obs.Reason(1); int(c) < obs.NumReasons; c++ {
+		fmt.Fprintf(&b, "gencached_miss_cause_total{cause=%q} %d\n", c.String(), attribSnap.Totals[c])
+	}
+
 	// Live-policy info gauge: one series per tier level that has seen an
 	// online policy switch, valued 1, labelled with the policy now live there
 	// (most recent across sessions).

@@ -51,6 +51,10 @@ type SessionConfig struct {
 	// Callers must pass the same value to ServeSession and the verifying
 	// OfflineReplay, or the adaptive controller will decide differently.
 	Pressure float64
+	// Attrib attaches the attribution ledger: the result carries per-cause
+	// miss counts and the session folds into the server's /v1/attrib
+	// aggregate. The ledger only observes, so replay counters are unchanged.
+	Attrib bool
 }
 
 func (c SessionConfig) params() sessionParams {
@@ -66,6 +70,7 @@ func (c SessionConfig) params() sessionParams {
 		adaptive:   c.Adaptive,
 		adaptEpoch: c.AdaptEpoch,
 		pressure:   c.Pressure,
+		attrib:     c.Attrib,
 	}
 	if p.capFrac == 0 {
 		p.capFrac = 0.5
@@ -126,6 +131,9 @@ func (c SessionConfig) Query() string {
 	if c.Pressure > 0 {
 		add(api.ParamPressure, formatFloat(c.Pressure))
 	}
+	if c.Attrib {
+		add(api.ParamAttrib, "1")
+	}
 	return b.String()
 }
 
@@ -156,6 +164,11 @@ func (s *Server) ServeSession(cfg SessionConfig, logData []byte) (api.SessionRes
 		Adoptions:            sr.adoptions,
 		Published:            sr.published,
 		SavedGenInstructions: sr.savedGen,
+	}
+	if sr.led != nil {
+		snap := sr.led.Snapshot()
+		out.Causes = causeCounts(snap)
+		s.attrib.Add(snap)
 	}
 	s.recordResult(out, uint64(len(logData)))
 	sr.recycle()
@@ -229,6 +242,9 @@ func OfflineReplay(cfg SessionConfig, model *costmodel.Model, logData []byte) (a
 	out := api.FromSim(res)
 	out.CapacityBytes = capacity
 	out.Events = rep.Events()
+	if led := rep.Ledger(); led != nil {
+		out.Causes = causeCounts(led.Snapshot())
+	}
 	if ov := rep.Result(); ov.Overhead != nil {
 		accPool.Put(ov.Overhead)
 	}
@@ -239,10 +255,17 @@ func OfflineReplay(cfg SessionConfig, model *costmodel.Model, logData []byte) (a
 // ResultsEquivalent reports whether a served session and its offline
 // verification replay agree on every replay-visible field. Session identity
 // and shared-tier interplay are service-side bookkeeping, excluded by
-// construction.
+// construction. Adoption-miss is folded into capacity on both sides before
+// comparing: the served ledger upgrades capacity verdicts with shared-tier
+// knowledge an offline replay cannot have, but the fold — like the causes
+// themselves — must still conserve against the same regeneration total.
 func ResultsEquivalent(served, offline api.SessionResult) bool {
 	served.Session, offline.Session = 0, 0
 	served.Shared, offline.Shared = api.SharedSavings{}, api.SharedSavings{}
+	served.Causes.Capacity += served.Causes.AdoptionMiss
+	served.Causes.AdoptionMiss = 0
+	offline.Causes.Capacity += offline.Causes.AdoptionMiss
+	offline.Causes.AdoptionMiss = 0
 	return served == offline
 }
 

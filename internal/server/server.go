@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
@@ -108,6 +109,10 @@ type Server struct {
 	// the snapshot sidecar so a restart's allocator stays above it.
 	maxTraceID atomic.Uint64
 
+	// attrib aggregates every attribution-enabled session's ledger snapshot
+	// into the server-wide /v1/attrib report and miss-cause metrics.
+	attrib *attrib.Aggregate
+
 	mu   sync.Mutex
 	agg  aggregate
 	warm persist.WarmStats
@@ -160,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 		counter: counter,
 		router:  router,
 		adm:     newAdmission(cfg.MaxSessions, cfg.QueueDepth),
+		attrib:  attrib.NewAggregate(),
 		mods:    newModuleSpace(),
 		clock:   clock,
 		start:   clock.Now(),
@@ -281,6 +287,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST "+api.SessionsPath, s.handleSession)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET "+api.AttribPath, s.handleAttrib)
 	profiling.AttachHTTP(mux)
 	return mux
 }

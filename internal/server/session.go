@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/attrib"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
@@ -33,6 +34,7 @@ type sessionParams struct {
 	adaptive   bool
 	adaptEpoch uint64
 	pressure   float64 // initial load pressure for the adaptive controller
+	attrib     bool    // attach the attribution ledger
 }
 
 func parseParams(r *http.Request) (sessionParams, error) {
@@ -97,7 +99,7 @@ func parseParams(r *http.Request) (sessionParams, error) {
 		}
 		p.pressure = f
 	}
-	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events, api.ParamAdaptive: &p.adaptive} {
+	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events, api.ParamAdaptive: &p.adaptive, api.ParamAttrib: &p.attrib} {
 		if v := q.Get(name); v != "" {
 			b, err := strconv.ParseBool(v)
 			if err != nil {
@@ -115,7 +117,7 @@ func parseParams(r *http.Request) (sessionParams, error) {
 func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra obs.Observer) (core.Manager, error) {
 	o := obs.Combine(sim.CostObserver(acc), extra)
 	if p.unified {
-		if p.policy == "" && !p.adaptive {
+		if p.policy == "" && !p.adaptive && !p.attrib {
 			return core.NewUnified(capacity, nil, o), nil
 		}
 		spec := core.UnifiedSpec(capacity, nil)
@@ -142,7 +144,9 @@ func (p sessionParams) buildManager(capacity uint64, acc *costmodel.Accum, extra
 		PromoteThreshold: p.threshold,
 		PromoteOnAccess:  p.threshold <= 1,
 	}
-	if p.policy == "" && !p.adaptive {
+	// NewGenerational is NewGraph over cfg.GraphSpec(), so the attrib branch
+	// below replays counter-identically — the ledger only observes.
+	if p.policy == "" && !p.adaptive && !p.attrib {
 		return core.NewGenerational(cfg, o)
 	}
 	spec := cfg.GraphSpec()
@@ -165,6 +169,11 @@ func (p sessionParams) applySpec(spec *core.GraphSpec) {
 	}
 	if p.adaptive {
 		spec.Adaptive = &core.AdaptiveConfig{Epoch: p.adaptEpoch}
+	}
+	if p.attrib {
+		// Cause events reach the NDJSON stream only in events mode; a plain
+		// attrib session aggregates silently.
+		spec.Attrib = &attrib.Config{EmitEvents: p.events}
 	}
 }
 
@@ -243,6 +252,7 @@ type sessionRun struct {
 	srv  *Server
 	sess *dbt.Session
 	rep  *sim.Replayer
+	led  *attrib.Ledger // nil unless the session asked for attribution
 
 	bench  string
 	gmods  map[uint16]uint16 // log-local module → global module
@@ -329,19 +339,21 @@ func (sr *sessionRun) observe(e obs.Event) {
 
 // tryAdopt probes the shared tier for this identity and attaches if a
 // size-matched trace is resident. Savings are counted once per held ref.
-func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) {
+// It reports whether the session now holds (or already held) a shared-tier
+// ref for the identity — i.e. the shared tier has the trace.
+func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) bool {
 	gmod, ok := sr.globalModule(local)
 	if !ok {
-		return
+		return false
 	}
 	key := identKey{module: gmod, head: head}
 	st := sr.idents[key]
 	if st != nil && st.adopted {
-		return
+		return true
 	}
 	gid, ok := sr.sess.Adopt(gmod, head, uint64(size))
 	if !ok {
-		return
+		return false
 	}
 	if st == nil {
 		st = &identState{}
@@ -351,6 +363,7 @@ func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) {
 	st.adopted = true
 	sr.adoptions++
 	sr.savedGen += sr.srv.model.TraceGen(int(size))
+	return true
 }
 
 // sessionRun implements sim.Hooks: the replayer calls out at the fixed
@@ -365,9 +378,22 @@ func (sr *sessionRun) Registered(trace uint64, size uint32, module uint16, head 
 
 // Regenerated handles a conflict miss: the private cache is regenerating
 // this trace; a shared-tier copy, if one appeared since creation, saves that
-// work too.
+// work too. When the probe fails on an identity the shared tier once held
+// (published or adopted earlier), the regeneration is upgraded in the
+// session's ledger to an adoption miss — the private ledger alone cannot see
+// that the shared tier lost a publisher. ReclassifyLastMiss is a
+// cell-to-cell move, so cause conservation is untouched.
 func (sr *sessionRun) Regenerated(trace uint64, size uint32, module uint16, head uint64) {
-	sr.tryAdopt(module, head, size)
+	if sr.tryAdopt(module, head, size) || sr.led == nil {
+		return
+	}
+	gmod, ok := sr.globalModule(module)
+	if !ok {
+		return
+	}
+	if st := sr.idents[identKey{module: gmod, head: head}]; st != nil && st.gid != 0 {
+		sr.led.ReclassifyLastMiss(trace, obs.ReasonAdoptionMiss)
+	}
 }
 
 // Unmapped releases the session's shared-tier references under the module.
@@ -457,6 +483,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		Adoptions:            sr.adoptions,
 		Published:            sr.published,
 		SavedGenInstructions: sr.savedGen,
+	}
+	if sr.led != nil {
+		snap := sr.led.Snapshot()
+		out.Causes = causeCounts(snap)
+		s.attrib.Add(snap)
 	}
 	s.recordResult(out, body.n)
 	sr.recycle() // out is a value copy; the run's pooled scratch is done
@@ -593,6 +624,7 @@ func (s *Server) startRun(p sessionParams, sess *dbt.Session, bench string, capa
 	}
 	sr.rep = sim.NewReplayer(bench, mgr, acc, po)
 	sr.rep.SetHooks(sr)
+	sr.led = sr.rep.Ledger()
 	return sr, nil
 }
 

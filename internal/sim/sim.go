@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/attrib"
 	"repro/internal/codecache"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -72,7 +73,12 @@ type Replayer struct {
 	// ra is mgr's batched access entry point, when it offers one; StepBlock
 	// drains access runs through it. Cleared on the manager's first -1
 	// ("cannot batch") answer.
-	ra    core.RunAccessor
+	ra core.RunAccessor
+	// led is the manager's attribution ledger, when one is attached: the
+	// replay registers trace identities (module, size, cold-vs-adopted) so
+	// even traces whose insert is dropped under capacity pressure stay
+	// attributable.
+	led   *attrib.Ledger
 	acc   *costmodel.Accum
 	o     obs.Observer
 	hooks Hooks
@@ -143,8 +149,14 @@ func NewReplayer(benchmark string, mgr core.Manager, acc *costmodel.Accum, o obs
 		byModule: s.byModule,
 	}
 	r.ra, _ = mgr.(core.RunAccessor)
+	if lm, ok := mgr.(interface{ Ledger() *attrib.Ledger }); ok {
+		r.led = lm.Ledger()
+	}
 	return r
 }
+
+// Ledger returns the attribution ledger of the manager under replay, or nil.
+func (r *Replayer) Ledger() *attrib.Ledger { return r.led }
 
 // SetTotal declares how many events the stream will carry, for progress
 // reporting. Streaming callers that do not know may leave it unset.
@@ -201,6 +213,11 @@ func (r *Replayer) step1(e *tracelog.Event) error {
 		}
 		r.store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
 		r.byModule[e.Module] = append(r.byModule[e.Module], e.Trace)
+		if r.led != nil {
+			// Before the insert, so the ledger sees the first compile as cold
+			// even when the insert itself is dropped.
+			r.led.Register(e.Trace, e.Module, uint64(e.Size), true)
+		}
 		r.res.ColdCreates++
 		r.acc.ChargeTraceGen(int(e.Size))
 		// Insertion failures (trace bigger than the nursery) leave the
@@ -222,6 +239,9 @@ func (r *Replayer) step1(e *tracelog.Event) error {
 		}
 		r.store(e.Trace, meta{size: e.Size, module: e.Module, head: e.Head})
 		r.byModule[e.Module] = append(r.byModule[e.Module], e.Trace)
+		if r.led != nil {
+			r.led.Register(e.Trace, e.Module, uint64(e.Size), false)
+		}
 		r.res.Adoptions++
 		_ = r.mgr.Insert(codecache.Fragment{
 			ID: e.Trace, Size: uint64(e.Size), Module: e.Module, HeadAddr: e.Head,

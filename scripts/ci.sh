@@ -44,3 +44,10 @@ fi
 # at least one admission resize, zero verification failures, schema-stable
 # timeline CSV.
 make prodday-smoke
+# Attribution smoke: the trace-lifecycle ledger's "why" report must conserve
+# exactly (causes sum to regenerations) and attribute a nonzero share of
+# middle-tier deaths to premature demotion, under the race detector.
+make attrib-smoke
+# Attribution endpoint fuzz: a short run over the /v1/attrib query parser —
+# seeds the corpus, catches panics and half-validated filters.
+go test ./internal/server -run '^$' -fuzz FuzzAttribQuery -fuzztime 10s
