@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke prodday-smoke attrib-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke serve-bench serve-bench-smoke procs-smoke adaptive-smoke serve-smoke fuzz-smoke policyselect-smoke prodday-smoke attrib-smoke cluster-smoke
 
 ci: fmt vet build race bench-smoke serve-bench-smoke
 
@@ -97,6 +97,17 @@ attrib-smoke:
 	grep -q 'premature-demotion' /tmp/attrib-smoke.out
 	grep -q 'why: probation threshold' /tmp/attrib-smoke.out
 	rm -f /tmp/attrib-smoke.cclog /tmp/attrib-smoke.out
+
+# Cluster smoke: the deterministic cluster-vs-isolated study (a 3-node
+# distributed shared tier over the in-process loopback transport) under the
+# race detector. Requires at least one cross-node adoption, zero offline
+# verification failures, a deterministic double run, and the cluster arm
+# paying fewer generations than the isolated arm.
+cluster-smoke:
+	$(GO) run -race ./cmd/gencached cluster -sessions 12 | tee /tmp/cluster-smoke.out
+	grep -q 'cross-node-adoptions=[1-9][0-9]* verify-failures=0 deterministic=true' /tmp/cluster-smoke.out
+	grep -q 'cluster: PASS' /tmp/cluster-smoke.out
+	rm -f /tmp/cluster-smoke.out
 
 # Adaptive smoke: a short replay with the split controller attached, under
 # the race detector, on both the stock three-tier shape and a four-tier one.

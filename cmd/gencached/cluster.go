@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/buildinfo"
+	"repro/internal/experiments"
+)
+
+// clusterMain runs the deterministic cluster-vs-isolated study in process:
+// the same session mix served by N isolated gencached nodes and by an
+// N-node distributed shared tier (shard ring, replication, cross-node
+// adoption) over an in-process loopback transport. Exits 1 when the cluster
+// fails to pay fewer generations, no adoption crossed nodes, any session
+// diverged from its offline replay, or the run is not deterministic.
+func clusterMain(args []string) {
+	fs := flag.NewFlagSet("gencached cluster", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "server count in both arms")
+	sessions := fs.Int("sessions", 12, "total sessions, dealt round-robin across nodes")
+	bench := fs.String("bench", "gzip,word", "comma-separated benchmark mix")
+	scale := fs.Float64("scale", 0.05, "workload synthesis scale")
+	shards := fs.Int("shards", 64, "cluster ring shard count")
+	verify := fs.Bool("verify", true, "replay every served session offline and require bit-identical results")
+	version := fs.Bool("version", false, "print version and exit")
+	fs.Parse(args)
+	if *version {
+		fmt.Println(buildinfo.Version("gencached"))
+		return
+	}
+
+	var benches []string
+	for _, b := range strings.Split(*bench, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			benches = append(benches, b)
+		}
+	}
+	res, err := experiments.ClusterVsIsolated(experiments.ClusterVsIsolatedOptions{
+		Nodes:    *nodes,
+		Sessions: *sessions,
+		Benches:  benches,
+		Scale:    *scale,
+		Shards:   *shards,
+		Verify:   *verify,
+		Progress: func(line string) { fmt.Fprintln(os.Stderr, line) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(experiments.RenderClusterVsIsolated(res))
+	fmt.Printf("cluster: cross-node-adoptions=%d verify-failures=%d deterministic=%v\n",
+		res.Cluster.PeerAdoptions, res.Isolated.VerifyFailed+res.Cluster.VerifyFailed, res.Deterministic)
+	if !res.ClusterWins {
+		fmt.Fprintln(os.Stderr, "cluster: FAIL — the distributed shared tier does not beat isolated nodes")
+		os.Exit(1)
+	}
+	fmt.Println("cluster: PASS — the distributed shared tier pays fewer generations than isolated nodes")
+}

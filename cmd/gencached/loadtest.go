@@ -36,7 +36,7 @@ import (
 // simclock.Clock rather than bare time calls.
 func loadtestMain(args []string) {
 	fs := flag.NewFlagSet("gencached loadtest", flag.ExitOnError)
-	addr := fs.String("addr", "", "server base URL, e.g. http://127.0.0.1:8344 (required)")
+	addr := fs.String("addr", "", "server base URL(s), comma-separated for a multi-node cluster; sessions round-robin across them (required)")
 	clients := fs.Int("clients", 8, "concurrent client goroutines")
 	sessions := fs.Int("sessions", 0, "total sessions to run (default: one per client)")
 	bench := fs.String("bench", "word", "comma-separated benchmark names; clients round-robin across them")
@@ -67,11 +67,23 @@ func loadtestMain(args []string) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	c := client.New(*addr)
-	c.Clock = clk
-	if err := c.WaitHealthy(ctx, 10*time.Second); err != nil {
-		fatal(err)
+	// One client per node: a single -addr drives the classic single-server
+	// loadtest, a comma-separated list deals sessions round-robin across a
+	// cluster's nodes (results verify identically no matter which node
+	// serves — that is the cluster's invariant).
+	var nodes []*client.Client
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		nc := client.New(a)
+		nc.Clock = clk
+		if err := nc.WaitHealthy(ctx, 10*time.Second); err != nil {
+			fatal(err)
+		}
+		nodes = append(nodes, nc)
 	}
+	c := nodes[0]
 
 	opts := client.SessionOptions{
 		CapFrac:      *capFrac,
@@ -152,11 +164,12 @@ func loadtestMain(args []string) {
 					return
 				}
 				b := benchIdx[arrivals[n].Bench]
+				node := nodes[n%len(nodes)]
 				t0 := clk.Now()
 				var res api.SessionResult
 				var err error
 				for attempt := 0; ; attempt++ {
-					res, err = c.Session(ctx, opts, bytes.NewReader(logs[b]))
+					res, err = node.Session(ctx, opts, bytes.NewReader(logs[b]))
 					if !errors.Is(err, client.ErrOverloaded) || attempt >= 20 {
 						break
 					}
@@ -176,6 +189,7 @@ func loadtestMain(args []string) {
 	var (
 		ok, failed, mismatched int
 		events, adoptions      uint64
+		peerAdoptions          uint64
 		published              uint64
 		saved                  float64
 		durs                   []time.Duration
@@ -189,6 +203,7 @@ func loadtestMain(args []string) {
 		ok++
 		events += o.res.Events
 		adoptions += o.res.Shared.Adoptions
+		peerAdoptions += o.res.Shared.PeerAdoptions
 		published += o.res.Shared.Published
 		saved += o.res.Shared.SavedGenInstructions
 		durs = append(durs, o.dur)
@@ -209,8 +224,8 @@ func loadtestMain(args []string) {
 			durs[len(durs)*95/100].Round(time.Millisecond),
 			durs[len(durs)-1].Round(time.Millisecond))
 	}
-	fmt.Printf("loadtest: shared tier: %d adoptions, %d published, %s instructions saved; %d overload retries\n",
-		adoptions, published, stats.FmtCount(uint64(saved)), retries.Load())
+	fmt.Printf("loadtest: shared tier: %d adoptions (%d cross-node), %d published, %s instructions saved; %d overload retries\n",
+		adoptions, peerAdoptions, published, stats.FmtCount(uint64(saved)), retries.Load())
 	if *verify {
 		fmt.Printf("loadtest: verified %d/%d results bit-identical to offline replay\n", ok-mismatched, ok)
 	}

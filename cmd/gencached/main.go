@@ -11,6 +11,7 @@
 //	gencached serve [-addr 127.0.0.1:8344] [-snapshot gencached.ccpersist] ...
 //	gencached loadtest -addr http://127.0.0.1:8344 [-clients 8] [-bench word] ...
 //	gencached prodday [-sessions 40] [-time-scale 720] [-verify] ...
+//	gencached cluster [-nodes 3] [-sessions 12] [-verify] ...
 //	gencached -version
 package main
 
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,12 +48,15 @@ func main() {
 		case "prodday":
 			proddayMain(args[1:])
 			return
+		case "cluster":
+			clusterMain(args[1:])
+			return
 		case "-version", "--version", "version":
 			fmt.Println(buildinfo.Version("gencached"))
 			return
 		}
 	}
-	fmt.Fprintln(os.Stderr, "usage: gencached {serve|loadtest|prodday|-version} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: gencached {serve|loadtest|prodday|cluster|-version} [flags]")
 	os.Exit(2)
 }
 
@@ -68,6 +73,13 @@ func serveMain(args []string) {
 	autoscaleTick := fs.Duration("autoscale-tick", 5*time.Second, "autoscaler decision cadence")
 	maxSessionBytes := fs.Int64("max-session-bytes", 256<<20, "per-session request body limit")
 	keepWarm := fs.Bool("keep-warm", true, "keep published traces resident after their sessions close")
+	nodeID := fs.String("node-id", "", "cluster member ID; joins the distributed shared tier when set")
+	peers := fs.String("peers", "", "comma-separated cluster peers as id=url pairs (requires -node-id)")
+	shards := fs.Int("shards", 64, "cluster ring shard count; every member must agree")
+	adoptCache := fs.Uint64("adopt-cache", 1<<20, "cross-node adoption cache size in bytes")
+	adoptPolicy := fs.String("adopt-policy", "lru", "cross-node adoption cache policy (policy zoo spec)")
+	replicateEvery := fs.Duration("replicate-interval", time.Second, "replication flush cadence on clustered nodes")
+	clusterBootstrap := fs.Bool("cluster-bootstrap", false, "pull this node's owned shards from peers at startup")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	version := fs.Bool("version", false, "print version and exit")
@@ -95,9 +107,47 @@ func serveMain(args []string) {
 	if *autoscale {
 		cfg.Autoscale = &server.AutoscaleConfig{MaxSlots: *autoscaleMax}
 	}
+	if *nodeID != "" {
+		peerList, err := parsePeers(*peers)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cluster = &server.ClusterConfig{
+			NodeID:             *nodeID,
+			Peers:              peerList,
+			Shards:             *shards,
+			AdoptionCacheBytes: *adoptCache,
+			AdoptionPolicy:     *adoptPolicy,
+			// A hung peer must never hang a session: peer lookups are an
+			// optimization, a timeout just means the session regenerates.
+			HTTPClient: &http.Client{Timeout: 5 * time.Second},
+		}
+	} else if *peers != "" {
+		fatal(errors.New("-peers requires -node-id"))
+	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *clusterBootstrap {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		restored, err := srv.BootstrapFromPeers(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("gencached: cluster bootstrap: %v", err)
+		}
+		log.Printf("gencached: cluster bootstrap restored %d records from peers", restored)
+	}
+	if cfg.Cluster != nil && len(cfg.Cluster.Peers) > 0 {
+		// Like the autoscaler, the server never flushes replication on its
+		// own cadence; the daemon drives it from the wall clock.
+		ticker := time.NewTicker(*replicateEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				srv.FlushReplication(context.Background())
+			}
+		}()
 	}
 	if *autoscale {
 		// The server never ticks itself; the daemon drives decisions from
@@ -125,6 +175,10 @@ func serveMain(args []string) {
 	}
 	log.Printf("gencached: listening on %s (max %d sessions, queue %d, shared tier %d bytes)",
 		ln.Addr(), *maxSessions, *queue, *sharedCap)
+	if c := srv.Cluster(); c != nil {
+		log.Printf("gencached: cluster node %s owns %d/%d shards (%d peers)",
+			c.ID(), len(c.OwnedShards()), *shards, len(c.Peers()))
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	sigs := make(chan os.Signal, 1)
@@ -153,6 +207,26 @@ func serveMain(args []string) {
 		fatal(err)
 	}
 	log.Printf("gencached: clean shutdown")
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs.
+func parsePeers(spec string) ([]server.PeerAddr, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []server.PeerAddr
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad peer %q: want id=url", part)
+		}
+		out = append(out, server.PeerAddr{ID: id, URL: url})
+	}
+	return out, nil
 }
 
 // stopProfiles flushes any active pprof profiles; fatal must call it

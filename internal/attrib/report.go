@@ -80,7 +80,7 @@ func sortCells(cells []Cell) {
 // excluded: cold compiles are first generations, not regenerations.
 var regenReasons = [...]obs.Reason{
 	obs.ReasonCapacity, obs.ReasonPrematureDemotion, obs.ReasonNeverPromoted,
-	obs.ReasonUnmapForced, obs.ReasonAdoptionMiss,
+	obs.ReasonUnmapForced, obs.ReasonAdoptionMiss, obs.ReasonRemoteAdoption,
 }
 
 // RegenCauses sums the non-cold cause totals — the quantity the conservation
@@ -182,17 +182,18 @@ func (s *Snapshot) WriteReport(w io.Writer, topModules int) {
 	}
 	rows := s.moduleRows()
 	if len(rows) > 0 {
-		fmt.Fprintf(w, "  %-8s %8s %10s %10s %10s %8s %9s %8s\n",
-			"module", "cold", "capacity", "premature", "never-pro", "unmap", "adoption", "regens")
+		fmt.Fprintf(w, "  %-8s %8s %10s %10s %10s %8s %9s %7s %8s\n",
+			"module", "cold", "capacity", "premature", "never-pro", "unmap", "adoption", "remote", "regens")
 		shown := rows
 		if topModules > 0 && len(shown) > topModules {
 			shown = shown[:topModules]
 		}
 		for _, r := range shown {
-			fmt.Fprintf(w, "  %-8d %8d %10d %10d %10d %8d %9d %8d\n",
+			fmt.Fprintf(w, "  %-8d %8d %10d %10d %10d %8d %9d %7d %8d\n",
 				r.module, r.counts[obs.ReasonCold], r.counts[obs.ReasonCapacity],
 				r.counts[obs.ReasonPrematureDemotion], r.counts[obs.ReasonNeverPromoted],
-				r.counts[obs.ReasonUnmapForced], r.counts[obs.ReasonAdoptionMiss], r.regens)
+				r.counts[obs.ReasonUnmapForced], r.counts[obs.ReasonAdoptionMiss],
+				r.counts[obs.ReasonRemoteAdoption], r.regens)
 		}
 		if hidden := len(rows) - len(shown); hidden > 0 {
 			fmt.Fprintf(w, "  (+%d more modules)\n", hidden)

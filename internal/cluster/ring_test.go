@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func mustRing(t *testing.T, shards int, nodes []string) *Ring {
+	t.Helper()
+	r, err := NewRing(shards, nodes)
+	if err != nil {
+		t.Fatalf("NewRing(%d, %v): %v", shards, nodes, err)
+	}
+	return r
+}
+
+// TestRingDeterministic: the assignment is a pure function of (shards,
+// members) regardless of member order.
+func TestRingDeterministic(t *testing.T) {
+	a := mustRing(t, 128, []string{"node0", "node1", "node2"})
+	b := mustRing(t, 128, []string{"node2", "node0", "node1", "node1"})
+	for s := 0; s < 128; s++ {
+		if a.Owner(s) != b.Owner(s) {
+			t.Fatalf("shard %d: %q vs %q", s, a.Owner(s), b.Owner(s))
+		}
+	}
+	if !reflect.DeepEqual(a.Nodes(), []string{"node0", "node1", "node2"}) {
+		t.Fatalf("nodes = %v", a.Nodes())
+	}
+}
+
+// TestRingCoversAndPartitions: every shard has exactly one owner and the
+// Owned lists partition the shard space.
+func TestRingCoversAndPartitions(t *testing.T) {
+	r := mustRing(t, 257, []string{"a", "b", "c", "d", "e"})
+	seen := make(map[int]string)
+	for _, n := range r.Nodes() {
+		for _, s := range r.Owned(n) {
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shard %d owned by %q and %q", s, prev, n)
+			}
+			seen[s] = n
+		}
+	}
+	if len(seen) != 257 {
+		t.Fatalf("owned lists cover %d of 257 shards", len(seen))
+	}
+}
+
+// TestRingBalance: with shards >> nodes, no node owns a wildly
+// disproportionate share.
+func TestRingBalance(t *testing.T) {
+	const shards, nodes = 1024, 8
+	var ids []string
+	for i := 0; i < nodes; i++ {
+		ids = append(ids, fmt.Sprintf("node%d", i))
+	}
+	r := mustRing(t, shards, ids)
+	for _, n := range ids {
+		owned := len(r.Owned(n))
+		mean := shards / nodes
+		if owned < mean/3 || owned > mean*3 {
+			t.Errorf("node %s owns %d shards, mean %d", n, owned, mean)
+		}
+	}
+}
+
+// TestRingJoinMovesOnlyToJoiner: rendezvous hashing's minimal-movement
+// property — when a node joins, every shard that changes owner moves TO the
+// joiner, and the moved fraction is about 1/(n+1).
+func TestRingJoinMovesOnlyToJoiner(t *testing.T) {
+	const shards = 1024
+	old := mustRing(t, shards, []string{"node0", "node1", "node2"})
+	now := mustRing(t, shards, []string{"node0", "node1", "node2", "node3"})
+	moved := 0
+	for s := 0; s < shards; s++ {
+		if old.Owner(s) == now.Owner(s) {
+			continue
+		}
+		if now.Owner(s) != "node3" {
+			t.Fatalf("shard %d moved %q→%q, not to the joiner", s, old.Owner(s), now.Owner(s))
+		}
+		moved++
+	}
+	if moved != len(now.Owned("node3")) {
+		t.Fatalf("moved %d but joiner owns %d", moved, len(now.Owned("node3")))
+	}
+	// Expect ~shards/4 = 256; allow wide but meaningful bounds.
+	if moved < shards/8 || moved > shards/2 {
+		t.Errorf("join moved %d of %d shards, expected about %d", moved, shards, shards/4)
+	}
+}
+
+// TestRingLeaveMovesOnlyFromLeaver: the departed node's shards are
+// redistributed; everything else stays put.
+func TestRingLeaveMovesOnlyFromLeaver(t *testing.T) {
+	const shards = 1024
+	old := mustRing(t, shards, []string{"node0", "node1", "node2", "node3"})
+	now := mustRing(t, shards, []string{"node0", "node1", "node2"})
+	moved := 0
+	for s := 0; s < shards; s++ {
+		if old.Owner(s) == now.Owner(s) {
+			continue
+		}
+		if old.Owner(s) != "node3" {
+			t.Fatalf("shard %d moved %q→%q though node3 left", s, old.Owner(s), now.Owner(s))
+		}
+		moved++
+	}
+	if moved != len(old.Owned("node3")) {
+		t.Fatalf("moved %d but the leaver owned %d", moved, len(old.Owned("node3")))
+	}
+}
+
+// TestKeyShardStable: the key hash is stable across calls and respects the
+// bench separator (same numeric fields under different benches land
+// independently).
+func TestKeyShardStable(t *testing.T) {
+	k := Key{Bench: "gzip", Module: 3, Head: 0x1000}
+	if k.Shard(64) != k.Shard(64) {
+		t.Fatal("Shard is not a pure function")
+	}
+	if k.Shard(64) < 0 || k.Shard(64) >= 64 {
+		t.Fatalf("shard %d out of range", k.Shard(64))
+	}
+	// Not a correctness requirement, but the seam the separator exists for:
+	// bench must participate in the hash.
+	diff := 0
+	for head := uint64(0); head < 64; head++ {
+		a := Key{Bench: "gzip", Module: 3, Head: head}.Shard(1024)
+		b := Key{Bench: "mcf", Module: 3, Head: head}.Shard(1024)
+		if a != b {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("bench never influenced the shard")
+	}
+}
+
+// TestRingRejects: invalid configurations fail closed.
+func TestRingRejects(t *testing.T) {
+	if _, err := NewRing(0, []string{"a"}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewRing(MaxShards+1, []string{"a"}); err == nil {
+		t.Error("oversized shard space accepted")
+	}
+	if _, err := NewRing(8, nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing(8, []string{""}); err == nil {
+		t.Error("empty node ID accepted")
+	}
+}

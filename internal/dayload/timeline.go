@@ -241,6 +241,7 @@ func addCauses(dst *api.CauseCounts, c api.CauseCounts) {
 	dst.NeverPromoted += c.NeverPromoted
 	dst.UnmapForced += c.UnmapForced
 	dst.AdoptionMiss += c.AdoptionMiss
+	dst.RemoteAdoption += c.RemoteAdoption
 }
 
 // csv renders the timeline rows.
@@ -321,7 +322,7 @@ type Result struct {
 // Options.Attrib (all zeros).
 func (r *Result) CausesConserved() bool {
 	c := r.Causes
-	return c.Capacity+c.PrematureDemotion+c.NeverPromoted+c.UnmapForced+c.AdoptionMiss == r.Regenerations
+	return c.Capacity+c.PrematureDemotion+c.NeverPromoted+c.UnmapForced+c.AdoptionMiss+c.RemoteAdoption == r.Regenerations
 }
 
 // MissRate is the day-wide replay miss rate.
@@ -343,9 +344,9 @@ func (r *Result) String() string {
 		r.AvgMemBytes, r.SharedUsed, r.VerifyFailed)
 	if r.Regenerations > 0 || r.Causes != (api.CauseCounts{}) {
 		c := r.Causes
-		fmt.Fprintf(&b, "  why: %d regenerations — capacity %d, premature-demotion %d, never-promoted %d, unmap-forced %d, adoption-miss %d (cold %d; conserved %v)\n",
+		fmt.Fprintf(&b, "  why: %d regenerations — capacity %d, premature-demotion %d, never-promoted %d, unmap-forced %d, adoption-miss %d, remote-adoption %d (cold %d; conserved %v)\n",
 			r.Regenerations, c.Capacity, c.PrematureDemotion, c.NeverPromoted,
-			c.UnmapForced, c.AdoptionMiss, c.Cold, r.CausesConserved())
+			c.UnmapForced, c.AdoptionMiss, c.RemoteAdoption, c.Cold, r.CausesConserved())
 	}
 	return b.String()
 }

@@ -36,6 +36,12 @@ func (s *System) SetKeepWarm(v bool) {
 // cannot collide with ones published later.
 func (s *System) EnsureTraceIDAbove(id uint64) { s.ensureIDAbove(id) }
 
+// NextTraceID allocates a fresh system-unique trace ID. Insertions that
+// happen outside any session — the cluster replication endpoint placing a
+// peer's publication into the local shard — draw from the same allocator as
+// Publish, so IDs stay unique across every path into the shared tier.
+func (s *System) NextTraceID() uint64 { return s.nextTraceID() }
+
 // Session is one client's handle on the system's shared persistent
 // generation. Unlike a Process it executes nothing itself — the service
 // replays the client's workload however it likes — but it owns the client's

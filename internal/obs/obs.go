@@ -55,13 +55,17 @@ const (
 	// when an attribution ledger is attached in emitting mode, so stock event
 	// streams are unchanged.
 	KindRegenerate
+	// KindPeerAdopt fires when a session adopts a trace served by another
+	// cluster node's shard of the distributed shared tier (pull-on-miss over
+	// the trace-exchange protocol). Node carries the serving peer's ID.
+	KindPeerAdopt
 
 	// NumKinds bounds the Kind space; counting consumers size arrays with it.
-	NumKinds = int(KindRegenerate) + 1
+	NumKinds = int(KindPeerAdopt) + 1
 )
 
 var kindNames = [...]string{
-	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch", "admission-resize", "regenerate",
+	"invalid", "insert", "evict", "promote", "unmap", "link-sever", "flush", "progress", "resize", "policy-switch", "admission-resize", "regenerate", "peer-adopt",
 }
 
 func (k Kind) String() string {
@@ -133,14 +137,21 @@ const (
 	// identity this process had previously seen shared — the regeneration
 	// paid for a trace a peer once published.
 	ReasonAdoptionMiss
+	// ReasonRemoteAdoption means the regeneration was served by another
+	// cluster node's shard over the trace-exchange protocol: the local shared
+	// tier missed, but a peer held the published trace, so the service layer
+	// did not pay the generation cost. The private replay still regenerates
+	// (bit-identity with offline ccsim), which is why this is a regeneration
+	// cause rather than a suppressed event.
+	ReasonRemoteAdoption
 
 	// NumReasons bounds the Reason space; counting consumers size arrays
 	// with it.
-	NumReasons = int(ReasonAdoptionMiss) + 1
+	NumReasons = int(ReasonRemoteAdoption) + 1
 )
 
 var reasonNames = [NumReasons]string{
-	"none", "cold", "capacity", "unmap-forced", "premature-demotion", "never-promoted", "adoption-miss",
+	"none", "cold", "capacity", "unmap-forced", "premature-demotion", "never-promoted", "adoption-miss", "remote-adoption",
 }
 
 func (r Reason) String() string {
@@ -182,6 +193,10 @@ type Event struct {
 	// Policy is the spec string of the newly live policy (KindPolicySwitch
 	// only).
 	Policy string
+
+	// Node is the cluster node that served a cross-node adoption
+	// (KindPeerAdopt only). Empty outside clustered deployments.
+	Node string
 
 	// Replay progress (KindProgress only).
 	Benchmark string

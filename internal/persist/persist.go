@@ -185,6 +185,20 @@ func SnapshotShared(benchmark string, sp *core.SharedPersistent, lookup func(uin
 	return img
 }
 
+// FilterImage narrows an image to the records keep accepts, preserving
+// order. The cluster's shard-transfer endpoint reuses the snapshot format
+// for shard bootstrap: it snapshots the shared tier, filters to the
+// requested shards, and streams the result through Save.
+func FilterImage(img Image, keep func(Record) bool) Image {
+	out := Image{Benchmark: img.Benchmark, Spec: img.Spec}
+	for _, r := range img.Records {
+		if keep(r) {
+			out.Records = append(out.Records, r)
+		}
+	}
+	return out
+}
+
 // Save writes the image in the version-3 format.
 func Save(w io.Writer, img Image) error {
 	bw := bufio.NewWriter(w)

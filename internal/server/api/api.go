@@ -76,6 +76,11 @@ const (
 	// events=1 — every classified miss streams a "regenerate" NDJSON event
 	// tagged with its cause.
 	ParamAttrib = "attrib"
+	// ParamSession is an opaque tenant label (≤64 bytes). Attribution-enabled
+	// sessions carrying it fold into a per-tenant aggregate as well as the
+	// server-wide one, so GET /v1/attrib?session=<label> answers "why did
+	// *this* tenant's traces regenerate". It never influences the replay.
+	ParamSession = "session"
 )
 
 // AttribPath is the server-wide attribution endpoint: GET the aggregated
@@ -103,8 +108,12 @@ type SharedSavings struct {
 	Adoptions uint64 `json:"adoptions"`
 	// Published counts traces this session promoted into the shared tier.
 	Published uint64 `json:"published"`
+	// PeerAdoptions counts traces served by another cluster node's shard of
+	// the distributed shared tier — the local tier missed, the owning peer
+	// had the publication. Zero outside clustered deployments.
+	PeerAdoptions uint64 `json:"peerAdoptions,omitempty"`
 	// SavedGenInstructions is the Table 2 trace-generation cost the
-	// adoptions avoided.
+	// adoptions (local and peer) avoided.
 	SavedGenInstructions float64 `json:"savedGenInstructions"`
 }
 
@@ -129,6 +138,11 @@ type CauseCounts struct {
 	// AdoptionMiss counts regenerations of identities known to the shared
 	// tier that had no publisher resident when the session needed them.
 	AdoptionMiss uint64 `json:"adoptionMiss,omitempty"`
+	// RemoteAdoption counts regenerations whose generation cost was absorbed
+	// by another cluster node over the trace-exchange protocol: the private
+	// replay regenerated (bit-identity with offline ccsim), the service did
+	// not pay for it. Zero outside clustered deployments.
+	RemoteAdoption uint64 `json:"remoteAdoption,omitempty"`
 }
 
 // AttribReport is the GET /v1/attrib response: the server-wide miss-cause
@@ -157,6 +171,13 @@ type AttribReport struct {
 	// Modules are per-module rows under the query's filters, ranked by
 	// regenerations (or by ?cause=) descending.
 	Modules []AttribModule `json:"modules,omitempty"`
+	// Session echoes the ?session= tenant filter when one was applied: the
+	// report then covers only that tenant's sessions.
+	Session string `json:"session,omitempty"`
+	// Tenants lists every tenant label seen on attribution-enabled sessions
+	// (sorted), so operators can discover what ?session= accepts. Only on
+	// unfiltered reports.
+	Tenants []string `json:"tenants,omitempty"`
 }
 
 // AttribModule is one module's row in an AttribReport.
@@ -222,10 +243,11 @@ func FromSim(r sim.Result) SessionResult {
 // magic, MarshalBinary writes it, UnmarshalBinary reads it.
 const StatsContentType = "application/x-gencache-stats"
 
-// statsMagic versions the binary result framing. GCST2 appended the
-// attribution cause counters; GCST1 payloads are rejected (stale peers fall
+// statsMagic versions the binary result framing. GCST3 appended the cluster
+// counters (peer adoptions, remote-adoption cause); GCST2 appended the
+// attribution cause counters. Older payloads are rejected (stale peers fall
 // back to JSON, the always-compatible debug path).
-const statsMagic = "GCST2"
+const statsMagic = "GCST3"
 
 func appendU64(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
 
@@ -252,9 +274,10 @@ func (r SessionResult) MarshalBinary() ([]byte, error) {
 		r.Accesses, r.Hits, r.Misses, r.ColdCreates, r.Regenerations,
 		r.Adoptions, r.ForcedDeletes,
 		r.Overhead.TraceGens, r.Overhead.Evictions, r.Overhead.Promotions,
-		r.Shared.Adoptions, r.Shared.Published,
+		r.Shared.Adoptions, r.Shared.Published, r.Shared.PeerAdoptions,
 		r.Causes.Cold, r.Causes.Capacity, r.Causes.PrematureDemotion,
 		r.Causes.NeverPromoted, r.Causes.UnmapForced, r.Causes.AdoptionMiss,
+		r.Causes.RemoteAdoption,
 	} {
 		buf = appendU64(buf, v)
 	}
@@ -306,9 +329,10 @@ func (r *SessionResult) UnmarshalBinary(data []byte) error {
 		&r.Accesses, &r.Hits, &r.Misses, &r.ColdCreates, &r.Regenerations,
 		&r.Adoptions, &r.ForcedDeletes,
 		&r.Overhead.TraceGens, &r.Overhead.Evictions, &r.Overhead.Promotions,
-		&r.Shared.Adoptions, &r.Shared.Published,
+		&r.Shared.Adoptions, &r.Shared.Published, &r.Shared.PeerAdoptions,
 		&r.Causes.Cold, &r.Causes.Capacity, &r.Causes.PrematureDemotion,
 		&r.Causes.NeverPromoted, &r.Causes.UnmapForced, &r.Causes.AdoptionMiss,
+		&r.Causes.RemoteAdoption,
 	} {
 		*dst = u64()
 	}
@@ -334,6 +358,12 @@ type Health struct {
 	SharedUsedBytes uint64  `json:"sharedUsedBytes"`
 	WarmRestored    uint64  `json:"warmRestored"`
 	UptimeSeconds   float64 `json:"uptimeSeconds"`
+
+	// Cluster membership, present only on clustered nodes (the zero values
+	// render nothing, keeping single-node health replies byte-identical).
+	ClusterNode  string `json:"clusterNode,omitempty"`
+	ClusterPeers int    `json:"clusterPeers,omitempty"`
+	ShardsOwned  int    `json:"shardsOwned,omitempty"`
 }
 
 // Error is the JSON error body of a non-200 reply.
@@ -354,6 +384,11 @@ type Event struct {
 	Total  uint64 `json:"total,omitempty"`
 	Policy string `json:"policy,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// Node tags the event with a cluster node ID: the serving peer on
+	// "peer-adopt" events, the emitting node on every event of a multi-node
+	// feed. Absent on single-node deployments, keeping their streams
+	// byte-identical to the pre-cluster service.
+	Node string `json:"node,omitempty"`
 }
 
 // FromObs converts a bus event into its wire form. From and To are set only
@@ -380,6 +415,8 @@ func FromObs(e obs.Event) Event {
 	case obs.KindRegenerate:
 		w.From = e.From.String()
 		w.Reason = e.Reason.String()
+	case obs.KindPeerAdopt:
+		w.Node = e.Node
 	}
 	return w
 }

@@ -27,6 +27,7 @@ func causeCounts(s *attrib.Snapshot) api.CauseCounts {
 		NeverPromoted:     s.Totals[obs.ReasonNeverPromoted],
 		UnmapForced:       s.Totals[obs.ReasonUnmapForced],
 		AdoptionMiss:      s.Totals[obs.ReasonAdoptionMiss],
+		RemoteAdoption:    s.Totals[obs.ReasonRemoteAdoption],
 	}
 }
 
@@ -36,7 +37,8 @@ type attribQuery struct {
 	hasModule bool
 	cause     obs.Reason // rank/filter module rows by one cause
 	hasCause  bool
-	top       int // max module rows; 0 = all
+	top       int    // max module rows; 0 = all
+	session   string // restrict the report to one tenant's aggregate
 }
 
 // parseAttribQuery validates the /v1/attrib query parameters. It is a pure
@@ -64,6 +66,12 @@ func parseAttribQuery(q url.Values) (attribQuery, error) {
 		}
 		aq.top = n
 	}
+	if v := q.Get(api.ParamSession); v != "" {
+		if len(v) > maxTenantLen {
+			return aq, fmt.Errorf("bad %s: label longer than %d bytes", api.ParamSession, maxTenantLen)
+		}
+		aq.session = v
+	}
 	return aq, nil
 }
 
@@ -76,6 +84,12 @@ func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.attrib.Snapshot()
+	if aq.session != "" {
+		// An unknown tenant gets the empty report, not an error — the set of
+		// labels is client-chosen and an operator probing one that never sent
+		// attribution is asking a legitimate question with answer zero.
+		snap = s.tenantSnapshot(aq.session)
+	}
 	rep := api.AttribReport{
 		EpochAccesses: snap.EpochLen,
 		ReheatEpochs:  snap.ReheatEpochs,
@@ -89,6 +103,11 @@ func (s *Server) handleAttrib(w http.ResponseWriter, r *http.Request) {
 	}
 	if top, n := snap.TopCause(); n > 0 {
 		rep.TopCause = top.String()
+	}
+	if aq.session != "" {
+		rep.Session = aq.session
+	} else {
+		rep.Tenants = s.tenantNames()
 	}
 	for _, row := range attribModuleRows(snap, aq) {
 		rep.Modules = append(rep.Modules, row)
@@ -129,6 +148,7 @@ func attribModuleRows(snap *attrib.Snapshot, aq attribQuery) []api.AttribModule 
 			NeverPromoted:     cc[obs.ReasonNeverPromoted],
 			UnmapForced:       cc[obs.ReasonUnmapForced],
 			AdoptionMiss:      cc[obs.ReasonAdoptionMiss],
+			RemoteAdoption:    cc[obs.ReasonRemoteAdoption],
 		}
 	}
 	rankOf := func(m api.AttribModule) uint64 {
@@ -148,6 +168,8 @@ func attribModuleRows(snap *attrib.Snapshot, aq attribQuery) []api.AttribModule 
 			return m.Causes.UnmapForced
 		case obs.ReasonAdoptionMiss:
 			return m.Causes.AdoptionMiss
+		case obs.ReasonRemoteAdoption:
+			return m.Causes.RemoteAdoption
 		}
 		return 0
 	}

@@ -79,6 +79,9 @@ type SessionOptions struct {
 	// Causes field carries per-cause miss counts and the session folds into
 	// the server's /v1/attrib aggregate.
 	Attrib bool
+	// Tenant is the opaque session label (?session=, ≤64 bytes): with Attrib,
+	// the session also folds into the tenant's /v1/attrib?session= aggregate.
+	Tenant string
 	// BinaryStats requests the compact binary result framing
 	// (api.StatsContentType) instead of JSON. The decoded result is
 	// identical; the response is smaller and cheaper to parse.
@@ -119,6 +122,9 @@ func (o SessionOptions) query() url.Values {
 	}
 	if o.Attrib {
 		q.Set(api.ParamAttrib, "1")
+	}
+	if o.Tenant != "" {
+		q.Set(api.ParamSession, o.Tenant)
 	}
 	return q
 }

@@ -75,6 +75,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counterM("gencached_warm_restored_total", s.warm.Restored, "traces restored from the startup snapshot")
 	counterM("gencached_warm_rejected_total", s.warm.Rejected, "snapshot records rejected at warm start")
 
+	// Cluster metrics, rendered only on clustered nodes so an unclustered
+	// scrape stays byte-identical to the pre-cluster service.
+	if s.cluster != nil {
+		cst := s.cluster.Stats()
+		gauge("gencached_shard_owned", len(s.cluster.OwnedShards()), "ring shards this node owns")
+		gauge("gencached_cluster_peers", len(s.cluster.Peers()), "cluster peers this node exchanges traces with")
+		counterM("gencached_peer_adoptions_total", cst.PeerAdoptions, "cross-node adoptions served by peers (cache or lookup)")
+		counterM("gencached_peer_lookups_total", cst.PeerLookups, "adoption lookups sent to shard owners")
+		counterM("gencached_peer_lookup_misses_total", cst.PeerLookupMisses, "peer lookups answered not-found or size-mismatched")
+		counterM("gencached_peer_lookup_errors_total", cst.PeerLookupErrors, "peer lookups lost to transport failures")
+		counterM("gencached_peer_replicated_total", cst.Replicated, "publications accepted by their shard owners")
+		counterM("gencached_peer_replicate_rejected_total", cst.ReplicateRejected, "publications a shard owner refused")
+		counterM("gencached_peer_replicate_dropped_total", cst.ReplicateDropped, "publications dropped on transport failure")
+		fmt.Fprintf(&b, "# HELP gencached_peer_lookup_latency_seconds cumulative peer-lookup latency on the node's clock plane\n")
+		fmt.Fprintf(&b, "# TYPE gencached_peer_lookup_latency_seconds summary\n")
+		fmt.Fprintf(&b, "gencached_peer_lookup_latency_seconds_sum %v\n", cst.LookupSeconds)
+		fmt.Fprintf(&b, "gencached_peer_lookup_latency_seconds_count %d\n", cst.PeerLookups)
+		gauge("gencached_peer_cache_resident", cst.Adoption.Resident, "remote records resident in the adoption cache")
+		gauge("gencached_peer_cache_used_bytes", cst.Adoption.UsedBytes, "bytes resident in the adoption cache")
+		counterM("gencached_peer_cache_hits_total", cst.Adoption.Hits, "adoption-cache hits")
+		counterM("gencached_peer_cache_evicted_total", cst.Adoption.Evicted, "adoption-cache evictions")
+	}
+
 	// Per-cause miss attribution across attrib=1 sessions. The series set is
 	// fixed (every reason, even at zero) so dashboards can rate() from the
 	// first scrape, and "none" is excluded — it is the ledger's non-cause.

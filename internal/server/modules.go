@@ -50,6 +50,45 @@ func (ms *moduleSpace) global(bench string, local uint16) (uint16, bool) {
 	return g, true
 }
 
+// lookup resolves (benchmark, local module) without allocating: the peer
+// lookup endpoint answers for identities this node has already seen, and an
+// unknown identity is simply not-found — it must not burn a slot of the
+// 16-bit global space on someone else's probe.
+func (ms *moduleSpace) lookup(bench string, local uint16) (uint16, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	g, ok := ms.byKey[moduleKey{Bench: bench, Local: local}]
+	return g, ok
+}
+
+// identity is the reverse mapping: global ID back to its portable
+// (benchmark, local) pair. The shard-snapshot endpoint uses it to re-express
+// shared-tier records in the cluster's portable namespace. The mapping is
+// append-only and injective, so a linear scan under the lock is exact.
+func (ms *moduleSpace) identity(global uint16) (string, uint16, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for k, g := range ms.byKey {
+		if g == global {
+			return k.Bench, k.Local, true
+		}
+	}
+	return "", 0, false
+}
+
+// identities returns the whole reverse map at once — the snapshot endpoint
+// resolves every record of an image, and one locked pass beats a scan per
+// record.
+func (ms *moduleSpace) identities() map[uint16]moduleKey {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make(map[uint16]moduleKey, len(ms.byKey))
+	for k, g := range ms.byKey {
+		out[g] = k
+	}
+	return out
+}
+
 // benchModules returns every global module ID ever mapped for a benchmark,
 // sorted, so callers iterating it (deploy unmaps) act in deterministic
 // order.

@@ -55,6 +55,10 @@ type SessionConfig struct {
 	// miss counts and the session folds into the server's /v1/attrib
 	// aggregate. The ledger only observes, so replay counters are unchanged.
 	Attrib bool
+	// Tenant is the opaque session label (?session=, ≤64 bytes): attribution
+	// folds into the tenant's aggregate as well as the server-wide one. It
+	// never influences the replay.
+	Tenant string
 }
 
 func (c SessionConfig) params() sessionParams {
@@ -71,6 +75,7 @@ func (c SessionConfig) params() sessionParams {
 		adaptEpoch: c.AdaptEpoch,
 		pressure:   c.Pressure,
 		attrib:     c.Attrib,
+		tenant:     c.Tenant,
 	}
 	if p.capFrac == 0 {
 		p.capFrac = 0.5
@@ -134,6 +139,9 @@ func (c SessionConfig) Query() string {
 	if c.Attrib {
 		add(api.ParamAttrib, "1")
 	}
+	if c.Tenant != "" {
+		add(api.ParamSession, c.Tenant)
+	}
 	return b.String()
 }
 
@@ -163,12 +171,16 @@ func (s *Server) ServeSession(cfg SessionConfig, logData []byte) (api.SessionRes
 	out.Shared = api.SharedSavings{
 		Adoptions:            sr.adoptions,
 		Published:            sr.published,
+		PeerAdoptions:        sr.peerAdoptions,
 		SavedGenInstructions: sr.savedGen,
 	}
 	if sr.led != nil {
 		snap := sr.led.Snapshot()
 		out.Causes = causeCounts(snap)
 		s.attrib.Add(snap)
+		if p.tenant != "" {
+			s.tenantAggregate(p.tenant).Add(snap)
+		}
 	}
 	s.recordResult(out, uint64(len(logData)))
 	sr.recycle()
@@ -255,17 +267,20 @@ func OfflineReplay(cfg SessionConfig, model *costmodel.Model, logData []byte) (a
 // ResultsEquivalent reports whether a served session and its offline
 // verification replay agree on every replay-visible field. Session identity
 // and shared-tier interplay are service-side bookkeeping, excluded by
-// construction. Adoption-miss is folded into capacity on both sides before
-// comparing: the served ledger upgrades capacity verdicts with shared-tier
-// knowledge an offline replay cannot have, but the fold — like the causes
-// themselves — must still conserve against the same regeneration total.
+// construction. Adoption-miss and remote-adoption are folded into capacity
+// on both sides before comparing: the served ledger upgrades capacity
+// verdicts with shared-tier and cluster knowledge an offline replay cannot
+// have, but the folds — like the causes themselves — must still conserve
+// against the same regeneration total. This is the cluster's core
+// invariant: a session's replay-visible result is bit-identical to offline
+// ccsim no matter which node served it.
 func ResultsEquivalent(served, offline api.SessionResult) bool {
 	served.Session, offline.Session = 0, 0
 	served.Shared, offline.Shared = api.SharedSavings{}, api.SharedSavings{}
-	served.Causes.Capacity += served.Causes.AdoptionMiss
-	served.Causes.AdoptionMiss = 0
-	offline.Causes.Capacity += offline.Causes.AdoptionMiss
-	offline.Causes.AdoptionMiss = 0
+	served.Causes.Capacity += served.Causes.AdoptionMiss + served.Causes.RemoteAdoption
+	served.Causes.AdoptionMiss, served.Causes.RemoteAdoption = 0, 0
+	offline.Causes.Capacity += offline.Causes.AdoptionMiss + offline.Causes.RemoteAdoption
+	offline.Causes.AdoptionMiss, offline.Causes.RemoteAdoption = 0, 0
 	return served == offline
 }
 

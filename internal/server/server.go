@@ -20,11 +20,13 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/attrib"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
@@ -68,6 +70,12 @@ type Config struct {
 	// time plane (cmd/gencached serve from a real ticker, the day engine
 	// from the virtual clock).
 	Autoscale *AutoscaleConfig
+	// Cluster, when set, shards the shared tier across nodes: this server
+	// becomes one member of the distributed shared tier, serving the peer
+	// exchange endpoints and pulling cross-node adoptions on local misses.
+	// Like Autoscale, nothing inside the server drives replication — the
+	// owner calls FlushReplication on its own time plane.
+	Cluster *ClusterConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -103,6 +111,14 @@ type Server struct {
 	clock   simclock.Clock
 	start   time.Time // on the injected clock's plane
 
+	// cluster is this node's membership in the distributed shared tier; nil
+	// on unclustered servers. nodeTag, set only when the cluster has peers,
+	// stamps outgoing NDJSON events with the emitting node — single-node
+	// deployments (clustered or not) keep their streams byte-identical.
+	cluster    *cluster.Node
+	nodeTag    string
+	peerClient *http.Client
+
 	draining atomic.Bool
 
 	// maxTraceID is the high-water mark of published trace IDs, persisted in
@@ -113,9 +129,13 @@ type Server struct {
 	// into the server-wide /v1/attrib report and miss-cause metrics.
 	attrib *attrib.Aggregate
 
-	mu   sync.Mutex
-	agg  aggregate
-	warm persist.WarmStats
+	mu  sync.Mutex
+	agg aggregate
+	// tenants splits the attribution plane per session label (?session=):
+	// each labelled attrib session folds into its tenant's aggregate as well
+	// as the server-wide one.
+	tenants map[string]*attrib.Aggregate
+	warm    persist.WarmStats
 	// livePol maps a tier level name to the policy spec most recently made
 	// live there by any session's online selector (KindPolicySwitch events).
 	livePol map[string]string
@@ -135,6 +155,7 @@ type aggregate struct {
 	forcedDeletes    uint64
 	adoptions        uint64
 	published        uint64
+	peerAdoptions    uint64
 	savedGenInstr    float64
 	overheadInstr    float64
 	snapshotRestores uint64
@@ -170,6 +191,13 @@ func New(cfg Config) (*Server, error) {
 		clock:   clock,
 		start:   clock.Now(),
 		livePol: make(map[string]string),
+		tenants: make(map[string]*attrib.Aggregate),
+	}
+	if cfg.Cluster != nil {
+		s.peerClient = cfg.Cluster.HTTPClient
+		if err := s.buildCluster(cfg.Cluster); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Autoscale != nil {
 		// Resize announcements reach the server-wide counter and, through
@@ -288,6 +316,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET "+api.AttribPath, s.handleAttrib)
+	if s.cluster != nil {
+		mux.HandleFunc("POST "+cluster.PeerLookupPath, s.handlePeerLookup)
+		mux.HandleFunc("POST "+cluster.PeerReplicatePath, s.handlePeerReplicate)
+		mux.HandleFunc("GET "+cluster.PeerSnapshotPath, s.handlePeerSnapshot)
+	}
 	profiling.AttachHTTP(mux)
 	return mux
 }
@@ -316,6 +349,11 @@ func (s *Server) health() api.Health {
 	}
 	if s.draining.Load() {
 		h.Status = "draining"
+	}
+	if s.cluster != nil {
+		h.ClusterNode = s.cluster.ID()
+		h.ClusterPeers = len(s.cluster.Peers())
+		h.ShardsOwned = len(s.cluster.OwnedShards())
 	}
 	return h
 }
@@ -393,8 +431,47 @@ func (s *Server) recordResult(r api.SessionResult, bytes uint64) {
 	a.forcedDeletes += r.ForcedDeletes
 	a.adoptions += r.Shared.Adoptions
 	a.published += r.Shared.Published
+	a.peerAdoptions += r.Shared.PeerAdoptions
 	a.savedGenInstr += r.Shared.SavedGenInstructions
 	a.overheadInstr += r.Overhead.TotalInstructions
+}
+
+// tenantAggregate returns (allocating on first sight) the attribution
+// aggregate for one session label.
+func (s *Server) tenantAggregate(label string) *attrib.Aggregate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.tenants[label]
+	if a == nil {
+		a = attrib.NewAggregate()
+		s.tenants[label] = a
+	}
+	return a
+}
+
+// tenantSnapshot snapshots one tenant's aggregate; an unknown label yields
+// the empty snapshot.
+func (s *Server) tenantSnapshot(label string) *attrib.Snapshot {
+	s.mu.Lock()
+	a := s.tenants[label]
+	s.mu.Unlock()
+	if a == nil {
+		return attrib.NewAggregate().Snapshot()
+	}
+	return a.Snapshot()
+}
+
+// tenantNames lists every session label seen on attribution-enabled
+// sessions, sorted — the discoverable values of /v1/attrib?session=.
+func (s *Server) tenantNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (s *Server) recordFailure() {

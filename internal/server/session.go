@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/attrib"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dbt"
@@ -35,7 +37,12 @@ type sessionParams struct {
 	adaptEpoch uint64
 	pressure   float64 // initial load pressure for the adaptive controller
 	attrib     bool    // attach the attribution ledger
+	tenant     string  // opaque session label for per-tenant attribution
 }
+
+// maxTenantLen bounds the ?session= label; it is an opaque key into the
+// per-tenant attribution map, not a payload.
+const maxTenantLen = 64
 
 func parseParams(r *http.Request) (sessionParams, error) {
 	p := sessionParams{capFrac: 0.5, layout: "45-10-45", threshold: 1}
@@ -98,6 +105,12 @@ func parseParams(r *http.Request) (sessionParams, error) {
 			return p, fmt.Errorf("bad %s %q", api.ParamPressure, v)
 		}
 		p.pressure = f
+	}
+	if v := q.Get(api.ParamSession); v != "" {
+		if len(v) > maxTenantLen {
+			return p, fmt.Errorf("bad %s: label longer than %d bytes", api.ParamSession, maxTenantLen)
+		}
+		p.tenant = v
 	}
 	for name, dst := range map[string]*bool{api.ParamUnified: &p.unified, api.ParamEvents: &p.events, api.ParamAdaptive: &p.adaptive, api.ParamAttrib: &p.attrib} {
 		if v := q.Get(name); v != "" {
@@ -259,9 +272,15 @@ type sessionRun struct {
 	gmodOK map[uint16]bool
 	idents map[identKey]*identState
 
-	adoptions uint64 // distinct identities adopted
-	published uint64 // distinct identities published
-	savedGen  float64
+	// remote tracks identities (keyed by log-local module — the portable
+	// cluster namespace) whose generation cost a peer node absorbed, so the
+	// peer-adoption count and savings are once per identity.
+	remote map[identKey]bool
+
+	adoptions     uint64 // distinct identities adopted
+	published     uint64 // distinct identities published
+	peerAdoptions uint64 // distinct identities served by a peer node
+	savedGen      float64
 
 	enc *ndjsonWriter // nil unless events mode
 }
@@ -299,6 +318,7 @@ func (sr *sessionRun) globalModule(local uint16) (uint16, bool) {
 func (sr *sessionRun) observe(e obs.Event) {
 	if sr.enc != nil {
 		w := api.FromObs(e)
+		sr.srv.tagNode(&w)
 		sr.enc.write(api.StreamLine{Event: &w})
 		if e.Kind == obs.KindProgress {
 			sr.enc.flush()
@@ -335,6 +355,12 @@ func (sr *sessionRun) observe(e obs.Event) {
 	}
 	st.gid = gid
 	sr.srv.notePublished(gid)
+	if sr.srv.cluster != nil {
+		// Queue the publication for its shard owner in the portable cluster
+		// namespace (log-local module). Owned shards return false and need no
+		// replication: the local shared tier is the shard.
+		sr.srv.cluster.NotePublish(cluster.Key{Bench: sr.bench, Module: module, Head: head}, uint64(size))
+	}
 }
 
 // tryAdopt probes the shared tier for this identity and attaches if a
@@ -366,14 +392,55 @@ func (sr *sessionRun) tryAdopt(local uint16, head uint64, size uint32) bool {
 	return true
 }
 
+// tryRemoteAdopt resolves a local adoption miss against the cluster: the
+// shard owner for the identity may hold a publication this node's tier never
+// saw. A hit counts once per identity (like tryAdopt) and emits a
+// KindPeerAdopt event tagged with the serving node onto both event feeds.
+// The private replay is untouched either way — it regenerates exactly as
+// offline ccsim would; the service just doesn't pay for the generation.
+func (sr *sessionRun) tryRemoteAdopt(local uint16, head uint64, size uint32) bool {
+	n := sr.srv.cluster
+	if n == nil {
+		return false
+	}
+	r, ok := n.RemoteAdopt(context.Background(), cluster.Key{Bench: sr.bench, Module: local, Head: head}, uint64(size))
+	if !ok {
+		return false
+	}
+	key := identKey{module: local, head: head}
+	if sr.remote == nil {
+		sr.remote = make(map[identKey]bool)
+	}
+	if !sr.remote[key] {
+		sr.remote[key] = true
+		sr.peerAdoptions++
+		sr.savedGen += sr.srv.model.TraceGen(int(size))
+		e := obs.Event{
+			Kind:   obs.KindPeerAdopt,
+			Trace:  r.TraceID,
+			Size:   uint64(size),
+			Module: local,
+			Proc:   sr.sess.ID(),
+			Node:   r.Node,
+		}
+		sr.srv.counter.Observe(e)
+		sr.srv.router.Observe(e)
+	}
+	return true
+}
+
 // sessionRun implements sim.Hooks: the replayer calls out at the fixed
 // interplay points, so the shared-tier bookkeeping runs inside the batched
 // kernel without a per-event wrapper around it.
 
 // Registered handles a KindCreate/KindAdopt entering the replay: the shared
-// tier may already hold this guest code, published by a peer.
+// tier may already hold this guest code, published by a peer — locally, or
+// on the cluster node that owns the identity's shard.
 func (sr *sessionRun) Registered(trace uint64, size uint32, module uint16, head uint64) {
-	sr.tryAdopt(module, head, size)
+	if sr.tryAdopt(module, head, size) {
+		return
+	}
+	sr.tryRemoteAdopt(module, head, size)
 }
 
 // Regenerated handles a conflict miss: the private cache is regenerating
@@ -384,7 +451,19 @@ func (sr *sessionRun) Registered(trace uint64, size uint32, module uint16, head 
 // that the shared tier lost a publisher. ReclassifyLastMiss is a
 // cell-to-cell move, so cause conservation is untouched.
 func (sr *sessionRun) Regenerated(trace uint64, size uint32, module uint16, head uint64) {
-	if sr.tryAdopt(module, head, size) || sr.led == nil {
+	if sr.tryAdopt(module, head, size) {
+		return
+	}
+	if sr.tryRemoteAdopt(module, head, size) {
+		// The regeneration's cost was absorbed by the peer that served the
+		// identity; the ledger upgrades the miss so attribution separates
+		// cluster-served regenerations from true capacity losses.
+		if sr.led != nil {
+			sr.led.ReclassifyLastMiss(trace, obs.ReasonRemoteAdoption)
+		}
+		return
+	}
+	if sr.led == nil {
 		return
 	}
 	gmod, ok := sr.globalModule(module)
@@ -462,6 +541,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		// and unmaps carry its ID; route them into the merged feed.
 		s.router.attach(sess.ID(), obs.Func(func(e obs.Event) {
 			we := api.FromObs(e)
+			s.tagNode(&we)
 			enc.write(api.StreamLine{Event: &we})
 		}))
 		defer s.router.detach(sess.ID())
@@ -482,12 +562,16 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	out.Shared = api.SharedSavings{
 		Adoptions:            sr.adoptions,
 		Published:            sr.published,
+		PeerAdoptions:        sr.peerAdoptions,
 		SavedGenInstructions: sr.savedGen,
 	}
 	if sr.led != nil {
 		snap := sr.led.Snapshot()
 		out.Causes = causeCounts(snap)
 		s.attrib.Add(snap)
+		if p.tenant != "" {
+			s.tenantAggregate(p.tenant).Add(snap)
+		}
 	}
 	s.recordResult(out, body.n)
 	sr.recycle() // out is a value copy; the run's pooled scratch is done

@@ -33,7 +33,8 @@ make policyselect-smoke
 # production day stops being bit-reproducible.
 leaks=$(grep -rn 'time\.Now(\|time\.Since(\|time\.Sleep(\|time\.After(' \
     internal/server internal/core internal/dayload internal/workload \
-    internal/simclock internal/sim internal/dbt --include='*.go' \
+    internal/simclock internal/sim internal/dbt internal/cluster \
+    --include='*.go' \
     | grep -v _test.go | grep -v 'simclock/real.go' || true)
 if [ -n "$leaks" ]; then
     echo "wall-clock calls on the virtual-time plane:" >&2
@@ -51,3 +52,10 @@ make attrib-smoke
 # Attribution endpoint fuzz: a short run over the /v1/attrib query parser —
 # seeds the corpus, catches panics and half-validated filters.
 go test ./internal/server -run '^$' -fuzz FuzzAttribQuery -fuzztime 10s
+# Trace-exchange wire fuzz: a short run over every exchange message codec —
+# decoders must reject malformed frames and round-trip well-formed ones.
+go test ./internal/cluster -run '^$' -fuzz FuzzWire -fuzztime 10s
+# Cluster smoke: a 3-node distributed shared tier vs isolated nodes, under
+# the race detector — at least one cross-node adoption, zero verification
+# failures, deterministic across a double run.
+make cluster-smoke
